@@ -1,0 +1,288 @@
+// Command gossipsim is a general-purpose driver for the reduction
+// algorithms: pick an algorithm, a topology, an aggregate and a fault
+// scenario, and watch the reduction converge.
+//
+// Examples:
+//
+//	gossipsim -algo pcf -topo hypercube:8 -agg avg
+//	gossipsim -algo pf -topo torus3d:8 -agg sum -eps 1e-12
+//	gossipsim -algo pcf -topo hypercube:6 -faillink 100:0:1 -rounds 250 -trace 10
+//	gossipsim -algo pushsum -topo grid2d:16x16 -loss 0.05
+//	gossipsim -algo pcf -topo ring:64 -crash 50:3
+//	gossipsim -algo pcf-robust -topo hypercube:6 -concurrent -eps 1e-9
+//	gossipsim -algo pcf -topo hypercube:6 -event -latency 0.05,0.2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pcfreduce"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/sim"
+	"pcfreduce/internal/topology"
+)
+
+func main() {
+	var (
+		algoName   = flag.String("algo", "pcf", "algorithm: pcf|pcf-robust|pf|pushsum|fu")
+		topoSpec   = flag.String("topo", "hypercube:6", "topology: hypercube:D | torus3d:S | torus2d:AxB | grid2d:AxB | ring:N | path:N | complete:N | randreg:N,D")
+		aggName    = flag.String("agg", "avg", "aggregate: avg|sum")
+		eps        = flag.Float64("eps", 1e-12, "target maximal relative local error")
+		rounds     = flag.Int("rounds", 0, "max rounds (0 = auto)")
+		seed       = flag.Int64("seed", 1, "random seed (inputs and schedule)")
+		loss       = flag.Float64("loss", 0, "message loss probability")
+		failLink   = flag.String("faillink", "", "permanent link failure ROUND:A:B (repeatable, comma-separated)")
+		crash      = flag.String("crash", "", "node crash ROUND:NODE (repeatable, comma-separated)")
+		traceEvery = flag.Int("trace", 0, "print the max error every K rounds (0 = off)")
+		concurrent = flag.Bool("concurrent", false, "run on the goroutine runtime instead of the round simulator")
+		timeout    = flag.Duration("timeout", 10*time.Second, "wall-clock bound for -concurrent")
+		eventMode  = flag.Bool("event", false, "run on the continuous-time event engine (per-message latencies)")
+		latency    = flag.String("latency", "0.05,0.2", "message latency range MIN,MAX in gossip-interval units for -event")
+		simTime    = flag.Float64("simtime", 5000, "simulated-time bound for -event")
+	)
+	flag.Parse()
+
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := parseTopo(*topoSpec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	agg := pcfreduce.Average
+	switch strings.ToLower(*aggName) {
+	case "avg", "average":
+	case "sum":
+		agg = pcfreduce.Sum
+	default:
+		fatal(fmt.Errorf("unknown aggregate %q", *aggName))
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	inputs := make([]float64, g.N())
+	for i := range inputs {
+		inputs[i] = rng.Float64() * 100
+	}
+
+	fmt.Printf("gossipsim: %s on %s (%d nodes, diameter-friendly degree %d), aggregate %s\n",
+		algo, g.Name(), g.N(), g.MaxDegree(), agg)
+
+	if *eventMode {
+		lmin, lmax, err := parseRange(*latency)
+		if err != nil {
+			fatal(err)
+		}
+		runEvent(g, algo, agg, inputs, *eps, *seed, lmin, lmax, *simTime)
+		return
+	}
+
+	if *concurrent {
+		res, err := pcfreduce.ReduceConcurrent(context.Background(), inputs, algo, pcfreduce.ConcurrentOptions{
+			Topology:  g,
+			Aggregate: agg,
+			Eps:       *eps,
+			Timeout:   *timeout,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("concurrent run: converged=%v maxErr=%.3e exact=%.6g node0=%.6g\n",
+			res.Converged, res.MaxError, res.Exact, res.Estimates[0])
+		return
+	}
+
+	opt := pcfreduce.ReduceOptions{
+		Topology:  g,
+		Aggregate: agg,
+		Eps:       *eps,
+		MaxRounds: *rounds,
+		Seed:      *seed,
+		LossRate:  *loss,
+	}
+	if *failLink != "" {
+		for _, spec := range strings.Split(*failLink, ",") {
+			r, a, b, err := parse3(spec)
+			if err != nil {
+				fatal(fmt.Errorf("bad -faillink %q: %w", spec, err))
+			}
+			opt.LinkFailures = append(opt.LinkFailures, pcfreduce.LinkFailure{Round: r, A: a, B: b})
+		}
+	}
+	if *crash != "" {
+		for _, spec := range strings.Split(*crash, ",") {
+			parts := strings.Split(spec, ":")
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("bad -crash %q (want ROUND:NODE)", spec))
+			}
+			r, err1 := strconv.Atoi(parts[0])
+			nd, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				fatal(fmt.Errorf("bad -crash %q", spec))
+			}
+			opt.NodeCrashes = append(opt.NodeCrashes, pcfreduce.NodeCrash{Round: r, Node: nd})
+		}
+	}
+	if *traceEvery > 0 {
+		every := *traceEvery
+		opt.Trace = func(round int, maxErr float64) {
+			if (round+1)%every == 0 {
+				fmt.Printf("  round %5d  max local error %.3e\n", round+1, maxErr)
+			}
+		}
+	}
+	res, err := pcfreduce.Reduce(inputs, algo, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("finished after %d rounds: converged=%v maxErr=%.3e\n", res.Rounds, res.Converged, res.MaxError)
+	fmt.Printf("exact aggregate %.9g; node 0 estimates %.9g\n", res.Exact, res.Estimates[0])
+}
+
+// runEvent drives the continuous-time engine directly (it is below the
+// public facade, like the fault scheduling features of this command).
+func runEvent(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggregate, inputs []float64, eps float64, seed int64, lmin, lmax, simTime float64) {
+	protos := make([]pcfreduce.Protocol, g.N())
+	for i := range protos {
+		protos[i] = algo.NewNode()
+	}
+	init := make([]gossip.Value, g.N())
+	for i, x := range inputs {
+		init[i] = gossip.Scalar(x, agg.InitialWeight(i))
+	}
+	e := sim.NewEvent(g, protos, init, sim.EventConfig{
+		MeanInterval:   1,
+		IntervalJitter: 0.5,
+		LatencyMin:     lmin,
+		LatencyMax:     lmax,
+		Seed:           seed,
+	})
+	res := e.RunUntil(simTime, eps)
+	fmt.Printf("event engine: converged=%v at t=%.1f (%d activations, %d sends), maxErr=%.3e\n",
+		res.Converged, res.Time, e.Activations, e.Sends, res.FinalMaxError)
+	fmt.Printf("exact aggregate %.9g\n", e.Targets()[0])
+}
+
+func parseRange(spec string) (float64, float64, error) {
+	a, b, ok := strings.Cut(spec, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -latency %q (want MIN,MAX)", spec)
+	}
+	lo, err1 := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	hi, err2 := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad -latency %q", spec)
+	}
+	return lo, hi, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gossipsim:", err)
+	os.Exit(1)
+}
+
+func parseAlgo(name string) (pcfreduce.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "pcf":
+		return pcfreduce.PCF, nil
+	case "pcf-robust", "pcfr":
+		return pcfreduce.PCFRobust, nil
+	case "pf", "pushflow":
+		return pcfreduce.PushFlow, nil
+	case "pushsum", "ps":
+		return pcfreduce.PushSum, nil
+	case "fu", "flowupdating":
+		return pcfreduce.FlowUpdating, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func parseTopo(spec string, seed int64) (*pcfreduce.Graph, error) {
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("bad topology %q (want KIND:ARGS)", spec)
+	}
+	atoi := func(s string) (int, error) { return strconv.Atoi(strings.TrimSpace(s)) }
+	switch strings.ToLower(kind) {
+	case "hypercube":
+		d, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return topology.Hypercube(d), nil
+	case "torus3d":
+		s, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return topology.Torus3D(s, s, s), nil
+	case "torus2d", "grid2d":
+		a, b, ok := strings.Cut(arg, "x")
+		if !ok {
+			return nil, fmt.Errorf("bad %s size %q (want AxB)", kind, arg)
+		}
+		av, err1 := atoi(a)
+		bv, err2 := atoi(b)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad %s size %q", kind, arg)
+		}
+		if strings.ToLower(kind) == "torus2d" {
+			return topology.Torus2D(av, bv), nil
+		}
+		return topology.Grid2D(av, bv), nil
+	case "ring":
+		n, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return topology.Ring(n), nil
+	case "path":
+		n, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return topology.Path(n), nil
+	case "complete":
+		n, err := atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return topology.Complete(n), nil
+	case "randreg":
+		n, d, ok := strings.Cut(arg, ",")
+		if !ok {
+			return nil, fmt.Errorf("bad randreg %q (want N,D)", arg)
+		}
+		nv, err1 := atoi(n)
+		dv, err2 := atoi(d)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad randreg %q", arg)
+		}
+		return topology.RandomRegular(nv, dv, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology kind %q", kind)
+	}
+}
+
+func parse3(spec string) (int, int, int, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("want ROUND:A:B")
+	}
+	r, err1 := strconv.Atoi(parts[0])
+	a, err2 := strconv.Atoi(parts[1])
+	b, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, 0, 0, fmt.Errorf("non-integer field")
+	}
+	return r, a, b, nil
+}

@@ -1,0 +1,98 @@
+// Command qrbench runs the distributed QR factorization experiment of
+// the paper's Section IV (Figure 8): dmGS over a hypercube with the
+// reduction algorithm as a black box, reporting the relative
+// factorization error ‖V − QR‖∞/‖V‖∞ (and, with -orth, the
+// orthogonality error ‖QᵀQ − I‖∞, the paper's closing remark of
+// Sec. IV / EXP-F in DESIGN.md).
+//
+// Examples:
+//
+//	qrbench -mindim 5 -maxdim 8 -runs 10
+//	qrbench -algos pf,pcf,pushsum -runs 5
+//	qrbench -maxdim 10 -runs 50          # full paper scale (slow)
+//	qrbench -orth -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pcfreduce/internal/experiments"
+	"pcfreduce/internal/trace"
+)
+
+func main() {
+	var (
+		algosFlag = flag.String("algos", "pf,pcf", "comma-separated reduction algorithms (pf,pcf,pcf-robust,pushsum,fu)")
+		minDim    = flag.Int("mindim", 5, "smallest hypercube dimension (paper: 5)")
+		maxDim    = flag.Int("maxdim", 7, "largest hypercube dimension (paper: 10)")
+		cols      = flag.Int("cols", 16, "matrix columns m (paper: 16)")
+		runs      = flag.Int("runs", 10, "random matrices per size (paper: 50)")
+		eps       = flag.Float64("eps", 1e-15, "per-reduction target accuracy (paper: 1e-15)")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		orth      = flag.Bool("orth", false, "also report the orthogonality error")
+		csv       = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	var algos []experiments.Algorithm
+	for _, name := range strings.Split(*algosFlag, ",") {
+		a, err := experiments.AlgorithmByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qrbench:", err)
+			os.Exit(2)
+		}
+		algos = append(algos, a)
+	}
+
+	headers := []string{"nodes"}
+	for _, a := range algos {
+		headers = append(headers, "dmGS("+a.Name+") fact err")
+		if *orth {
+			headers = append(headers, "dmGS("+a.Name+") orth err")
+		}
+		headers = append(headers, a.Name+" rounds/red", a.Name+" conv frac")
+	}
+	t := trace.NewTable(
+		fmt.Sprintf("Figure 8 — dmGS on hypercubes, V ∈ R^{N×%d}, per-reduction ε=%.0e, %d runs averaged", *cols, *eps, *runs),
+		headers...)
+
+	for dim := *minDim; dim <= *maxDim; dim++ {
+		row := []any{1 << uint(dim)}
+		for _, a := range algos {
+			cfg := experiments.QRConfig{
+				Algorithm: a,
+				Cols:      *cols,
+				Runs:      *runs,
+				Eps:       *eps,
+				MaxRounds: 4000,
+				Stall:     60,
+				Seed:      *seed,
+			}
+			p, err := experiments.QRSingle(cfg, dim)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qrbench:", err)
+				os.Exit(1)
+			}
+			row = append(row, p.FactErrMean)
+			if *orth {
+				row = append(row, p.OrthErrMean)
+			}
+			row = append(row, p.MeanRoundsPerReduction, p.ConvergedFrac)
+		}
+		t.AddRow(row...)
+	}
+	if *csv {
+		if err := t.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "qrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qrbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+// Distributed eigensolver: compute the dominant eigenpairs of a
+// symmetric matrix with fully distributed orthogonal iteration, where
+// the only global operations are gossip reductions (the higher-level
+// application direction of the paper's reference [9]).
+//
+//	go run ./examples/eigensolver
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"pcfreduce"
+)
+
+func main() {
+	g := pcfreduce.Hypercube(5) // 32 nodes → a 32×32 symmetric matrix
+	n := g.N()
+
+	// A covariance-style matrix (distributed PCA workload): three strong
+	// factors with strengths 30, 20, 10 plus weak symmetric noise, so
+	// the dominant eigenpairs are well separated and meaningful.
+	rng := rand.New(rand.NewSource(17))
+	a := pcfreduce.NewMatrix(n, n)
+	strengths := []float64{30, 20, 10}
+	factors := make([][]float64, len(strengths))
+	for f := range factors {
+		u := make([]float64, n)
+		var norm float64
+		for i := range u {
+			u[i] = rng.NormFloat64()
+			norm += u[i] * u[i]
+		}
+		norm = math.Sqrt(norm)
+		for i := range u {
+			u[i] /= norm
+		}
+		factors[f] = u
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := 0.0
+			for f, s := range strengths {
+				v += s * factors[f][i] * factors[f][j]
+			}
+			if i == j {
+				v += 0.5 // noise floor
+			}
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+
+	res, err := pcfreduce.Eigen(a, pcfreduce.PCF, pcfreduce.EigenOptions{
+		Topology:     g,
+		Eigenvectors: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed orthogonal iteration on %d goroutine-sized nodes\n", n)
+	fmt.Printf("converged=%v after %d iterations\n\n", res.Converged, res.Iterations)
+	for j, lam := range res.Values {
+		fmt.Printf("λ%d = %.12f\n", j+1, lam)
+	}
+
+	// Verify one residual locally: ‖A·v − λ·v‖₂.
+	v0 := res.Vectors.Col(0)
+	var resid float64
+	for i := 0; i < n; i++ {
+		var av float64
+		for k := 0; k < n; k++ {
+			av += a.At(i, k) * v0[k]
+		}
+		d := av - res.Values[0]*v0[i]
+		resid += d * d
+	}
+	fmt.Printf("\nresidual ‖A·v₁ − λ₁·v₁‖₂ = %.3e\n", math.Sqrt(resid))
+}

@@ -1,0 +1,63 @@
+// Live monitoring: a network continuously tracks the average of inputs
+// that keep changing — the LiMoSense use case referenced by the paper —
+// while 5% of messages are lost. The flow-based reduction never
+// restarts: each input change simply shifts local mass and the gossip
+// re-averages it.
+//
+//	go run ./examples/livemonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"strings"
+
+	"pcfreduce"
+)
+
+func main() {
+	g := pcfreduce.Torus2D(8, 8) // 64 nodes on a torus
+	rng := rand.New(rand.NewSource(11))
+	inputs := make([]float64, g.N())
+	for i := range inputs {
+		inputs[i] = 50 + 10*rng.NormFloat64()
+	}
+
+	s, err := pcfreduce.NewSession(inputs, pcfreduce.PCF, pcfreduce.SessionOptions{
+		Topology: g,
+		LossRate: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("64 sensors tracking a drifting mean under 5% message loss")
+	fmt.Printf("%-8s %-12s %-12s %-10s\n", "round", "true mean", "node 0 sees", "lag")
+	for epoch := 0; epoch < 12; epoch++ {
+		// The world changes: a few sensors get new readings.
+		for k := 0; k < 3; k++ {
+			node := rng.Intn(g.N())
+			inputs[node] += 5 * rng.NormFloat64()
+			s.UpdateInput(node, inputs[node])
+		}
+		// The network gossips for a while.
+		s.Step(40)
+		est := s.Estimates()[0]
+		lag := math.Abs(est-s.Exact()) / s.Exact()
+		fmt.Printf("%-8d %-12.6f %-12.6f %s %.1e\n",
+			s.Rounds(), s.Exact(), est, gauge(lag), lag)
+	}
+	fmt.Println("\nevery epoch the inputs move and the estimates follow within a few")
+	fmt.Println("dozen rounds — no restart, no coordinator, loss healed by the flows")
+}
+
+// gauge renders a tracking-lag magnitude bar (shorter = tighter).
+func gauge(lag float64) string {
+	decades := 0
+	for x := lag; x < 1 && decades < 12; x *= 10 {
+		decades++
+	}
+	return strings.Repeat("▪", 13-decades)
+}

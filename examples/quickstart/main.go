@@ -1,0 +1,50 @@
+// Quickstart: compute a global average with the push-cancel-flow (PCF)
+// reduction on a 6-dimensional hypercube of 64 nodes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pcfreduce"
+)
+
+func main() {
+	// 64 nodes, each holding one local measurement.
+	g := pcfreduce.Hypercube(6)
+	rng := rand.New(rand.NewSource(42))
+	inputs := make([]float64, g.N())
+	for i := range inputs {
+		inputs[i] = 20 + 5*rng.Float64() // e.g. temperatures around 20–25
+	}
+
+	// Run the gossip reduction: no coordinator, no synchronization —
+	// every node repeatedly pushes flow updates to one random neighbor.
+	res, err := pcfreduce.Reduce(inputs, pcfreduce.PCF, pcfreduce.ReduceOptions{
+		Topology:  g,
+		Aggregate: pcfreduce.Average,
+		Eps:       1e-12, // stop when every node is this accurate
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("exact average:            %.12f\n", res.Exact)
+	fmt.Printf("node 0's estimate:        %.12f\n", res.Estimates[0])
+	fmt.Printf("node 63's estimate:       %.12f\n", res.Estimates[63])
+	fmt.Printf("rounds: %d, converged: %v, max relative error: %.2e\n",
+		res.Rounds, res.Converged, res.MaxError)
+
+	// The same reduction as a SUM instead of an average.
+	sum, err := pcfreduce.Reduce(inputs, pcfreduce.PCF, pcfreduce.ReduceOptions{
+		Topology:  g,
+		Aggregate: pcfreduce.Sum,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact sum: %.9f — node 7 estimates %.9f\n", sum.Exact, sum.Estimates[7])
+}

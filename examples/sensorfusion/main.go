@@ -1,0 +1,85 @@
+// Sensor fusion under faults: a 16×16 grid of sensors computes the mean
+// of its readings while 5% of messages are lost, one network link breaks
+// permanently, and one sensor dies mid-computation.
+//
+// This is the scenario class the paper's introduction targets: loosely
+// coupled systems whose reductions must be robust at the algorithmic
+// level. The example contrasts push-sum (which the soft errors corrupt
+// permanently) with push-cancel-flow (which self-heals and keeps
+// converging).
+//
+//	go run ./examples/sensorfusion
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"pcfreduce"
+)
+
+// spread returns the gap between the largest and smallest finite
+// estimates — how well the surviving network agrees with itself.
+func spread(ests []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, e := range ests {
+		if math.IsNaN(e) {
+			continue // crashed node
+		}
+		lo = math.Min(lo, e)
+		hi = math.Max(hi, e)
+	}
+	return hi - lo
+}
+
+func main() {
+	const side = 16
+	g := pcfreduce.Grid2D(side, side) // 256 sensors, mesh network
+	n := g.N()
+
+	// Simulated readings: a smooth field plus noise.
+	rng := rand.New(rand.NewSource(7))
+	inputs := make([]float64, n)
+	for i := range inputs {
+		r, c := i/side, i%side
+		inputs[i] = 15 + 0.05*float64(r) - 0.03*float64(c) + 0.5*rng.NormFloat64()
+	}
+
+	scenario := func(algo pcfreduce.Algorithm) pcfreduce.ReduceResult {
+		res, err := pcfreduce.Reduce(inputs, algo, pcfreduce.ReduceOptions{
+			Topology:  g,
+			Aggregate: pcfreduce.Average,
+			Eps:       1e-10,
+			MaxRounds: 6000,
+			Seed:      1,
+			LossRate:  0.05, // 5% of messages vanish
+			LinkFailures: []pcfreduce.LinkFailure{
+				{Round: 300, A: 0, B: 1}, // a cable breaks in the corner
+			},
+			NodeCrashes: []pcfreduce.NodeCrash{
+				{Round: 600, Node: 137}, // a sensor dies mid-computation
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("256 sensors on a %dx%d mesh; 5%% message loss; link (0,1) breaks at round 300; sensor 137 dies at round 600\n\n", side, side)
+	for _, algo := range []pcfreduce.Algorithm{pcfreduce.PushSum, pcfreduce.PCF} {
+		res := scenario(algo)
+		fmt.Printf("%-12s rounds=%5d error vs survivors' mean=%.3e agreement spread=%.3e\n",
+			algo.String()+":", res.Rounds, res.MaxError, spread(res.Estimates))
+		fmt.Printf("             survivors' true mean %.9f, sensor 42 estimates %.9f\n\n",
+			res.Exact, res.Estimates[42])
+	}
+	fmt.Println("both networks agree internally — but push-sum agrees on a value ~1e-3")
+	fmt.Println("off the true mean, because every message destroyed by the lossy links")
+	fmt.Println("permanently removed mass it cannot recover. PCF heals every lost")
+	fmt.Println("message and both permanent failures; its only residual offset (~1e-5)")
+	fmt.Println("is the mass the dead sensor had already absorbed when it crashed,")
+	fmt.Println("which no algorithm can get back.")
+}

@@ -1,0 +1,3 @@
+module pcfreduce
+
+go 1.22

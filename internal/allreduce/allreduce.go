@@ -1,0 +1,131 @@
+// Package allreduce implements classical deterministic parallel
+// all-to-all reduction algorithms — recursive doubling and binomial-tree
+// reduce-broadcast (Thakur & Gropp, the paper's ref [4]) — as the
+// non-fault-tolerant comparison point.
+//
+// The paper's introduction motivates gossip-based reduction with two
+// claims about these algorithms: (1) they complete in O(log n)
+// perfectly-scheduled steps, which gossip matches up to a constant
+// O(log n + log 1/ε); and (2) "they are quite fragile in the sense that
+// a single failure leads to a wrong result on many nodes". Both claims
+// are directly measurable with this package: the step counts feed the
+// EXP-B scaling comparison, and the DropFunc hook lets the EXP-G harness
+// count how many nodes finish with a wrong result after one lost
+// message.
+package allreduce
+
+import (
+	"math/bits"
+
+	"pcfreduce/internal/stats"
+)
+
+// DropFunc decides whether the message sent in the given step from node
+// `from` to node `to` is lost. A nil DropFunc means a failure-free run.
+type DropFunc func(step, from, to int) bool
+
+// Result describes one allreduce execution.
+type Result struct {
+	// Values holds each node's final result.
+	Values []float64
+	// Steps is the number of communication steps executed.
+	Steps int
+	// Messages is the total number of point-to-point messages sent.
+	Messages int
+}
+
+// RecursiveDoubling computes the all-to-all sum of values in log2(n)
+// steps: in step s every node exchanges its partial sum with the partner
+// whose id differs in bit s, and both add. n must be a power of two.
+// A dropped message leaves the receiver's partial sum without the
+// partner's contribution — the error then propagates to every node whose
+// butterfly depends on it.
+func RecursiveDoubling(values []float64, drop DropFunc) Result {
+	n := len(values)
+	if n == 0 || n&(n-1) != 0 {
+		panic("allreduce: recursive doubling requires a power-of-two node count")
+	}
+	cur := append([]float64(nil), values...)
+	next := make([]float64, n)
+	res := Result{Steps: bits.Len(uint(n)) - 1}
+	for s := 0; s < res.Steps; s++ {
+		for i := 0; i < n; i++ {
+			partner := i ^ (1 << uint(s))
+			recv := 0.0
+			res.Messages++ // message partner→i
+			if drop == nil || !drop(s, partner, i) {
+				recv = cur[partner]
+			}
+			next[i] = cur[i] + recv
+		}
+		cur, next = next, cur
+	}
+	res.Values = cur
+	return res
+}
+
+// TreeReduceBroadcast computes the all-to-all sum with a binomial-tree
+// reduction to node 0 followed by a binomial-tree broadcast, in
+// 2·ceil(log2 n) steps. Works for any n ≥ 1. A message dropped during
+// the reduce phase loses an entire subtree's contribution for everyone;
+// one dropped during broadcast leaves a subtree with a stale value.
+func TreeReduceBroadcast(values []float64, drop DropFunc) Result {
+	n := len(values)
+	if n == 0 {
+		panic("allreduce: empty input")
+	}
+	cur := append([]float64(nil), values...)
+	res := Result{}
+	logn := 0
+	for 1<<uint(logn) < n {
+		logn++
+	}
+	// Reduce: in step s, nodes with bit s set send to their parent
+	// (id with bit s cleared), provided all lower bits are clear.
+	for s := 0; s < logn; s++ {
+		for i := 0; i < n; i++ {
+			if i&(1<<uint(s)) == 0 || i&((1<<uint(s))-1) != 0 {
+				continue
+			}
+			parent := i &^ (1 << uint(s))
+			res.Messages++
+			res.Steps = 2*s + 1
+			if drop == nil || !drop(s, i, parent) {
+				cur[parent] += cur[i]
+			}
+		}
+	}
+	// Broadcast from node 0 along the same tree, highest bit first.
+	for s := logn - 1; s >= 0; s-- {
+		for i := 0; i < n; i++ {
+			if i&(1<<uint(s)) == 0 || i&((1<<uint(s))-1) != 0 {
+				continue
+			}
+			parent := i &^ (1 << uint(s))
+			res.Messages++
+			if drop == nil || !drop(logn+(logn-1-s), parent, i) {
+				cur[i] = cur[parent]
+			}
+		}
+	}
+	res.Steps = 2 * logn
+	res.Values = cur
+	return res
+}
+
+// WrongNodes counts how many entries of got differ from want by more
+// than tol in relative terms — the "wrong result on many nodes" metric
+// of the fragility experiment.
+func WrongNodes(got []float64, want, tol float64) int {
+	wrong := 0
+	for _, g := range got {
+		if stats.RelErr(g, want) > tol {
+			wrong++
+		}
+	}
+	return wrong
+}
+
+// ExactSum returns the compensated sum of values, the oracle for
+// fragility measurements.
+func ExactSum(values []float64) float64 { return stats.Sum(values) }

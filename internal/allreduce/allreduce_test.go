@@ -1,0 +1,144 @@
+package allreduce
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+func TestRecursiveDoublingCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 1024} {
+		in := seq(n)
+		want := float64(n*(n+1)) / 2
+		res := RecursiveDoubling(in, nil)
+		for i, v := range res.Values {
+			if v != want {
+				t.Fatalf("n=%d node %d: %g, want %g", n, i, v, want)
+			}
+		}
+		wantSteps := 0
+		for 1<<uint(wantSteps) < n {
+			wantSteps++
+		}
+		if res.Steps != wantSteps {
+			t.Fatalf("n=%d: steps %d, want %d", n, res.Steps, wantSteps)
+		}
+		if res.Messages != n*wantSteps {
+			t.Fatalf("n=%d: messages %d, want %d", n, res.Messages, n*wantSteps)
+		}
+	}
+}
+
+func TestRecursiveDoublingNonPowerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two must panic")
+		}
+	}()
+	RecursiveDoubling(seq(6), nil)
+}
+
+func TestTreeReduceBroadcastCorrect(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 64, 100} {
+		in := seq(n)
+		want := float64(n*(n+1)) / 2
+		res := TreeReduceBroadcast(in, nil)
+		for i, v := range res.Values {
+			if v != want {
+				t.Fatalf("n=%d node %d: %g, want %g", n, i, v, want)
+			}
+		}
+	}
+}
+
+// The paper's fragility claim: ONE dropped message leaves a wrong result
+// on many nodes.
+func TestRecursiveDoublingFragility(t *testing.T) {
+	const logN = 10
+	n := 1 << logN
+	in := seq(n)
+	want := ExactSum(in)
+	// Drop the step-s message into node 0; the wrong partial then
+	// propagates through the remaining butterfly stages: 2^(logN−1−s)
+	// nodes end wrong.
+	for _, s := range []int{0, logN / 2, logN - 1} {
+		res := RecursiveDoubling(in, func(step, from, to int) bool {
+			return step == s && to == 0
+		})
+		wrong := WrongNodes(res.Values, want, 1e-12)
+		expect := 1 << uint(logN-1-s)
+		if wrong != expect {
+			t.Fatalf("drop at step %d: %d wrong nodes, want %d", s, wrong, expect)
+		}
+	}
+}
+
+func TestTreeFragilityIsTotal(t *testing.T) {
+	n := 256
+	in := seq(n)
+	want := ExactSum(in)
+	// Lose one reduce-phase message to the root: the broadcast then
+	// spreads the wrong total to every node.
+	res := TreeReduceBroadcast(in, func(step, from, to int) bool {
+		return to == 0 && step == 0
+	})
+	if wrong := WrongNodes(res.Values, want, 1e-12); wrong != n {
+		t.Fatalf("%d wrong nodes, want all %d", wrong, n)
+	}
+}
+
+func TestWrongNodes(t *testing.T) {
+	got := []float64{10, 10.2, 10.0000001, 10}
+	if w := WrongNodes(got, 10, 1e-3); w != 1 {
+		t.Fatalf("WrongNodes = %d, want 1", w)
+	}
+	if w := WrongNodes(got, 10, 1e-12); w != 2 {
+		t.Fatalf("WrongNodes tight = %d, want 2", w)
+	}
+}
+
+func TestExactSumCompensated(t *testing.T) {
+	if got := ExactSum([]float64{1, 1e100, 1, -1e100}); got != 2 {
+		t.Fatalf("ExactSum = %g", got)
+	}
+}
+
+// Property: both algorithms agree with the compensated oracle on random
+// inputs within floating-point tolerance.
+func TestQuickAgreesWithOracle(t *testing.T) {
+	f := func(raw []float64) bool {
+		in := make([]float64, 0, 64)
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				in = append(in, x)
+			}
+			if len(in) == 64 {
+				break
+			}
+		}
+		for len(in) < 64 {
+			in = append(in, 1)
+		}
+		want := ExactSum(in)
+		tol := 1e-10 * math.Max(1, math.Abs(want))
+		rd := RecursiveDoubling(in, nil)
+		tr := TreeReduceBroadcast(in, nil)
+		for i := 0; i < 64; i++ {
+			if math.Abs(rd.Values[i]-want) > tol || math.Abs(tr.Values[i]-want) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

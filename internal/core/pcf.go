@@ -1,0 +1,375 @@
+// Package core implements the push-cancel-flow (PCF) algorithm, the
+// primary contribution of Niederbrucker, Straková and Gansterer,
+// "Improving Fault Tolerance and Accuracy of a Distributed Reduction
+// Algorithm" (SC 2012).
+//
+// # Background
+//
+// The push-flow (PF) algorithm achieves fault tolerance by exchanging
+// graph-theoretical flows instead of mass: per-edge flow variables are
+// idempotently overwritten on every exchange (f(j,i) ← −f(i,j)), so
+// message loss, duplication and corruption heal at the next successful
+// exchange, and failed components are excluded by zeroing their flows.
+// Its weakness (paper Sec. II) is that the flow variables converge to
+// arbitrary, execution-dependent values that can exceed the target
+// aggregate by orders of magnitude. Consequences: floating-point
+// cancellation limits achievable accuracy as the system grows (Fig. 3),
+// and zeroing a large flow during failure handling throws the local
+// estimates back to the beginning of the computation (Fig. 4).
+//
+// # The push-cancel-flow idea
+//
+// PCF makes the flow variables themselves converge to (small multiples
+// of) the target aggregate, while exchanging *only* flows, which
+// preserves PF's entire fault-tolerance machinery. Each edge carries two
+// flow slots. At any time one slot is "active" — it runs plain push-flow
+// — and the other is "passive". Once the passive slot's pair reaches
+// flow conservation (f(i,j) = −f(j,i)), both endpoints fold their half
+// into a node-local accumulated flow ϕ and reset the slot to zero
+// ("cancellation"); then the slots swap roles via a two-phase handshake
+// tracked by the (c, r) control variables carried on every message.
+// Since every slot is periodically drained into ϕ, flow variables stay
+// on the order of the recent estimate updates, and zeroing them on a
+// permanent failure perturbs the estimate only marginally.
+//
+// # Variants
+//
+// The paper describes two realizations (Sec. III-A):
+//
+//   - VariantEfficient — Figure 5 verbatim. ϕ is updated incrementally
+//     alongside every flow update, and the local estimate is v − ϕ.
+//     Cheapest, but a corrupted flow value folded into ϕ is permanent,
+//     so bit flips are (strictly speaking) not tolerated.
+//
+//   - VariantRobust — ϕ is updated only when a flow pair whose
+//     conservation has been verified is cancelled; the estimate is
+//     v − ϕ − Σ f. Because live flows self-heal by re-exchange before
+//     they are folded into ϕ, in-flight bit flips are tolerated like in
+//     PF.
+//
+// Both variants are estimate-equivalent to PF in exact arithmetic for
+// identical communication schedules (paper Sec. III-B), a property the
+// test suite checks bit-for-bit on dyadic inputs.
+package core
+
+import (
+	"pcfreduce/internal/gossip"
+)
+
+// Variant selects between the two PCF realizations described in the
+// paper's Section III-A.
+type Variant int
+
+const (
+	// VariantEfficient is the computationally cheapest variant
+	// (paper Fig. 5): ϕ tracks all flow updates incrementally and the
+	// estimate is v − ϕ.
+	VariantEfficient Variant = iota
+	// VariantRobust preserves the full fault-tolerance range of PF
+	// (including bit flips): ϕ absorbs only verified-conserved flows at
+	// cancellation time and the estimate is v − ϕ − Σ f.
+	VariantRobust
+)
+
+// String returns the variant's name.
+func (v Variant) String() string {
+	switch v {
+	case VariantEfficient:
+		return "PCF-efficient"
+	case VariantRobust:
+		return "PCF-robust"
+	default:
+		return "PCF-unknown"
+	}
+}
+
+// edge is the per-neighbor state: two flow slots, the active slot index
+// and the role-change counter.
+type edge struct {
+	f [2]gossip.Value
+	c uint8 // active slot: 0 or 1 (wire format uses 1 or 2)
+	r uint64
+}
+
+// Node is the push-cancel-flow state machine for a single node.
+type Node struct {
+	variant   Variant
+	id        int
+	neighbors []int
+	live      []int
+	init      gossip.Value
+	phi       gossip.Value // ϕ: accumulated flow mass
+	edges     map[int]*edge
+	width     int
+}
+
+// New returns an uninitialized PCF node with the given variant; callers
+// must Reset it (engines do this automatically).
+func New(v Variant) *Node { return &Node{variant: v} }
+
+// NewEfficient returns a PCF node in the paper's Figure 5 form.
+func NewEfficient() *Node { return New(VariantEfficient) }
+
+// NewRobust returns a PCF node in the bit-flip-tolerant form.
+func NewRobust() *Node { return New(VariantRobust) }
+
+// Variant returns the node's configured variant.
+func (n *Node) Variant() Variant { return n.variant }
+
+// Reset implements gossip.Protocol.
+func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
+	n.id = node
+	n.neighbors = append(n.neighbors[:0], neighbors...)
+	n.live = append(n.live[:0], neighbors...)
+	n.init = init.Clone()
+	n.width = init.Width()
+	n.phi = gossip.NewValue(n.width)
+	n.edges = make(map[int]*edge, len(neighbors))
+	for _, j := range neighbors {
+		n.edges[j] = &edge{
+			f: [2]gossip.Value{gossip.NewValue(n.width), gossip.NewValue(n.width)},
+			c: 0,
+			r: 1,
+		}
+	}
+}
+
+// local returns the node's current mass: v − ϕ for the efficient
+// variant, v − ϕ − Σ f for the robust variant (paper Sec. III-A).
+func (n *Node) local() gossip.Value {
+	e := n.init.Clone()
+	e.SubInPlace(n.phi)
+	if n.variant == VariantRobust {
+		for _, j := range n.neighbors {
+			ed := n.edges[j]
+			e.SubInPlace(ed.f[0])
+			e.SubInPlace(ed.f[1])
+		}
+	}
+	return e
+}
+
+// MakeMessage implements gossip.Protocol (paper Fig. 5 lines 30–33):
+// virtual-send half the local mass into the edge's active slot, then
+// transmit both slots plus the (c, r) control pair.
+func (n *Node) MakeMessage(target int) gossip.Message {
+	ed, ok := n.edges[target]
+	if !ok {
+		panic("core: send to non-neighbor")
+	}
+	half := n.local().Half()
+	ed.f[ed.c].AddInPlace(half)
+	if n.variant == VariantEfficient {
+		n.phi.AddInPlace(half) // line 32: ϕ ← ϕ + e/2
+	}
+	return gossip.Message{
+		From:  n.id,
+		To:    target,
+		Flow1: ed.f[0].Clone(),
+		Flow2: ed.f[1].Clone(),
+		C:     ed.c + 1, // wire format counts slots from 1, as the paper does
+		R:     ed.r,
+	}
+}
+
+// Receive implements gossip.Protocol (paper Fig. 5 lines 6–29).
+func (n *Node) Receive(msg gossip.Message) {
+	ed, ok := n.edges[msg.From]
+	if !ok {
+		return // unknown sender
+	}
+	if msg.Flow1.Width() != n.width || msg.Flow2.Width() != n.width {
+		return // malformed (possibly corrupted) message
+	}
+	if !msg.Flow1.Finite() || !msg.Flow2.Finite() {
+		// Detectably corrupted payload (NaN/Inf): discard, as in PF.
+		// This matters most for the efficient variant, where a received
+		// flow is folded into ϕ immediately and a non-finite value
+		// would destroy ϕ permanently.
+		return
+	}
+	if msg.C != 1 && msg.C != 2 {
+		return // corrupted control byte: ignore; flows re-sync next round
+	}
+	peerC := msg.C - 1
+	peerF := [2]gossip.Value{msg.Flow1, msg.Flow2}
+
+	// Lines 7–9: the peer completed a role change at equal r — adopt it.
+	if ed.c != peerC && ed.r == msg.R {
+		ed.c = peerC
+	}
+	if ed.c != peerC || msg.R > ed.r+1 {
+		if msg.R > ed.r {
+			// Hard resync: the peer's handshake state is ahead of ours
+			// in a way the paper's cases never produce on FIFO links
+			// (there, r differences beyond ±1 and role mismatches at
+			// unequal r cannot occur). On a transport that reorders
+			// messages the (c, r) gate would otherwise wedge this edge
+			// permanently — every message ignored while our sends keep
+			// pouring mass into a slot nobody ever credits, draining
+			// the node's local mass to zero. Recover by adopting the
+			// peer's view and running a plain PF exchange on both
+			// slots; cancellation resumes on the next regular message.
+			ed.c = peerC
+			ed.r = msg.R
+			for s := 0; s < 2; s++ {
+				if n.variant == VariantEfficient {
+					n.phi.SubInPlace(ed.f[s])
+					n.phi.SubInPlace(peerF[s])
+				}
+				ed.f[s].Set(peerF[s].Neg())
+			}
+		}
+		return // otherwise stale: wait for a current message
+	}
+
+	a := ed.c     // active slot
+	p := 1 - ed.c // passive slot
+
+	// Lines 10–12: the active slot runs plain push-flow.
+	if n.variant == VariantEfficient {
+		// ϕ ← ϕ − (f(i,j,a) + f(j,i,a)); the flow then becomes −f(j,i,a),
+		// keeping ϕ equal to the node's net outflow.
+		n.phi.SubInPlace(ed.f[a])
+		n.phi.SubInPlace(peerF[a])
+	}
+	ed.f[a].Set(peerF[a].Neg())
+
+	switch {
+	case peerF[p].Equal(ed.f[p].Neg()) && ed.r == msg.R:
+		// Lines 13–16, case (i): flow conservation achieved on the
+		// passive slot — cancel our half.
+		n.cancel(ed, p)
+		ed.r++
+	case peerF[p].IsZero() && ed.r+1 == msg.R:
+		// Lines 17–21, case (ii): the peer already cancelled its half —
+		// cancel ours and swap the roles.
+		ed.c = p
+		n.cancel(ed, p)
+		ed.r++
+	default:
+		// Lines 22–25, case (iii): conservation does not (yet) hold on
+		// the passive slot; treat it like an active flow so it keeps
+		// converging. The paper's guard is r(i,j) ≤ r(j,i); we require
+		// equality, which is the only way this case is reached in
+		// failure-free operation (a peer that is one step ahead has, by
+		// construction, a zero passive flow and is caught by case (ii)
+		// above). The distinction matters under payload corruption: a
+		// corrupted nonzero passive arriving with r one ahead would
+		// otherwise overwrite our half of a pair whose negation the
+		// peer has already folded into its ϕ, permanently violating
+		// mass conservation. With the equality guard the corrupted
+		// message is simply ignored and the peer's retransmission
+		// completes the cancellation against our unmodified half.
+		if ed.r == msg.R {
+			if n.variant == VariantEfficient {
+				n.phi.SubInPlace(ed.f[p])
+				n.phi.SubInPlace(peerF[p])
+			}
+			ed.f[p].Set(peerF[p].Neg())
+		}
+	}
+}
+
+// cancel folds slot s of the edge into ϕ (robust variant) or into the
+// implicit cancelled mass (efficient variant, where ϕ already accounts
+// for it) and zeroes the slot.
+func (n *Node) cancel(ed *edge, s uint8) {
+	if n.variant == VariantRobust {
+		n.phi.AddInPlace(ed.f[s])
+	}
+	ed.f[s].Zero()
+}
+
+// Estimate implements gossip.Protocol.
+func (n *Node) Estimate() []float64 { return n.local().Estimate() }
+
+// LocalValue implements gossip.Protocol.
+func (n *Node) LocalValue() gossip.Value { return n.local() }
+
+// OnLinkFailure implements gossip.Protocol: exclude the failed link by
+// zeroing both flow slots (paper Sec. II-A applied to PCF).
+//
+// The slots are zeroed with *absorb* semantics: their mass remains
+// folded into the accumulated flow ϕ (for the efficient variant ϕ
+// already accounts for it; the robust variant folds explicitly here).
+// The node's estimate therefore does not move at all, and because the
+// cancellation handshake maintains cancelled+slots antisymmetry across
+// the edge, global mass conservation is exact no matter where in the
+// handshake the failure strikes — PCF handles a permanent link failure
+// with literally zero convergence fall-back (paper Fig. 7).
+//
+// The alternative *reclaim* semantics (subtract the slots from ϕ, i.e.
+// take the un-cancelled mass back, as PF does with its whole flow)
+// perturbs the estimate by the slot mass — small, since slots are
+// periodically cancelled — but permanently loses the half of a pair
+// whose cancellation was in progress, leaving an ε(t_fail)-scale bias
+// floor in a sizable fraction of runs (measured by EXP-H during
+// development). Absorb is strictly better for link failures between
+// live endpoints; the trade-off is that after a *node* crash the
+// survivors keep counting the mass they had already transferred to the
+// dead node, converging to the surviving-mass aggregate rather than the
+// survivors' initial-data aggregate — the two differ by O(ε(t_crash)/n).
+func (n *Node) OnLinkFailure(neighbor int) {
+	ed, ok := n.edges[neighbor]
+	if ok {
+		if n.variant == VariantRobust {
+			// Fold the slots into ϕ so the estimate v − ϕ − Σf is
+			// unchanged by the zeroing below.
+			n.phi.AddInPlace(ed.f[0])
+			n.phi.AddInPlace(ed.f[1])
+		}
+		ed.f[0].Zero()
+		ed.f[1].Zero()
+		ed.c = 0
+		ed.r = 1
+	}
+	n.live = remove(n.live, neighbor)
+}
+
+// LiveNeighbors implements gossip.Protocol.
+func (n *Node) LiveNeighbors() []int { return n.live }
+
+// Flow implements gossip.Flows: the net live flow toward the neighbor
+// (sum of both slots). After cancellation cycles this converges toward
+// values on the order of the aggregate, the central claim of the paper.
+func (n *Node) Flow(neighbor int) gossip.Value {
+	ed, ok := n.edges[neighbor]
+	if !ok {
+		return gossip.NewValue(n.width)
+	}
+	return ed.f[0].Add(ed.f[1])
+}
+
+// RoleState returns the (active slot, role counter) control state for the
+// given neighbor, exposed for tests of the cancellation handshake. The
+// active slot is reported in wire format (1 or 2).
+func (n *Node) RoleState(neighbor int) (c uint8, r uint64) {
+	ed, ok := n.edges[neighbor]
+	if !ok {
+		return 0, 0
+	}
+	return ed.c + 1, ed.r
+}
+
+// Phi returns a copy of the node's accumulated flow mass ϕ, exposed for
+// tests.
+func (n *Node) Phi() gossip.Value { return n.phi.Clone() }
+
+func remove(list []int, x int) []int {
+	out := list[:0]
+	for _, v := range list {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SetInput implements gossip.DynamicInput: live-monitoring input change
+// (the paper's reference [8] use case). Flow slots and ϕ are untouched;
+// the local estimate shifts by the input delta and the network
+// re-averages it, with all of PCF's fault tolerance intact.
+func (n *Node) SetInput(v gossip.Value) {
+	n.init.Set(v)
+}

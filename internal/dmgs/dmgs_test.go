@@ -1,0 +1,254 @@
+package dmgs
+
+import (
+	"math"
+	"testing"
+
+	"pcfreduce/internal/core"
+	"pcfreduce/internal/fault"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/linalg"
+	"pcfreduce/internal/pushflow"
+	"pcfreduce/internal/sim"
+	"pcfreduce/internal/topology"
+)
+
+func pcfConfig(g *topology.Graph) Config {
+	return Config{
+		Topology:    g,
+		NewProtocol: func() gossip.Protocol { return core.NewEfficient() },
+		Eps:         1e-15,
+		MaxRounds:   3000,
+		StallRounds: 60,
+		Seed:        5,
+	}
+}
+
+func TestFactorizeBasic(t *testing.T) {
+	g := topology.Hypercube(4) // 16 nodes
+	v := linalg.Random(16, 6, 2)
+	res, err := Factorize(v, pcfConfig(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe := linalg.FactorizationError(v, res.Q, res.R); fe > 1e-12 {
+		t.Fatalf("factorization error %.3e", fe)
+	}
+	if oe := linalg.OrthogonalityError(res.Q); oe > 1e-12 {
+		t.Fatalf("orthogonality error %.3e", oe)
+	}
+	if res.Reductions != 2*6-1 {
+		t.Fatalf("reductions = %d, want %d", res.Reductions, 2*6-1)
+	}
+	if res.TotalRounds <= 0 || res.ConvergedReductions == 0 {
+		t.Fatalf("counters: %+v", res)
+	}
+}
+
+// With tight reductions the distributed R matches the sequential MGS R.
+func TestMatchesSequentialMGS(t *testing.T) {
+	g := topology.Hypercube(4)
+	v := linalg.Random(16, 5, 9)
+	res, err := Factorize(v, pcfConfig(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := linalg.MGS(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.R.Equal(ref.R, 1e-11) {
+		t.Fatalf("distributed R deviates from sequential MGS:\n%v\nvs\n%v", res.R.Data, ref.R.Data)
+	}
+	if !res.Q.Equal(ref.Q, 1e-11) {
+		t.Fatal("distributed Q deviates from sequential MGS")
+	}
+	if res.RDisagreement > 1e-12 {
+		t.Fatalf("per-node R copies disagree by %.3e", res.RDisagreement)
+	}
+}
+
+// More rows than nodes: block row distribution.
+func TestBlockDistribution(t *testing.T) {
+	g := topology.Hypercube(3) // 8 nodes
+	v := linalg.Random(37, 6, 4)
+	res, err := Factorize(v, pcfConfig(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe := linalg.FactorizationError(v, res.Q, res.R); fe > 1e-12 {
+		t.Fatalf("factorization error %.3e", fe)
+	}
+}
+
+// The paper's error-propagation mechanism: looser reductions produce a
+// correspondingly worse factorization.
+func TestReductionAccuracyPropagates(t *testing.T) {
+	g := topology.Hypercube(4)
+	v := linalg.Random(16, 5, 11)
+	loose := pcfConfig(g)
+	loose.Eps = 1e-5
+	res, err := Factorize(v, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := linalg.FactorizationError(v, res.Q, res.R)
+	if fe < 1e-9 {
+		t.Fatalf("loose reductions yielded suspiciously exact result: %.3e", fe)
+	}
+	if fe > 1e-2 {
+		t.Fatalf("loose reductions diverged: %.3e", fe)
+	}
+}
+
+// dmGS(PCF) beats dmGS(PF) in factorization error at equal budgets —
+// Fig. 8's qualitative claim at a single size.
+func TestPCFBeatsPFAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// 128 nodes: small enough to be fast, large enough that PF's
+	// reduction floor is consistently worse than PCF's (at ≤64 nodes
+	// the two floors are within run-to-run noise of each other).
+	g := topology.Hypercube(7)
+	var pfErr, pcfErr float64
+	for _, run := range []struct {
+		mk  func() gossip.Protocol
+		dst *float64
+	}{
+		{func() gossip.Protocol { return pushflow.New() }, &pfErr},
+		{func() gossip.Protocol { return core.NewEfficient() }, &pcfErr},
+	} {
+		var errs []float64
+		for seed := int64(0); seed < 4; seed++ {
+			v := linalg.Random(128, 8, 100+seed)
+			cfg := pcfConfig(g)
+			cfg.NewProtocol = run.mk
+			cfg.Seed = seed
+			res, err := Factorize(v, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs = append(errs, linalg.FactorizationError(v, res.Q, res.R))
+		}
+		sum := 0.0
+		for _, e := range errs {
+			sum += e
+		}
+		*run.dst = sum / float64(len(errs))
+	}
+	if pcfErr >= pfErr {
+		t.Fatalf("dmGS(PCF) mean error %.3e not better than dmGS(PF) %.3e", pcfErr, pfErr)
+	}
+}
+
+// Factorization under message loss: the fault-tolerant reduction carries
+// dmGS through (the paper's architectural point).
+func TestFactorizeUnderMessageLoss(t *testing.T) {
+	g := topology.Hypercube(4)
+	v := linalg.Random(16, 4, 21)
+	cfg := pcfConfig(g)
+	nextSeed := int64(0)
+	cfg.Interceptor = func() sim.Interceptor {
+		nextSeed++
+		return fault.NewLoss(0.1, nextSeed)
+	}
+	res, err := Factorize(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe := linalg.FactorizationError(v, res.Q, res.R); fe > 1e-11 {
+		t.Fatalf("factorization error under loss %.3e", fe)
+	}
+}
+
+func TestOnReductionHook(t *testing.T) {
+	g := topology.Hypercube(3)
+	v := linalg.Random(8, 3, 2)
+	cfg := pcfConfig(g)
+	var seen []int
+	cfg.OnReduction = func(index int, res sim.Result) {
+		seen = append(seen, index)
+		if res.Rounds <= 0 {
+			t.Fatal("empty reduction result")
+		}
+	}
+	if _, err := Factorize(v, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 { // 2m−1 with m=3
+		t.Fatalf("hook saw %d reductions, want 5", len(seen))
+	}
+	for i, idx := range seen {
+		if idx != i {
+			t.Fatalf("reduction indices %v", seen)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := topology.Hypercube(3)
+	v := linalg.Random(8, 3, 2)
+	cases := []Config{
+		{},            // nil topology
+		{Topology: g}, // nil protocol
+		{Topology: g, NewProtocol: func() gossip.Protocol { return core.NewEfficient() }},                             // no eps
+		{Topology: g, NewProtocol: func() gossip.Protocol { return core.NewEfficient() }, Eps: 1e-12},                 // no max rounds
+		{Topology: g, NewProtocol: func() gossip.Protocol { return core.NewEfficient() }, Eps: -1, MaxRounds: 10},     // bad eps
+		{Topology: g, NewProtocol: func() gossip.Protocol { return core.NewEfficient() }, Eps: 1e-12, MaxRounds: -10}, // bad rounds
+	}
+	for i, cfg := range cases {
+		if _, err := Factorize(v, cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	// Shape errors.
+	good := pcfConfig(g)
+	if _, err := Factorize(linalg.Random(3, 5, 1), good); err == nil {
+		t.Fatal("wide matrix accepted")
+	}
+	if _, err := Factorize(linalg.Random(4, 2, 1), good); err == nil {
+		t.Fatal("fewer rows than nodes accepted")
+	}
+}
+
+// Rank deficiency: with reductions carrying O(ε) noise, an exactly
+// dependent column orthogonalizes to a residual of rounding scale rather
+// than exact zero, so — like LAPACK — dmGS either reports a breakdown
+// (exact-zero/NaN pivot) or completes with a tiny pivot exposing the
+// deficiency in R's diagonal.
+func TestRankDeficientTinyPivot(t *testing.T) {
+	g := topology.Hypercube(3)
+	v := linalg.NewMatrix(8, 3)
+	for i := 0; i < 8; i++ {
+		v.Set(i, 0, float64(i+1))
+		v.Set(i, 1, 2*float64(i+1)) // dependent column
+		v.Set(i, 2, 1)
+	}
+	res, err := Factorize(v, pcfConfig(g))
+	if err != nil {
+		return // breakdown reported: acceptable
+	}
+	if ratio := res.R.At(1, 1) / res.R.At(0, 0); ratio > 1e-10 {
+		t.Fatalf("dependent column left pivot ratio %.3e, want tiny", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := topology.Hypercube(3)
+	v := linalg.Random(8, 4, 6)
+	a, err := Factorize(v, pcfConfig(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Factorize(v, pcfConfig(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.R.Equal(b.R, 0) || !a.Q.Equal(b.Q, 0) {
+		t.Fatal("Factorize not deterministic for equal seeds")
+	}
+	if math.Abs(float64(a.TotalRounds-b.TotalRounds)) != 0 {
+		t.Fatal("round counts differ")
+	}
+}

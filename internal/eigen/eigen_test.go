@@ -1,0 +1,152 @@
+package eigen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"pcfreduce/internal/core"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/linalg"
+	"pcfreduce/internal/topology"
+)
+
+// symmetricWithSpectrum builds Q·diag(λ)·Qᵀ with a seeded random
+// orthogonal Q, so the true spectrum is known exactly.
+func symmetricWithSpectrum(lambdas []float64, seed int64) *linalg.Matrix {
+	n := len(lambdas)
+	qr, err := linalg.Householder(linalg.Random(n, n, seed))
+	if err != nil {
+		panic(err)
+	}
+	q := qr.Q
+	a := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += q.At(i, k) * lambdas[k] * q.At(j, k)
+			}
+			a.Set(i, j, s)
+			a.Set(j, i, s)
+		}
+	}
+	return a
+}
+
+func mkPCF() gossip.Protocol { return core.NewEfficient() }
+
+func TestSolveDominantPairs(t *testing.T) {
+	g := topology.Hypercube(4) // 16 nodes → 16×16 matrix
+	// Geometrically separated dominant eigenvalues: each column of the
+	// iterate converges at the consecutive ratio (0.5 here), so the
+	// vector residual assertion below is reached quickly.
+	lambdas := make([]float64, 16)
+	lambdas[0], lambdas[1], lambdas[2] = 16, 8, 4
+	for i := 3; i < 16; i++ {
+		lambdas[i] = 0.5 * math.Pow(0.9, float64(i-3))
+	}
+	a := symmetricWithSpectrum(lambdas, 3)
+	cfg := DefaultConfig(g, mkPCF, 3)
+	res, err := Solve(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged in %d iterations", res.Iterations)
+	}
+	want := []float64{16, 8, 4}
+	for j, lam := range res.Values {
+		if math.Abs(lam-want[j])/want[j] > 1e-8 {
+			t.Fatalf("λ%d = %.12g, want %g", j, lam, want[j])
+		}
+	}
+	// Eigenvector residual ‖A·v − λ·v‖ small for each pair.
+	for j := 0; j < 3; j++ {
+		vj := res.Vectors.Col(j)
+		av := make([]float64, 16)
+		for i := 0; i < 16; i++ {
+			av[i] = linalg.Dot(a.Row(i), vj)
+		}
+		var resid float64
+		for i := range av {
+			d := av[i] - res.Values[j]*vj[i]
+			resid += d * d
+		}
+		if math.Sqrt(resid) > 1e-6 {
+			t.Fatalf("eigenpair %d residual %.3e", j, math.Sqrt(resid))
+		}
+	}
+}
+
+func TestSolveMatchesReference(t *testing.T) {
+	g := topology.Hypercube(3)
+	lambdas := []float64{9, 7, 5, 3, 2, 1.5, 1, 0.5}
+	a := symmetricWithSpectrum(lambdas, 5)
+	res, err := Solve(a, DefaultConfig(g, mkPCF, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refVals, _ := ReferenceEigen(a, 2, 400)
+	for j := range res.Values {
+		if math.Abs(res.Values[j]-refVals[j]) > 1e-8*math.Abs(refVals[j]) {
+			t.Fatalf("λ%d: distributed %.12g vs reference %.12g", j, res.Values[j], refVals[j])
+		}
+	}
+}
+
+func TestSolveNegativeDominant(t *testing.T) {
+	g := topology.Hypercube(3)
+	lambdas := []float64{-10, 6, 4, 2, 1, 0.5, 0.2, 0.1}
+	a := symmetricWithSpectrum(lambdas, 7)
+	res, err := Solve(a, DefaultConfig(g, mkPCF, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Values[0]-(-10)) > 1e-7 {
+		t.Fatalf("dominant λ = %.12g, want −10", res.Values[0])
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	g := topology.Hypercube(3)
+	a := symmetricWithSpectrum([]float64{8, 7, 6, 5, 4, 3, 2, 1}, 1)
+	if _, err := Solve(a, Config{}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	bad := DefaultConfig(g, mkPCF, 0)
+	if _, err := Solve(a, bad); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	wrongSize := DefaultConfig(topology.Hypercube(4), mkPCF, 2)
+	if _, err := Solve(a, wrongSize); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	asym := a.Clone()
+	asym.Set(0, 1, asym.At(0, 1)+1)
+	if _, err := Solve(asym, DefaultConfig(g, mkPCF, 2)); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+}
+
+func TestReferenceEigenSorted(t *testing.T) {
+	lambdas := []float64{1, 8, 3, 6, 2, 7, 4, 5}
+	a := symmetricWithSpectrum(lambdas, 11)
+	vals, vecs := ReferenceEigen(a, 4, 500)
+	sorted := append([]float64(nil), vals...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	for i := range vals {
+		if vals[i] != sorted[i] {
+			t.Fatalf("reference eigenvalues not descending: %v", vals)
+		}
+	}
+	want := []float64{8, 7, 6, 5}
+	for i, w := range want {
+		if math.Abs(vals[i]-w) > 1e-9 {
+			t.Fatalf("reference λ%d = %.12g, want %g", i, vals[i], w)
+		}
+	}
+	if oe := linalg.OrthogonalityError(vecs); oe > 1e-12 {
+		t.Fatalf("reference vectors not orthonormal: %.3e", oe)
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"pcfreduce/internal/gossip"
+)
+
+// DataDist identifies an initial-data distribution for the EXP-K
+// ablation.
+type DataDist int
+
+const (
+	// DistUniform draws U[0,1) (the default used for Figs. 3/6).
+	DistUniform DataDist = iota
+	// DistConstant sets every input to the same value — the friendliest
+	// case for floating point (no cancellation between nodes).
+	DistConstant
+	// DistLinear sets input i (the bus example's shape generalized).
+	DistLinear
+	// DistLogNormal draws e^N(0,2): values spanning several orders of
+	// magnitude, the hardest case for summation accuracy.
+	DistLogNormal
+	// DistSigned draws U[-1,1): sums near zero, maximal relative
+	// cancellation in the target itself.
+	DistSigned
+)
+
+// String returns the distribution's name.
+func (d DataDist) String() string {
+	switch d {
+	case DistUniform:
+		return "uniform[0,1)"
+	case DistConstant:
+		return "constant"
+	case DistLinear:
+		return "linear i"
+	case DistLogNormal:
+		return "lognormal(0,2)"
+	case DistSigned:
+		return "uniform[-1,1)"
+	default:
+		return "unknown"
+	}
+}
+
+// Draw materializes n inputs from the distribution.
+func (d DataDist) Draw(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		switch d {
+		case DistUniform:
+			out[i] = rng.Float64()
+		case DistConstant:
+			out[i] = 0.37521
+		case DistLinear:
+			out[i] = float64(i + 1)
+		case DistLogNormal:
+			out[i] = math.Exp(2 * rng.NormFloat64())
+		case DistSigned:
+			out[i] = 2*rng.Float64() - 1
+		default:
+			panic("experiments: unknown distribution")
+		}
+	}
+	return out
+}
+
+// DataDistPoint is one cell of the EXP-K grid.
+type DataDistPoint struct {
+	Algorithm    string
+	Distribution string
+	Nodes        int
+	FloorMaxErr  float64
+}
+
+// DataDistSweep measures each algorithm's accuracy floor on a hypercube
+// under each initial-data distribution — checking that the paper's
+// Sec. II-B claim "the achievable accuracy depends on … the initial data
+// distribution" holds for PF while PCF's floor is insensitive to it.
+func DataDistSweep(algos []Algorithm, dists []DataDist, dim int, seed int64) []DataDistPoint {
+	g := HypercubeTopo.Build(dim / 3)
+	if dim%3 != 0 {
+		panic("experiments: DataDistSweep wants a dimension divisible by 3")
+	}
+	var out []DataDistPoint
+	for _, algo := range algos {
+		for _, dist := range dists {
+			inputs := dist.Draw(g.N(), seed)
+			res := runToFloor(g, algo, inputs, gossip.Average, seed, 20000, 80)
+			out = append(out, DataDistPoint{
+				Algorithm:    algo.Name,
+				Distribution: dist.String(),
+				Nodes:        g.N(),
+				FloorMaxErr:  res.BestMax,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+// Package fault provides the failure models of the paper's Section II:
+// soft errors (message loss, duplication, bit flips in message payloads)
+// injected on the wire, and permanent failures (link and node) injected
+// on a schedule. Soft-error injectors implement sim.Interceptor and
+// compose with any protocol; permanent failures are driven through
+// sim.Engine.FailLink / CrashNode via the Plan type.
+//
+// All injectors are deterministic given their seed, so every faulty
+// experiment in this repository is exactly reproducible.
+package fault
+
+import (
+	"math"
+	"math/rand"
+
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/sim"
+)
+
+// Loss drops each message independently with probability P.
+type Loss struct {
+	P   float64
+	rng *rand.Rand
+}
+
+// NewLoss returns a seeded message-loss injector.
+func NewLoss(p float64, seed int64) *Loss {
+	if p < 0 || p > 1 {
+		panic("fault: loss probability out of [0,1]")
+	}
+	return &Loss{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Intercept implements sim.Interceptor.
+func (l *Loss) Intercept(round int, msg *gossip.Message) bool {
+	return l.rng.Float64() >= l.P
+}
+
+// BitFlip flips one uniformly chosen bit in the float64 payload of each
+// message independently with probability P — the soft-error model of the
+// paper's introduction ("soft errors like bit flips"). Only payload
+// floats (Flow1/Flow2 data and weights) are hit; protocols must already
+// tolerate arbitrary payload corruption.
+//
+// With Bounded set, only mantissa and sign bits are flipped, bounding
+// the corruption magnitude to at most 2× the original value. Unbounded
+// flips include exponent bits, which can turn a payload into NaN/Inf
+// (detectable — the protocols discard such messages) or into a finite
+// value hundreds of orders of magnitude off; the latter is conserved as
+// a giant mass transfer whose floating-point residue no averaging
+// algorithm can fully re-absorb, so real deployments pair the algorithms
+// with message checksums or range screening. EXP-E measures both
+// regimes.
+type BitFlip struct {
+	P float64
+	// Bounded restricts flips to mantissa and sign bits.
+	Bounded bool
+	rng     *rand.Rand
+	// Flips counts injected flips, for test assertions.
+	Flips int
+}
+
+// NewBitFlip returns a seeded full-range (all 64 bits) flip injector.
+func NewBitFlip(p float64, seed int64) *BitFlip {
+	if p < 0 || p > 1 {
+		panic("fault: bit-flip probability out of [0,1]")
+	}
+	return &BitFlip{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewBoundedBitFlip returns a seeded injector restricted to mantissa and
+// sign bits.
+func NewBoundedBitFlip(p float64, seed int64) *BitFlip {
+	b := NewBitFlip(p, seed)
+	b.Bounded = true
+	return b
+}
+
+// Intercept implements sim.Interceptor.
+func (b *BitFlip) Intercept(round int, msg *gossip.Message) bool {
+	if b.rng.Float64() >= b.P {
+		return true
+	}
+	// Collect the mutable float slots of the message.
+	slots := make([]*float64, 0, 2*(msg.Flow1.Width()+1))
+	for i := range msg.Flow1.X {
+		slots = append(slots, &msg.Flow1.X[i])
+	}
+	slots = append(slots, &msg.Flow1.W)
+	for i := range msg.Flow2.X {
+		slots = append(slots, &msg.Flow2.X[i])
+	}
+	slots = append(slots, &msg.Flow2.W)
+	target := slots[b.rng.Intn(len(slots))]
+	var bit uint
+	if b.Bounded {
+		k := uint(b.rng.Intn(53)) // 52 mantissa bits + sign
+		if k == 52 {
+			bit = 63
+		} else {
+			bit = k
+		}
+	} else {
+		bit = uint(b.rng.Intn(64))
+	}
+	*target = math.Float64frombits(math.Float64bits(*target) ^ (1 << bit))
+	b.Flips++
+	return true
+}
+
+// Duplicate delivers each message twice with probability P, back to
+// back, preserving per-link FIFO order — the classic at-least-once
+// transport artifact. Flow-based protocols are idempotent under it.
+type Duplicate struct {
+	P   float64
+	rng *rand.Rand
+	// Dups counts duplicated messages, for test assertions.
+	Dups int
+}
+
+// NewDuplicate returns a seeded duplication injector.
+func NewDuplicate(p float64, seed int64) *Duplicate {
+	if p < 0 || p > 1 {
+		panic("fault: duplication probability out of [0,1]")
+	}
+	return &Duplicate{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Intercept implements sim.Interceptor (never drops).
+func (d *Duplicate) Intercept(round int, msg *gossip.Message) bool { return true }
+
+// Copies implements sim.Replicator.
+func (d *Duplicate) Copies(round int, msg *gossip.Message) int {
+	if d.rng.Float64() < d.P {
+		d.Dups++
+		return 2
+	}
+	return 1
+}
+
+// Reorder models a non-FIFO transport: with probability P a message is
+// held back; it is re-injected right after the *next* message on the
+// same directed link, so adjacent messages swap positions. Push-flow
+// absorbs reordering (its per-edge state is memoryless), while PCF's
+// (c, r) cancellation handshake assumes FIFO links and relies on its
+// hard-resync recovery path under this injector; see the core package
+// documentation.
+type Reorder struct {
+	P       float64
+	rng     *rand.Rand
+	held    []gossip.Message
+	release []gossip.Message
+	// Swaps counts reordered pairs, for test assertions.
+	Swaps int
+}
+
+// NewReorder returns a seeded reordering injector.
+func NewReorder(p float64, seed int64) *Reorder {
+	if p < 0 || p > 1 {
+		panic("fault: reorder probability out of [0,1]")
+	}
+	return &Reorder{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Intercept implements sim.Interceptor: it either holds the message back
+// (returning false) or lets it pass, scheduling any held message on the
+// same link for re-injection right afterwards.
+func (r *Reorder) Intercept(round int, msg *gossip.Message) bool {
+	for i, old := range r.held {
+		if old.From == msg.From && old.To == msg.To {
+			r.release = append(r.release, old)
+			r.held = append(r.held[:i], r.held[i+1:]...)
+			r.Swaps++
+			return true // msg passes first, held one follows: swapped
+		}
+	}
+	if r.rng.Float64() < r.P {
+		r.held = append(r.held, msg.Clone())
+		return false
+	}
+	return true
+}
+
+// Extra implements sim.Injector, releasing swapped messages.
+func (r *Reorder) Extra(round int) []gossip.Message {
+	out := r.release
+	r.release = nil
+	return out
+}
+
+// Compose chains interceptors; a message survives only if every
+// interceptor passes it, and mutations accumulate left to right.
+func Compose(ics ...sim.Interceptor) sim.Interceptor {
+	return sim.InterceptorFunc(func(round int, msg *gossip.Message) bool {
+		for _, ic := range ics {
+			if ic == nil {
+				continue
+			}
+			if !ic.Intercept(round, msg) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Window restricts an interceptor to rounds in [From, To); outside the
+// window messages pass untouched. Use it to inject soft errors only
+// during a phase of the computation.
+func Window(ic sim.Interceptor, from, to int) sim.Interceptor {
+	return sim.InterceptorFunc(func(round int, msg *gossip.Message) bool {
+		if round < from || round >= to {
+			return true
+		}
+		return ic.Intercept(round, msg)
+	})
+}
+
+// Event is one scheduled permanent failure.
+type Event struct {
+	// Round at which the failure strikes (before the round executes).
+	Round int
+	// Link failure when Node < 0: the undirected link (A, B) fails.
+	A, B int
+	// Node failure when Node >= 0: the node crashes entirely.
+	Node int
+	// Abrupt selects the mid-transit link-failure model (in-flight
+	// messages lost) instead of the quiescent one. See
+	// sim.Engine.FailLinkAbrupt.
+	Abrupt bool
+}
+
+// LinkFailure returns a quiescent link-failure event (in-flight messages
+// delivered before the link dies), the model of the paper's Figs. 4/7.
+func LinkFailure(round, a, b int) Event { return Event{Round: round, A: a, B: b, Node: -1} }
+
+// AbruptLinkFailure returns a mid-transit link-failure event (in-flight
+// messages lost).
+func AbruptLinkFailure(round, a, b int) Event {
+	return Event{Round: round, A: a, B: b, Node: -1, Abrupt: true}
+}
+
+// NodeCrash returns a node-crash event.
+func NodeCrash(round, node int) Event { return Event{Round: round, Node: node, A: -1, B: -1} }
+
+// Plan is a schedule of permanent failures. Its OnRound method plugs
+// into sim.RunConfig.OnRound.
+type Plan struct {
+	events []Event
+}
+
+// NewPlan returns a Plan over the given events (any order).
+func NewPlan(events ...Event) *Plan {
+	return &Plan{events: append([]Event(nil), events...)}
+}
+
+// OnRound applies all events scheduled for the given round.
+func (p *Plan) OnRound(e *sim.Engine, round int) {
+	for _, ev := range p.events {
+		if ev.Round != round {
+			continue
+		}
+		switch {
+		case ev.Node >= 0:
+			e.CrashNode(ev.Node)
+		case ev.Abrupt:
+			e.FailLinkAbrupt(ev.A, ev.B)
+		default:
+			e.FailLink(ev.A, ev.B)
+		}
+	}
+}

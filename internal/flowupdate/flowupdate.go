@@ -1,0 +1,169 @@
+// Package flowupdate implements the Flow Updating (FU) aggregation
+// algorithm of Jesus, Baquero and Almeida (DAIS 2009), referenced by the
+// paper as another fault-tolerant distributed reduction method ([7]) and
+// compared against PF/PCF in the authors' companion ALENEX study ([23]).
+//
+// Like push-flow, FU exchanges idempotent per-edge flows so that message
+// loss does not destroy mass. Unlike push-flow, a node does not push half
+// of its mass; instead it averages its own estimate with the last
+// estimates reported by its neighbors and adjusts the flow on each edge
+// so that the neighbor's estimate would move to that average:
+//
+//	eᵢ   = vᵢ − Σ_j f(i,j)
+//	A    = mean(eᵢ, ẽ_j for known neighbors j)
+//	f(i,j) ← f(i,j) + (A − ẽ_j)
+//
+// and the message to j carries (f(i,j), A). This implementation is the
+// asynchronous gossip form: each activation updates and ships the flow
+// toward a single random neighbor, fitting the same engine and schedule
+// model as the other protocols in this repository.
+//
+// FU natively computes averages; the (value, weight) encoding used
+// throughout this repository extends it to arbitrary Σx/Σw aggregates:
+// FU averages the x and w components independently and the estimate is
+// the component ratio, since (Σx/n)/(Σw/n) = Σx/Σw.
+package flowupdate
+
+import (
+	"pcfreduce/internal/gossip"
+)
+
+// Node is the Flow-Updating state machine for a single node.
+type Node struct {
+	id        int
+	neighbors []int
+	live      []int
+	init      gossip.Value
+	flows     map[int]*gossip.Value
+	lastEst   map[int]*gossip.Value // last estimate reported by each neighbor
+	known     map[int]bool          // whether we have heard from the neighbor yet
+	width     int
+}
+
+// New returns an uninitialized Flow-Updating node; callers must Reset it.
+func New() *Node { return &Node{} }
+
+// Reset implements gossip.Protocol.
+func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
+	n.id = node
+	n.neighbors = append(n.neighbors[:0], neighbors...)
+	n.live = append(n.live[:0], neighbors...)
+	n.init = init.Clone()
+	n.width = init.Width()
+	n.flows = make(map[int]*gossip.Value, len(neighbors))
+	n.lastEst = make(map[int]*gossip.Value, len(neighbors))
+	n.known = make(map[int]bool, len(neighbors))
+	for _, j := range neighbors {
+		f := gossip.NewValue(n.width)
+		e := gossip.NewValue(n.width)
+		n.flows[j] = &f
+		n.lastEst[j] = &e
+	}
+}
+
+// local returns eᵢ = vᵢ − Σ_j f(i,j).
+func (n *Node) local() gossip.Value {
+	e := n.init.Clone()
+	for _, j := range n.neighbors {
+		e.SubInPlace(*n.flows[j])
+	}
+	return e
+}
+
+// averaged returns the FU averaging target A: the mean of the local
+// estimate and the last known estimates of live neighbors we have heard
+// from.
+func (n *Node) averaged() gossip.Value {
+	a := n.local()
+	count := 1.0
+	for _, j := range n.live {
+		if !n.known[j] {
+			continue
+		}
+		a.AddInPlace(*n.lastEst[j])
+		count++
+	}
+	scale := 1 / count
+	for k := range a.X {
+		a.X[k] *= scale
+	}
+	a.W *= scale
+	return a
+}
+
+// MakeMessage implements gossip.Protocol: move the target's estimate
+// toward the local average by adjusting the edge flow, then ship the
+// flow and the average.
+func (n *Node) MakeMessage(target int) gossip.Message {
+	f, ok := n.flows[target]
+	if !ok {
+		panic("flowupdate: send to non-neighbor")
+	}
+	a := n.averaged()
+	// Before first contact the neighbor's estimate is unknown; ship the
+	// current flow unchanged so the neighbor learns ours without a mass
+	// transfer.
+	if n.known[target] {
+		delta := a.Sub(*n.lastEst[target])
+		f.AddInPlace(delta)
+	}
+	return gossip.Message{From: n.id, To: target, Flow1: f.Clone(), Flow2: a}
+}
+
+// Receive implements gossip.Protocol: adopt the sender's flow (negated)
+// and remember its estimate.
+func (n *Node) Receive(msg gossip.Message) {
+	f, ok := n.flows[msg.From]
+	if !ok || msg.Flow1.Width() != n.width || msg.Flow2.Width() != n.width {
+		return
+	}
+	if !msg.Flow1.Finite() || !msg.Flow2.Finite() {
+		return // detectably corrupted payload: discard, as in push-flow
+	}
+	f.Set(msg.Flow1.Neg())
+	n.lastEst[msg.From].Set(msg.Flow2)
+	n.known[msg.From] = true
+}
+
+// Estimate implements gossip.Protocol.
+func (n *Node) Estimate() []float64 { return n.local().Estimate() }
+
+// LocalValue implements gossip.Protocol.
+func (n *Node) LocalValue() gossip.Value { return n.local() }
+
+// OnLinkFailure implements gossip.Protocol: zero the edge flow, forget
+// the neighbor's estimate and stop using the link.
+func (n *Node) OnLinkFailure(neighbor int) {
+	if f, ok := n.flows[neighbor]; ok {
+		f.Zero()
+		n.lastEst[neighbor].Zero()
+		n.known[neighbor] = false
+	}
+	n.live = remove(n.live, neighbor)
+}
+
+// LiveNeighbors implements gossip.Protocol.
+func (n *Node) LiveNeighbors() []int { return n.live }
+
+// Flow implements gossip.Flows.
+func (n *Node) Flow(neighbor int) gossip.Value {
+	if f, ok := n.flows[neighbor]; ok {
+		return f.Clone()
+	}
+	return gossip.NewValue(n.width)
+}
+
+func remove(list []int, x int) []int {
+	out := list[:0]
+	for _, v := range list {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SetInput implements gossip.DynamicInput: live-monitoring input change.
+func (n *Node) SetInput(v gossip.Value) {
+	n.init.Set(v)
+}

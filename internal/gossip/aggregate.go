@@ -1,0 +1,70 @@
+package gossip
+
+// Aggregate selects the target of a reduction. Following the push-sum
+// weighting convention, the aggregate is encoded entirely in the initial
+// weights, so protocols are agnostic to it.
+type Aggregate int
+
+const (
+	// Average computes (Σᵢ xᵢ)/n: every node starts with weight 1.
+	// It is the zero value, i.e. the default aggregate.
+	Average Aggregate = iota
+	// Sum computes Σᵢ xᵢ: node 0 starts with weight 1, all others with
+	// weight 0.
+	Sum
+)
+
+// String returns the conventional short name of the aggregate.
+func (a Aggregate) String() string {
+	switch a {
+	case Sum:
+		return "SUM"
+	case Average:
+		return "AVG"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// InitialWeight returns the weight node i must start with to compute the
+// aggregate over n nodes.
+func (a Aggregate) InitialWeight(i int) float64 {
+	switch a {
+	case Sum:
+		if i == 0 {
+			return 1
+		}
+		return 0
+	case Average:
+		return 1
+	default:
+		panic("gossip: unknown aggregate")
+	}
+}
+
+// Target computes the exact value of the aggregate over the per-node
+// scalar inputs, used as the oracle when measuring local errors.
+func (a Aggregate) Target(inputs []float64) float64 {
+	var sum, comp float64 // Neumaier compensated summation
+	for _, x := range inputs {
+		t := sum + x
+		if abs(sum) >= abs(x) {
+			comp += (sum - t) + x
+		} else {
+			comp += (x - t) + sum
+		}
+		sum = t
+	}
+	total := sum + comp
+	if a == Average {
+		return total / float64(len(inputs))
+	}
+	return total
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,73 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregateString(t *testing.T) {
+	if Sum.String() != "SUM" || Average.String() != "AVG" {
+		t.Fatalf("names: %s %s", Sum, Average)
+	}
+	if Aggregate(99).String() != "UNKNOWN" {
+		t.Fatal("unknown aggregate name")
+	}
+}
+
+func TestInitialWeights(t *testing.T) {
+	if Sum.InitialWeight(0) != 1 {
+		t.Fatal("SUM: node 0 must carry weight 1")
+	}
+	for i := 1; i < 5; i++ {
+		if Sum.InitialWeight(i) != 0 {
+			t.Fatalf("SUM: node %d must carry weight 0", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if Average.InitialWeight(i) != 1 {
+			t.Fatalf("AVG: node %d must carry weight 1", i)
+		}
+	}
+}
+
+func TestInitialWeightUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown aggregate must panic")
+		}
+	}()
+	Aggregate(42).InitialWeight(0)
+}
+
+func TestTargetSimple(t *testing.T) {
+	in := []float64{1, 2, 3, 4}
+	if got := Sum.Target(in); got != 10 {
+		t.Fatalf("SUM target = %g", got)
+	}
+	if got := Average.Target(in); got != 2.5 {
+		t.Fatalf("AVG target = %g", got)
+	}
+}
+
+// The oracle must use compensated summation: the classic cancellation
+// case 1, 1e100, 1, -1e100 sums to exactly 2 under Neumaier but to 0
+// under naive float addition.
+func TestTargetCompensated(t *testing.T) {
+	in := []float64{1, 1e100, 1, -1e100}
+	if got := Sum.Target(in); got != 2 {
+		t.Fatalf("compensated SUM target = %g, want 2", got)
+	}
+}
+
+func TestTargetManySmall(t *testing.T) {
+	n := 1 << 20
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = 0.1
+	}
+	got := Sum.Target(in)
+	want := float64(n) * 0.1
+	if math.Abs(got-want)/want > 1e-15 {
+		t.Fatalf("SUM of 2^20 × 0.1 = %.17g, want ≈ %.17g", got, want)
+	}
+}

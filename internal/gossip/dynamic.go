@@ -1,0 +1,20 @@
+package gossip
+
+// DynamicInput is the optional interface for protocols that support
+// live monitoring (the paper's reference [8], LiMoSense): the node's
+// input value may change while the reduction is running, and the
+// network's estimates re-converge to the new aggregate without a
+// restart.
+//
+// Flow-based algorithms support this naturally: the local estimate is
+// the initial data minus outstanding flows, so replacing the initial
+// data shifts only the local mass and the gossip dynamics re-average
+// the difference. Push-sum supports it by adding the input delta to its
+// current mass (it keeps no input/flow separation, so under message
+// loss the adjustment is as fragile as the rest of its mass).
+type DynamicInput interface {
+	// SetInput replaces the node's current input value. The weight
+	// component must equal the original weight (the aggregate's
+	// weighting scheme is fixed at Reset).
+	SetInput(v Value)
+}

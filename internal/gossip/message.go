@@ -1,0 +1,100 @@
+package gossip
+
+import "fmt"
+
+// Message is the single wire format shared by every reduction protocol in
+// this repository. Keeping one concrete format (rather than per-protocol
+// payload types behind an interface) lets the fault injectors corrupt
+// arbitrary bits of any in-flight message without type switches, and
+// keeps the hot simulation loop free of interface allocations.
+//
+// Field usage by protocol:
+//
+//	push-sum:        Flow1 = the transferred mass share
+//	push-flow:       Flow1 = the sender's flow variable f(i,j)
+//	push-cancel-flow: Flow1/Flow2 = the two flow slots, C = active slot
+//	                 index (1 or 2), R = role-change round counter
+//	flow-updating:   Flow1 = flow f(i,j), Flow2.X = sender's estimate,
+//	                 Flow2.W = sender's weight estimate
+type Message struct {
+	From, To int
+	Flow1    Value
+	Flow2    Value
+	C        uint8
+	R        uint64
+}
+
+// Clone returns a deep copy of m, so that corrupting a delivered copy
+// never aliases protocol-internal state.
+func (m Message) Clone() Message {
+	cp := m
+	cp.Flow1 = m.Flow1.Clone()
+	cp.Flow2 = m.Flow2.Clone()
+	return cp
+}
+
+// String renders a compact debugging representation.
+func (m Message) String() string {
+	return fmt.Sprintf("Message{%d→%d f1:%v f2:%v c:%d r:%d}",
+		m.From, m.To, m.Flow1, m.Flow2, m.C, m.R)
+}
+
+// Protocol is the node-local state machine implemented by every reduction
+// algorithm. One Protocol instance exists per node; the engines
+// (internal/sim for deterministic rounds, internal/runtime for
+// asynchronous goroutine execution) own the communication schedule and
+// drive the instances.
+//
+// The engine — not the protocol — draws which neighbor a node pushes to
+// in each activation. This guarantees that two different algorithms run
+// with the same seed see bit-identical communication schedules, which the
+// paper relies on when comparing PF and PCF failure handling (Figs. 4
+// and 7 "initially used exactly the same random seed").
+type Protocol interface {
+	// Reset (re)initializes the node with its id, immutable neighbor
+	// list and initial (value, weight) pair. It must be callable
+	// repeatedly to support restarting experiments on reused instances.
+	Reset(node int, neighbors []int, init Value)
+
+	// MakeMessage produces the message this node would push to the given
+	// neighbor now, applying any local state updates the protocol's send
+	// step prescribes (e.g. PF's "virtual send" f ← f + e/2). The target
+	// must be one of the node's live neighbors.
+	MakeMessage(target int) Message
+
+	// Receive processes a delivered message. The message may have been
+	// corrupted or duplicated by fault injection; protocols must not
+	// panic on malformed contents.
+	Receive(msg Message)
+
+	// Estimate returns the node's current estimate of the global
+	// aggregate (component-wise X/W of its local mass).
+	Estimate() []float64
+
+	// LocalValue returns the node's current local mass (value and
+	// weight), i.e. its initial data minus outstanding flows. Σ over all
+	// nodes of LocalValue is the conserved global mass when flow
+	// conservation holds.
+	LocalValue() Value
+
+	// OnLinkFailure informs the node that the link to the given neighbor
+	// has permanently failed. The protocol excludes the neighbor from
+	// the computation (for flow algorithms: zeroes the corresponding
+	// flow variables, per Section II-A of the paper).
+	OnLinkFailure(neighbor int)
+
+	// LiveNeighbors returns the neighbors not excluded by OnLinkFailure,
+	// in stable order. The engine draws push targets from this set.
+	LiveNeighbors() []int
+}
+
+// Flows is an optional interface exposing a protocol's per-neighbor flow
+// state, used by tests and by the bus-network worked example (paper
+// Fig. 2) to assert equilibrium flow values.
+type Flows interface {
+	// Flow returns the protocol's current net flow from this node to the
+	// given neighbor (for PCF: the sum of both slots plus cancelled mass
+	// attributed to that edge is not meaningful, so PCF returns the sum
+	// of the two live slots).
+	Flow(neighbor int) Value
+}

@@ -1,0 +1,255 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValueZero(t *testing.T) {
+	v := NewValue(3)
+	if v.Width() != 3 {
+		t.Fatalf("width = %d, want 3", v.Width())
+	}
+	if !v.IsZero() {
+		t.Fatalf("new value not zero: %v", v)
+	}
+}
+
+func TestScalarAndVector(t *testing.T) {
+	s := Scalar(2.5, 1)
+	if s.Width() != 1 || s.X[0] != 2.5 || s.W != 1 {
+		t.Fatalf("Scalar built %v", s)
+	}
+	src := []float64{1, 2, 3}
+	v := Vector(src, 0.5)
+	src[0] = 99 // Vector must copy
+	if v.X[0] != 1 || v.W != 0.5 {
+		t.Fatalf("Vector aliased its input: %v", v)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector([]float64{1, 2}, 3)
+	c := v.Clone()
+	c.X[0] = 42
+	c.W = 7
+	if v.X[0] != 1 || v.W != 3 {
+		t.Fatalf("Clone shares storage: %v", v)
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	a := Vector([]float64{1, 2}, 3)
+	b := Vector([]float64{10, 20}, 30)
+	sum := a.Add(b)
+	if sum.X[0] != 11 || sum.X[1] != 22 || sum.W != 33 {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff := sum.Sub(b)
+	if !diff.Equal(a) {
+		t.Fatalf("Sub did not invert Add: %v", diff)
+	}
+	n := a.Neg()
+	if n.X[0] != -1 || n.X[1] != -2 || n.W != -3 {
+		t.Fatalf("Neg = %v", n)
+	}
+	n.NegInPlace()
+	if !n.Equal(a) {
+		t.Fatalf("NegInPlace did not invert Neg: %v", n)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := Vector([]float64{1, 2}, 3)
+	a.AddInPlace(Vector([]float64{1, 1}, 1))
+	if a.X[0] != 2 || a.X[1] != 3 || a.W != 4 {
+		t.Fatalf("AddInPlace = %v", a)
+	}
+	a.SubInPlace(Vector([]float64{2, 3}, 4))
+	if !a.IsZero() {
+		t.Fatalf("SubInPlace did not zero: %v", a)
+	}
+}
+
+func TestHalfExactness(t *testing.T) {
+	v := Scalar(3, 1)
+	h := v.Half()
+	if h.X[0] != 1.5 || h.W != 0.5 {
+		t.Fatalf("Half = %v", h)
+	}
+	// Halving is exact: half + half reproduces the original bits.
+	back := h.Add(h)
+	if !back.Equal(v) {
+		t.Fatalf("half+half = %v, want %v", back, v)
+	}
+}
+
+func TestEqualEdgeCases(t *testing.T) {
+	a := Scalar(0, 0)
+	b := Scalar(math.Copysign(0, -1), 0)
+	if !a.Equal(b) {
+		t.Fatal("0 and -0 must compare equal")
+	}
+	if Scalar(1, 0).Equal(Vector([]float64{1, 0}, 0)) {
+		t.Fatal("different widths must not be equal")
+	}
+	nan := Scalar(math.NaN(), 1)
+	if nan.Equal(nan.Clone()) {
+		t.Fatal("NaN values must not compare equal")
+	}
+}
+
+func TestIsZeroNegativeZero(t *testing.T) {
+	v := Scalar(math.Copysign(0, -1), math.Copysign(0, -1))
+	if !v.IsZero() {
+		t.Fatal("-0 must count as zero")
+	}
+	if Scalar(1e-300, 0).IsZero() {
+		t.Fatal("tiny nonzero is not zero")
+	}
+}
+
+func TestZeroAndSet(t *testing.T) {
+	v := Vector([]float64{1, 2}, 3)
+	v.Zero()
+	if !v.IsZero() || v.Width() != 2 {
+		t.Fatalf("Zero() = %v", v)
+	}
+	v.Set(Vector([]float64{5, 6}, 7))
+	if v.X[1] != 6 || v.W != 7 {
+		t.Fatalf("Set = %v", v)
+	}
+	// Set with a different width reallocates.
+	v.Set(Scalar(9, 1))
+	if v.Width() != 1 || v.X[0] != 9 {
+		t.Fatalf("Set across widths = %v", v)
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	v := Vector([]float64{6, 9}, 3)
+	est := v.Estimate()
+	if est[0] != 2 || est[1] != 3 {
+		t.Fatalf("Estimate = %v", est)
+	}
+	zero := Vector([]float64{1, 0}, 0)
+	est = zero.Estimate()
+	if !math.IsInf(est[0], 1) || !math.IsNaN(est[1]) {
+		t.Fatalf("zero-weight Estimate = %v, want [Inf NaN]", est)
+	}
+	guarded := zero.EstimateOr(-1)
+	if guarded[0] != -1 || guarded[1] != -1 {
+		t.Fatalf("EstimateOr = %v", guarded)
+	}
+}
+
+func TestFinite(t *testing.T) {
+	if !Vector([]float64{1, -2}, 3).Finite() {
+		t.Fatal("finite value misreported")
+	}
+	if Scalar(math.NaN(), 1).Finite() {
+		t.Fatal("NaN data must not be finite")
+	}
+	if Scalar(1, math.Inf(1)).Finite() {
+		t.Fatal("Inf weight must not be finite")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	v := Vector([]float64{-5, 2}, 3)
+	if got := v.MaxAbs(); got != 5 {
+		t.Fatalf("MaxAbs = %g, want 5", got)
+	}
+	w := Vector([]float64{1}, -9)
+	if got := w.MaxAbs(); got != 9 {
+		t.Fatalf("MaxAbs must include weight: got %g", got)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddInPlace across widths must panic")
+		}
+	}()
+	a := Scalar(1, 1)
+	a.AddInPlace(NewValue(2))
+}
+
+// Property: Add and Sub are inverses, and Neg is an involution, for all
+// finite inputs.
+func TestQuickAddSubNeg(t *testing.T) {
+	f := func(x1, x2, w1, w2 float64) bool {
+		if anyNaNInf(x1, x2, w1, w2) {
+			return true
+		}
+		a := Vector([]float64{x1}, w1)
+		b := Vector([]float64{x2}, w2)
+		c := a.Add(b).Sub(b)
+		// Float addition is not exactly invertible in general; but
+		// Neg(Neg(x)) is always exact, and widths/structure must hold.
+		if got := a.Neg().Neg(); !got.Equal(a) && !hasNaN(a) {
+			return false
+		}
+		return c.Width() == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: v + (−v) is exactly zero for all finite values.
+func TestQuickAddNegIsZero(t *testing.T) {
+	f := func(x, w float64) bool {
+		if anyNaNInf(x, w) {
+			return true
+		}
+		v := Vector([]float64{x}, w)
+		return v.Add(v.Neg()).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Half is exactly invertible by doubling (no precision loss)
+// whenever no underflow occurs.
+func TestQuickHalfExact(t *testing.T) {
+	f := func(x, w float64) bool {
+		if anyNaNInf(x, w) || tooSmall(x) || tooSmall(w) {
+			return true
+		}
+		v := Vector([]float64{x}, w)
+		h := v.Half()
+		return h.Add(h).Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func anyNaNInf(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasNaN(v Value) bool {
+	if math.IsNaN(v.W) {
+		return true
+	}
+	for _, x := range v.X {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}
+
+func tooSmall(x float64) bool {
+	return x != 0 && math.Abs(x) < math.SmallestNonzeroFloat64*4
+}

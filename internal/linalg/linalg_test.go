@@ -1,0 +1,247 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Fatal("Set/At")
+	}
+	if len(m.Row(1)) != 3 || m.Row(1)[2] != 5 {
+		t.Fatal("Row")
+	}
+	col := m.Col(2)
+	if col[0] != 0 || col[1] != 5 {
+		t.Fatal("Col")
+	}
+	cp := m.Clone()
+	cp.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.Rows != 2 || m.Cols != 2 || m.At(1, 0) != 3 {
+		t.Fatal("FromRows")
+	}
+	if FromRows(nil).Rows != 0 {
+		t.Fatal("empty FromRows")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows must panic")
+		}
+	}()
+	FromRows([][]float64{{1}, {2, 3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatal("T")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !c.Equal(want, 0) {
+		t.Fatalf("Mul = %v", c)
+	}
+	id := Identity(2)
+	if !a.Mul(id).Equal(a, 0) || !id.Mul(a).Equal(a, 0) {
+		t.Fatal("identity multiplication")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	a.Mul(NewMatrix(3, 2))
+}
+
+func TestSubAndNorms(t *testing.T) {
+	a := FromRows([][]float64{{3, -4}, {1, 1}})
+	z := a.Sub(a)
+	if z.NormInf() != 0 || z.NormFro() != 0 || z.MaxAbs() != 0 {
+		t.Fatal("self subtraction")
+	}
+	if a.NormInf() != 7 { // max abs row sum
+		t.Fatalf("NormInf = %g", a.NormInf())
+	}
+	if math.Abs(a.NormFro()-math.Sqrt(27)) > 1e-15 {
+		t.Fatalf("NormFro = %g", a.NormFro())
+	}
+	if a.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %g", a.MaxAbs())
+	}
+}
+
+func TestDotNorm2(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("Norm2")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(4, 3, 9)
+	b := Random(4, 3, 9)
+	if !a.Equal(b, 0) {
+		t.Fatal("Random not deterministic")
+	}
+	c := Random(4, 3, 10)
+	if a.Equal(c, 0) {
+		t.Fatal("different seeds identical")
+	}
+	for _, v := range a.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("entry %g out of [-1,1)", v)
+		}
+	}
+}
+
+func checkQR(t *testing.T, name string, v *Matrix, qr QRResult) {
+	t.Helper()
+	if fe := FactorizationError(v, qr.Q, qr.R); fe > 1e-13 {
+		t.Fatalf("%s: factorization error %.3e", name, fe)
+	}
+	if oe := OrthogonalityError(qr.Q); oe > 1e-13 {
+		t.Fatalf("%s: orthogonality error %.3e", name, oe)
+	}
+	// R upper triangular.
+	for i := 0; i < qr.R.Rows; i++ {
+		for j := 0; j < i; j++ {
+			if qr.R.At(i, j) != 0 {
+				t.Fatalf("%s: R(%d,%d) = %g below diagonal", name, i, j, qr.R.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMGS(t *testing.T) {
+	v := Random(40, 12, 3)
+	qr, err := MGS(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkQR(t, "MGS", v, qr)
+}
+
+func TestHouseholder(t *testing.T) {
+	v := Random(40, 12, 3)
+	qr, err := Householder(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkQR(t, "Householder", v, qr)
+}
+
+func TestMGSMatchesHouseholder(t *testing.T) {
+	v := Random(30, 8, 5)
+	a, err := MGS(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Householder(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, bc := a.SignCanonical(), b.SignCanonical()
+	if !ac.R.Equal(bc.R, 1e-10) {
+		t.Fatal("R factors disagree after sign canonicalization")
+	}
+	if !ac.Q.Equal(bc.Q, 1e-10) {
+		t.Fatal("Q factors disagree after sign canonicalization")
+	}
+}
+
+func TestQRShapeErrors(t *testing.T) {
+	if _, err := MGS(NewMatrix(2, 3)); err == nil {
+		t.Fatal("wide MGS must fail")
+	}
+	if _, err := Householder(NewMatrix(2, 3)); err == nil {
+		t.Fatal("wide Householder must fail")
+	}
+}
+
+func TestMGSRankDeficient(t *testing.T) {
+	v := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}}) // col2 = 2·col1
+	if _, err := MGS(v); err == nil {
+		t.Fatal("rank-deficient MGS must report breakdown")
+	}
+}
+
+func TestSignCanonical(t *testing.T) {
+	v := Random(10, 4, 8)
+	qr, err := MGS(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a sign flip, canonicalize, verify diag ≥ 0 and product kept.
+	for j := 0; j < 4; j++ {
+		qr.R.Set(1, j, -qr.R.At(1, j))
+	}
+	for i := 0; i < 10; i++ {
+		qr.Q.Set(i, 1, -qr.Q.At(i, 1))
+	}
+	c := qr.SignCanonical()
+	for k := 0; k < 4; k++ {
+		if c.R.At(k, k) < 0 {
+			t.Fatal("canonical diagonal negative")
+		}
+	}
+	if fe := FactorizationError(v, c.Q, c.R); fe > 1e-13 {
+		t.Fatalf("canonicalization broke the product: %.3e", fe)
+	}
+}
+
+func TestOrthogonalityErrorOnIdentity(t *testing.T) {
+	if OrthogonalityError(Identity(5)) != 0 {
+		t.Fatal("identity must be perfectly orthogonal")
+	}
+}
+
+// Property: QR of random well-conditioned matrices reconstructs within
+// tolerance for both algorithms.
+func TestQuickQRReconstructs(t *testing.T) {
+	f := func(seed int64) bool {
+		v := Random(20, 5, seed)
+		// Boost the diagonal to keep the matrix well conditioned.
+		for i := 0; i < 5; i++ {
+			v.Set(i, i, v.At(i, i)+3)
+		}
+		a, err := MGS(v)
+		if err != nil {
+			return false
+		}
+		b, err := Householder(v)
+		if err != nil {
+			return false
+		}
+		return FactorizationError(v, a.Q, a.R) < 1e-12 &&
+			FactorizationError(v, b.Q, b.R) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

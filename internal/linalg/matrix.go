@@ -1,0 +1,212 @@
+// Package linalg provides the dense linear-algebra substrate needed by
+// the paper's Section IV application: matrices, norms, reference QR
+// factorizations (modified Gram-Schmidt and Householder) and the error
+// metrics the paper reports (relative factorization error in the ∞-norm
+// and orthogonality error). Everything is stdlib-only, row-major
+// float64.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pcfreduce/internal/stats"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (all the same length).
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Random returns a matrix with entries drawn uniformly from [-1, 1),
+// seeded deterministically.
+func Random(rows, cols int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	cp := NewMatrix(m.Rows, m.Cols)
+	copy(cp.Data, m.Data)
+	return cp
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns m·b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for k, mik := range mrow {
+			if mik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bkj := range brow {
+				orow[j] += mik * bkj
+			}
+		}
+	}
+	return out
+}
+
+// Sub returns m − b.
+func (m *Matrix) Sub(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("linalg: shape mismatch in Sub")
+	}
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}
+
+// NormInf returns the ∞-norm (maximum absolute row sum), the norm the
+// paper uses for the factorization error ‖V − QR‖∞ / ‖V‖∞.
+func (m *Matrix) NormInf() float64 {
+	worst := 0.0
+	for i := 0; i < m.Rows; i++ {
+		var s stats.Sum2
+		for _, v := range m.Row(i) {
+			s.Add(math.Abs(v))
+		}
+		if r := s.Value(); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// NormFro returns the Frobenius norm.
+func (m *Matrix) NormFro() float64 {
+	var s stats.Sum2
+	for _, v := range m.Data {
+		s.Add(v * v)
+	}
+	return math.Sqrt(s.Value())
+}
+
+// MaxAbs returns the largest absolute entry.
+func (m *Matrix) MaxAbs() float64 {
+	worst := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// Equal reports whether m and b have the same shape and entries within
+// absolute tolerance tol.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Dot returns the compensated dot product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("linalg: dot length mismatch")
+	}
+	var s stats.Sum2
+	for i, v := range x {
+		s.Add(v * y[i])
+	}
+	return s.Value()
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// FactorizationError returns ‖V − QR‖∞ / ‖V‖∞, the metric of the
+// paper's Figure 8.
+func FactorizationError(v, q, r *Matrix) float64 {
+	return v.Sub(q.Mul(r)).NormInf() / v.NormInf()
+}
+
+// OrthogonalityError returns ‖QᵀQ − I‖∞, the orthogonality metric the
+// paper mentions alongside the factorization error (Sec. IV).
+func OrthogonalityError(q *Matrix) float64 {
+	qtq := q.T().Mul(q)
+	return qtq.Sub(Identity(q.Cols)).NormInf()
+}

@@ -1,0 +1,145 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRResult holds a thin QR factorization V = Q·R with Q ∈ R^{n×m}
+// column-orthonormal and R ∈ R^{m×m} upper triangular.
+type QRResult struct {
+	Q *Matrix
+	R *Matrix
+}
+
+// MGS computes the thin QR factorization of v (n×m, n ≥ m) with the
+// modified Gram-Schmidt orthogonalization (Golub & Van Loan), the
+// sequential reference for the distributed dmGS algorithm of the paper's
+// Section IV. It returns an error on rank deficiency (zero pivot).
+func MGS(v *Matrix) (QRResult, error) {
+	n, m := v.Rows, v.Cols
+	if n < m {
+		return QRResult{}, fmt.Errorf("linalg: MGS requires rows >= cols, got %dx%d", n, m)
+	}
+	q := v.Clone()
+	r := NewMatrix(m, m)
+	for k := 0; k < m; k++ {
+		qk := q.Col(k)
+		rkk := Norm2(qk)
+		if rkk == 0 || math.IsNaN(rkk) {
+			return QRResult{}, fmt.Errorf("linalg: MGS breakdown at column %d (pivot %g)", k, rkk)
+		}
+		r.Set(k, k, rkk)
+		for i := 0; i < n; i++ {
+			q.Set(i, k, q.At(i, k)/rkk)
+		}
+		qk = q.Col(k)
+		for j := k + 1; j < m; j++ {
+			rkj := Dot(qk, q.Col(j))
+			r.Set(k, j, rkj)
+			for i := 0; i < n; i++ {
+				q.Set(i, j, q.At(i, j)-rkj*qk[i])
+			}
+		}
+	}
+	return QRResult{Q: q, R: r}, nil
+}
+
+// Householder computes the thin QR factorization of v (n×m, n ≥ m) via
+// Householder reflections — the numerically hardest reference used to
+// validate both MGS and the distributed dmGS results in tests.
+func Householder(v *Matrix) (QRResult, error) {
+	n, m := v.Rows, v.Cols
+	if n < m {
+		return QRResult{}, fmt.Errorf("linalg: Householder requires rows >= cols, got %dx%d", n, m)
+	}
+	a := v.Clone()
+	// Store the Householder vectors to accumulate the thin Q afterwards.
+	vs := make([][]float64, m)
+	for k := 0; k < m; k++ {
+		// Build the reflector for column k below the diagonal.
+		x := make([]float64, n-k)
+		for i := k; i < n; i++ {
+			x[i-k] = a.At(i, k)
+		}
+		alpha := Norm2(x)
+		if x[0] > 0 {
+			alpha = -alpha
+		}
+		if alpha == 0 {
+			return QRResult{}, fmt.Errorf("linalg: Householder breakdown at column %d", k)
+		}
+		vk := make([]float64, len(x))
+		copy(vk, x)
+		vk[0] -= alpha
+		vnorm := Norm2(vk)
+		if vnorm == 0 {
+			// Column already reduced; identity reflector.
+			vs[k] = vk
+			continue
+		}
+		for i := range vk {
+			vk[i] /= vnorm
+		}
+		vs[k] = vk
+		// Apply I − 2 v vᵀ to the trailing submatrix.
+		for j := k; j < m; j++ {
+			var dot float64
+			for i := k; i < n; i++ {
+				dot += vk[i-k] * a.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < n; i++ {
+				a.Set(i, j, a.At(i, j)-dot*vk[i-k])
+			}
+		}
+	}
+	r := NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			r.Set(i, j, a.At(i, j))
+		}
+	}
+	// Accumulate thin Q = H₀·H₁···H_{m−1} · [I_m; 0].
+	q := NewMatrix(n, m)
+	for j := 0; j < m; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := m - 1; k >= 0; k-- {
+		vk := vs[k]
+		if vk == nil {
+			continue
+		}
+		for j := 0; j < m; j++ {
+			var dot float64
+			for i := k; i < n; i++ {
+				dot += vk[i-k] * q.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < n; i++ {
+				q.Set(i, j, q.At(i, j)-dot*vk[i-k])
+			}
+		}
+	}
+	return QRResult{Q: q, R: r}, nil
+}
+
+// SignCanonical flips the signs of Q's columns and R's rows so that R's
+// diagonal is nonnegative, making factorizations from different
+// algorithms directly comparable.
+func (qr QRResult) SignCanonical() QRResult {
+	q := qr.Q.Clone()
+	r := qr.R.Clone()
+	for k := 0; k < r.Rows; k++ {
+		if r.At(k, k) >= 0 {
+			continue
+		}
+		for j := 0; j < r.Cols; j++ {
+			r.Set(k, j, -r.At(k, j))
+		}
+		for i := 0; i < q.Rows; i++ {
+			q.Set(i, k, -q.At(i, k))
+		}
+	}
+	return QRResult{Q: q, R: r}
+}

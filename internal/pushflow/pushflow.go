@@ -1,0 +1,143 @@
+// Package pushflow implements the push-flow (PF) algorithm of Gansterer,
+// Niederbrucker, Straková and Schulze Grotthoff — the fault-tolerant
+// gossip reduction that the paper's push-cancel-flow algorithm improves
+// upon. It follows the pseudocode of the paper's Figure 1 exactly.
+//
+// Instead of transferring mass like push-sum, every node i keeps one flow
+// variable f(i,j) per neighbor j, representing the net mass that has
+// flowed from i to j. A node's current local mass is
+//
+//	vᵢ − Σ_j f(i,j),
+//
+// and a send to neighbor k first adds half the local mass to f(i,k)
+// ("virtual send") and then transmits the entire flow variable; the
+// receiver overwrites its mirror variable with the negation,
+// f(j,i) = −f(i,j), restoring flow conservation. Because every message
+// carries the full flow state of its edge rather than a delta, loss,
+// duplication or corruption of messages is healed by the next successful
+// exchange, and a permanently failed component is excluded by zeroing the
+// corresponding flow variables (paper Sec. II-A).
+//
+// The paper's Section II shows the price of this design: the flow
+// variables converge to arbitrary, execution-dependent values that may
+// exceed the aggregate by orders of magnitude, causing (a) floating-point
+// cancellation that caps achievable accuracy as n grows (Fig. 3) and
+// (b) restart-like convergence fall-backs when a flow is zeroed during
+// failure handling (Fig. 4).
+package pushflow
+
+import (
+	"pcfreduce/internal/gossip"
+)
+
+// Node is the push-flow state machine for a single node.
+type Node struct {
+	id        int
+	neighbors []int
+	live      []int
+	init      gossip.Value
+	flows     map[int]*gossip.Value // flow variable per neighbor
+	width     int
+}
+
+// New returns an uninitialized push-flow node; callers must Reset it.
+func New() *Node { return &Node{} }
+
+// Reset implements gossip.Protocol.
+func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
+	n.id = node
+	n.neighbors = append(n.neighbors[:0], neighbors...)
+	n.live = append(n.live[:0], neighbors...)
+	n.init = init.Clone()
+	n.width = init.Width()
+	n.flows = make(map[int]*gossip.Value, len(neighbors))
+	for _, j := range neighbors {
+		v := gossip.NewValue(n.width)
+		n.flows[j] = &v
+	}
+}
+
+// local returns the node's current mass vᵢ − Σ_j f(i,j).
+func (n *Node) local() gossip.Value {
+	e := n.init.Clone()
+	for _, j := range n.neighbors {
+		e.SubInPlace(*n.flows[j])
+	}
+	return e
+}
+
+// MakeMessage implements gossip.Protocol: virtual-send half the local
+// mass into f(i,k), then physically send the whole flow variable.
+func (n *Node) MakeMessage(target int) gossip.Message {
+	f, ok := n.flows[target]
+	if !ok {
+		panic("pushflow: send to non-neighbor")
+	}
+	e := n.local()
+	f.AddInPlace(e.Half())
+	return gossip.Message{From: n.id, To: target, Flow1: f.Clone()}
+}
+
+// Receive implements gossip.Protocol: overwrite the mirror flow with the
+// negation of the received one, f(i,j) ← −f(j,i).
+func (n *Node) Receive(msg gossip.Message) {
+	f, ok := n.flows[msg.From]
+	if !ok || msg.Flow1.Width() != n.width {
+		return // unknown sender or malformed message
+	}
+	if !msg.Flow1.Finite() {
+		// Detectably corrupted payload (NaN/Inf, e.g. from an exponent
+		// bit flip): discard. A discarded message is equivalent to a
+		// lost one, which the flow exchange heals by design; folding a
+		// non-finite value into a flow variable would instead poison
+		// both endpoints irrecoverably.
+		return
+	}
+	f.Set(msg.Flow1.Neg())
+}
+
+// Estimate implements gossip.Protocol.
+func (n *Node) Estimate() []float64 { return n.local().Estimate() }
+
+// LocalValue implements gossip.Protocol.
+func (n *Node) LocalValue() gossip.Value { return n.local() }
+
+// OnLinkFailure implements gossip.Protocol: algorithmically exclude the
+// failed link by zeroing its flow variable (paper Sec. II-A). This is
+// precisely the operation whose uncontrolled impact on the local estimate
+// causes PF's restart problem (Sec. II-C).
+func (n *Node) OnLinkFailure(neighbor int) {
+	if f, ok := n.flows[neighbor]; ok {
+		f.Zero()
+	}
+	n.live = remove(n.live, neighbor)
+}
+
+// LiveNeighbors implements gossip.Protocol.
+func (n *Node) LiveNeighbors() []int { return n.live }
+
+// Flow implements gossip.Flows, exposing f(i,j) for tests and the bus
+// worked example (paper Fig. 2).
+func (n *Node) Flow(neighbor int) gossip.Value {
+	if f, ok := n.flows[neighbor]; ok {
+		return f.Clone()
+	}
+	return gossip.NewValue(n.width)
+}
+
+func remove(list []int, x int) []int {
+	out := list[:0]
+	for _, v := range list {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SetInput implements gossip.DynamicInput: live-monitoring input change.
+// Flows are untouched; the local estimate shifts by the input delta and
+// the network re-averages it.
+func (n *Node) SetInput(v gossip.Value) {
+	n.init.Set(v)
+}

@@ -1,0 +1,98 @@
+// Package pushsum implements the push-sum gossip aggregation algorithm of
+// Kempe, Dobra and Gehrke (FOCS 2003), the non-fault-tolerant ancestor of
+// the push-flow and push-cancel-flow algorithms.
+//
+// Every node holds a mass (value, weight). In each activation it keeps
+// half of its mass and pushes the other half to a random neighbor;
+// receivers add incoming mass to their own. The estimate X/W at every
+// node converges to (Σ Xᵢ(0)) / (Σ Wᵢ(0)) in O(log n + log 1/ε) rounds on
+// well-connected topologies.
+//
+// Push-sum relies on global mass conservation: a single lost or corrupted
+// message permanently biases the result at every node (paper Sec. II-A).
+// It is included as the baseline whose fragility motivates the flow-based
+// algorithms.
+package pushsum
+
+import (
+	"pcfreduce/internal/gossip"
+)
+
+// Node is the push-sum state machine for a single node.
+type Node struct {
+	id        int
+	neighbors []int
+	live      []int
+	mass      gossip.Value
+	lastInput gossip.Value // for SetInput deltas (live monitoring)
+}
+
+// New returns an uninitialized push-sum node; callers must Reset it
+// (engines do this automatically).
+func New() *Node { return &Node{} }
+
+// Reset implements gossip.Protocol.
+func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
+	n.id = node
+	n.neighbors = append(n.neighbors[:0], neighbors...)
+	n.live = append(n.live[:0], neighbors...)
+	n.mass = init.Clone()
+	n.lastInput = init.Clone()
+}
+
+// MakeMessage implements gossip.Protocol: halve the local mass and ship
+// the other half.
+func (n *Node) MakeMessage(target int) gossip.Message {
+	half := n.mass.Half()
+	n.mass.SubInPlace(half)
+	return gossip.Message{From: n.id, To: target, Flow1: half}
+}
+
+// Receive implements gossip.Protocol: fold the received mass in.
+func (n *Node) Receive(msg gossip.Message) {
+	if msg.Flow1.Width() != n.mass.Width() || !msg.Flow1.Finite() {
+		// Malformed or detectably corrupted message: discard. Unlike
+		// the flow algorithms, discarding does NOT make push-sum safe —
+		// the sender already gave the mass away, so it is permanently
+		// lost (the fragility the paper's Sec. II-A describes).
+		return
+	}
+	n.mass.AddInPlace(msg.Flow1)
+}
+
+// Estimate implements gossip.Protocol.
+func (n *Node) Estimate() []float64 { return n.mass.Estimate() }
+
+// LocalValue implements gossip.Protocol.
+func (n *Node) LocalValue() gossip.Value { return n.mass.Clone() }
+
+// OnLinkFailure implements gossip.Protocol. Push-sum has no per-link
+// state to repair; it can only stop using the link. Mass already in
+// flight on the link is irrecoverably lost — the fragility the flow
+// algorithms fix.
+func (n *Node) OnLinkFailure(neighbor int) {
+	n.live = remove(n.live, neighbor)
+}
+
+// LiveNeighbors implements gossip.Protocol.
+func (n *Node) LiveNeighbors() []int { return n.live }
+
+func remove(list []int, x int) []int {
+	out := list[:0]
+	for _, v := range list {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SetInput implements gossip.DynamicInput: the input delta is added to
+// the current mass (push-sum keeps no input/flow separation). Note that
+// the adjustment inherits push-sum's fragility: if any message carrying
+// a share of it is lost, the correction is permanently incomplete.
+func (n *Node) SetInput(v gossip.Value) {
+	delta := v.Sub(n.lastInput)
+	n.mass.AddInPlace(delta)
+	n.lastInput.Set(v)
+}

@@ -1,0 +1,500 @@
+// Package runtime executes the reduction protocols as a genuinely
+// concurrent distributed system: every node is a goroutine, every node
+// has a bounded inbox channel, and messages travel between goroutines
+// with no global synchronization — the asynchronous, unsynchronized
+// execution model the paper targets ("they do not require any kind of
+// synchronization", Sec. I).
+//
+// The round-based engine in internal/sim is the instrument for exactly
+// reproducible experiments; this package is the existence proof that the
+// same protocol state machines run correctly under real concurrency,
+// message reordering, arbitrary interleaving and back-pressure loss
+// (a full inbox drops messages, which the flow protocols absorb by
+// design). Fault injection composes the same way as in the simulator:
+// per-message interceptors plus permanent link failures with endpoint
+// notification.
+//
+// Protocols are not internally synchronized; each node goroutine owns
+// its protocol instance and guards it with a per-node mutex so that the
+// convergence monitor can take consistent snapshots.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/stats"
+	"pcfreduce/internal/topology"
+)
+
+// Interceptor mirrors sim.Interceptor for the concurrent runtime. The
+// round argument of the simulator is replaced by the sender's send
+// sequence number. Implementations must be safe for concurrent use; use
+// Locked to wrap a single-threaded injector.
+type Interceptor interface {
+	Intercept(seq int, msg *gossip.Message) bool
+}
+
+// Locked wraps a non-thread-safe interceptor with a mutex.
+func Locked(ic interface {
+	Intercept(round int, msg *gossip.Message) bool
+}) Interceptor {
+	return &lockedInterceptor{inner: ic}
+}
+
+type lockedInterceptor struct {
+	mu    sync.Mutex
+	inner interface {
+		Intercept(round int, msg *gossip.Message) bool
+	}
+}
+
+func (l *lockedInterceptor) Intercept(seq int, msg *gossip.Message) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Intercept(seq, msg)
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// Graph is the communication topology.
+	Graph *topology.Graph
+	// NewProtocol constructs one protocol instance per node.
+	NewProtocol func() gossip.Protocol
+	// Init holds the per-node initial values (len == Graph.N()).
+	Init []gossip.Value
+	// Seed drives each node's private RNG (node i uses Seed+i).
+	Seed int64
+	// InboxCapacity bounds each node's inbox channel; sends to a full
+	// inbox are dropped (back-pressure loss). Default 256.
+	InboxCapacity int
+	// SendPacing is the interval between a node's consecutive sends,
+	// modeling the gossip tick of a real deployment. Default 50µs.
+	//
+	// Pacing is not an optimization: a node that pushes unboundedly
+	// fast moves its entire local mass into not-yet-acknowledged flow
+	// deltas (every send adds e/2 to an edge flow before the peer has
+	// mirrored the previous one), leaving all local masses near 0/0.
+	// Flow exchange heals each edge at the next delivery, but only if
+	// deliveries keep pace with sends. Negative values disable pacing
+	// for tests that deliberately explore that regime.
+	SendPacing time.Duration
+	// Interceptor, when non-nil, filters/corrupts every message.
+	Interceptor Interceptor
+}
+
+// Network is a running (or runnable) concurrent gossip system.
+type Network struct {
+	cfg     Config
+	n       int
+	nodes   []*node
+	targets []float64
+
+	targetsMu sync.RWMutex
+	failedMu  sync.RWMutex
+	failed    map[[2]int]bool
+}
+
+type node struct {
+	id      int
+	mu      sync.Mutex // guards proto and crashed
+	proto   gossip.Protocol
+	inbox   chan gossip.Message
+	rng     *rand.Rand
+	sends   int
+	crashed bool
+}
+
+// linkDown is the control message a node receives when one of its links
+// permanently fails; To is the surviving node, From the lost neighbor.
+// It is distinguished from data messages by a zero-width Flow1 plus the
+// control byte 0xFF, which no protocol emits.
+const linkDownC = 0xFF
+
+// New builds the network and initializes all protocol instances.
+func New(cfg Config) (*Network, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("runtime: nil graph")
+	}
+	n := cfg.Graph.N()
+	if len(cfg.Init) != n {
+		return nil, fmt.Errorf("runtime: %d initial values for %d nodes", len(cfg.Init), n)
+	}
+	if cfg.NewProtocol == nil {
+		return nil, errors.New("runtime: nil protocol constructor")
+	}
+	if cfg.InboxCapacity <= 0 {
+		cfg.InboxCapacity = 256
+	}
+	if cfg.SendPacing == 0 {
+		cfg.SendPacing = 50 * time.Microsecond
+	}
+	net := &Network{
+		cfg:    cfg,
+		n:      n,
+		nodes:  make([]*node, n),
+		failed: make(map[[2]int]bool),
+	}
+	for i := 0; i < n; i++ {
+		p := cfg.NewProtocol()
+		p.Reset(i, cfg.Graph.Neighbors(i), cfg.Init[i].Clone())
+		net.nodes[i] = &node{
+			id:    i,
+			proto: p,
+			inbox: make(chan gossip.Message, cfg.InboxCapacity),
+			rng:   rand.New(rand.NewSource(cfg.Seed + int64(i))),
+		}
+	}
+	// Oracle aggregate for convergence monitoring.
+	width := cfg.Init[0].Width()
+	sums := make([]stats.Sum2, width)
+	var wsum stats.Sum2
+	for _, v := range cfg.Init {
+		wsum.Add(v.W)
+		for k, x := range v.X {
+			sums[k].Add(x)
+		}
+	}
+	net.targets = make([]float64, width)
+	for k := range net.targets {
+		net.targets[k] = sums[k].Value() / wsum.Value()
+	}
+	return net, nil
+}
+
+// Targets returns a snapshot of the oracle aggregate per component.
+func (net *Network) Targets() []float64 {
+	net.targetsMu.RLock()
+	defer net.targetsMu.RUnlock()
+	return append([]float64(nil), net.targets...)
+}
+
+// FailLink permanently fails the undirected link (i, j): subsequent
+// sends on it are dropped and both endpoints receive an asynchronous
+// link-down notification, mirroring a failure detector.
+func (net *Network) FailLink(i, j int) {
+	key := linkKey(i, j)
+	net.failedMu.Lock()
+	already := net.failed[key]
+	net.failed[key] = true
+	net.failedMu.Unlock()
+	if already {
+		return
+	}
+	// Notify both endpoints; a full inbox cannot reject the
+	// notification silently, so block until accepted.
+	net.nodes[i].inbox <- gossip.Message{From: j, To: i, C: linkDownC}
+	net.nodes[j].inbox <- gossip.Message{From: i, To: j, C: linkDownC}
+}
+
+func (net *Network) linkFailed(i, j int) bool {
+	net.failedMu.RLock()
+	defer net.failedMu.RUnlock()
+	return net.failed[linkKey(i, j)]
+}
+
+// CrashNode permanently removes node i mid-run: all its links fail (the
+// surviving endpoints are notified asynchronously), its goroutine stops
+// gossiping, and the oracle aggregate is recomputed over the survivors.
+// The crashed node's estimates are reported as NaN from then on.
+func (net *Network) CrashNode(i int) {
+	nd := net.nodes[i]
+	nd.mu.Lock()
+	if nd.crashed {
+		nd.mu.Unlock()
+		return
+	}
+	nd.crashed = true
+	nd.mu.Unlock()
+	for _, j := range net.cfg.Graph.Neighbors(i) {
+		key := linkKey(i, j)
+		net.failedMu.Lock()
+		already := net.failed[key]
+		net.failed[key] = true
+		net.failedMu.Unlock()
+		if !already {
+			net.nodes[j].inbox <- gossip.Message{From: i, To: j, C: linkDownC}
+		}
+	}
+	// Recompute the oracle over survivors.
+	width := len(net.targets)
+	sums := make([]stats.Sum2, width)
+	var wsum stats.Sum2
+	for k, v := range net.cfg.Init {
+		if net.nodes[k].isCrashed() {
+			continue
+		}
+		wsum.Add(v.W)
+		for c, x := range v.X {
+			sums[c].Add(x)
+		}
+	}
+	net.targetsMu.Lock()
+	for c := range net.targets {
+		net.targets[c] = sums[c].Value() / wsum.Value()
+	}
+	net.targetsMu.Unlock()
+}
+
+func (nd *node) isCrashed() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.crashed
+}
+
+// Estimates snapshots every node's current estimate; crashed nodes
+// report NaN in every component.
+func (net *Network) Estimates() [][]float64 {
+	out := make([][]float64, net.n)
+	width := len(net.cfg.Init[0].X)
+	for i, nd := range net.nodes {
+		nd.mu.Lock()
+		if nd.crashed {
+			est := make([]float64, width)
+			for k := range est {
+				est[k] = math.NaN()
+			}
+			out[i] = est
+		} else {
+			out[i] = nd.proto.Estimate()
+		}
+		nd.mu.Unlock()
+	}
+	return out
+}
+
+// MaxError returns the worst relative local error over all nodes and
+// components against the oracle aggregate.
+func (net *Network) MaxError() float64 {
+	worst := 0.0
+	targets := net.Targets()
+	for i, est := range net.Estimates() {
+		if net.nodes[i].isCrashed() {
+			continue
+		}
+		for k, t := range targets {
+			err := stats.RelErr(est[k], t)
+			if math.IsNaN(err) {
+				return math.NaN()
+			}
+			if err > worst {
+				worst = err
+			}
+		}
+	}
+	return worst
+}
+
+// Spread returns the worst relative disagreement between node estimates
+// over all components: max_k (max_i est_i[k] − min_i est_i[k]) scaled by
+// the component magnitude. Unlike MaxError it requires no oracle.
+func (net *Network) Spread() float64 {
+	ests := net.Estimates()
+	worst := 0.0
+	width := len(net.cfg.Init[0].X)
+	for k := 0; k < width; k++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, est := range ests {
+			if net.nodes[i].isCrashed() {
+				continue
+			}
+			v := est[k]
+			if math.IsNaN(v) {
+				return math.NaN()
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		scale := math.Max(math.Abs(lo), math.Abs(hi))
+		gap := hi - lo
+		if scale > 0 {
+			gap /= scale
+		}
+		if gap > worst {
+			worst = gap
+		}
+	}
+	return worst
+}
+
+// RunConfig controls a concurrent run.
+type RunConfig struct {
+	// Eps is the convergence target checked by the monitor (> 0).
+	Eps float64
+	// OracleFree switches the monitor from oracle error (distance to
+	// the true aggregate, which a real deployment does not know) to
+	// estimate spread: the run converges when the relative gap between
+	// the largest and smallest node estimate is ≤ Eps on every
+	// component. Spread-based detection needs no knowledge of the
+	// target; for mass-conserving protocols, spread ≤ ε implies all
+	// estimates are within ε of the aggregate they jointly converge to.
+	OracleFree bool
+	// CheckInterval is how often the monitor samples the network.
+	// Default 200µs.
+	CheckInterval time.Duration
+	// Timeout bounds the run wall-clock (required, > 0).
+	Timeout time.Duration
+	// Stable requires the error to hold below Eps for this many
+	// consecutive monitor samples (default 1). NaN estimates (weight
+	// mass not yet spread) never count as converged.
+	Stable int
+}
+
+// RunResult describes a concurrent run.
+type RunResult struct {
+	// Converged reports whether Eps was reached within Timeout.
+	Converged bool
+	// FinalMaxError is the last sampled maximal relative error.
+	FinalMaxError float64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// TotalSends is the number of messages emitted by all nodes.
+	TotalSends int
+}
+
+// Run starts all node goroutines, monitors convergence, and shuts the
+// network down. It returns once converged or timed out; the Network can
+// be Run again only after re-construction.
+func (net *Network) Run(ctx context.Context, cfg RunConfig) RunResult {
+	if cfg.Eps <= 0 {
+		panic("runtime: RunConfig.Eps must be positive")
+	}
+	if cfg.Timeout <= 0 {
+		panic("runtime: RunConfig.Timeout must be positive")
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = 200 * time.Microsecond
+	}
+	if cfg.Stable <= 0 {
+		cfg.Stable = 1
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, nd := range net.nodes {
+		wg.Add(1)
+		go func(nd *node) {
+			defer wg.Done()
+			net.nodeLoop(ctx, nd)
+		}(nd)
+	}
+
+	res := RunResult{FinalMaxError: math.Inf(1)}
+	stable := 0
+	ticker := time.NewTicker(cfg.CheckInterval)
+	defer ticker.Stop()
+monitor:
+	for {
+		select {
+		case <-ctx.Done():
+			break monitor
+		case <-ticker.C:
+			var err float64
+			if cfg.OracleFree {
+				err = net.Spread()
+			} else {
+				err = net.MaxError()
+			}
+			res.FinalMaxError = err
+			if !math.IsNaN(err) && err <= cfg.Eps {
+				stable++
+				if stable >= cfg.Stable {
+					res.Converged = true
+					break monitor
+				}
+			} else {
+				stable = 0
+			}
+		}
+	}
+	cancel()
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	for _, nd := range net.nodes {
+		res.TotalSends += nd.sends
+	}
+	return res
+}
+
+// nodeLoop is the per-node goroutine: drain the inbox, push to a random
+// live neighbor, repeat.
+func (net *Network) nodeLoop(ctx context.Context, nd *node) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		// Drain everything currently queued.
+		for {
+			select {
+			case msg := <-nd.inbox:
+				nd.mu.Lock()
+				if msg.C == linkDownC && msg.Flow1.Width() == 0 {
+					nd.proto.OnLinkFailure(msg.From)
+				} else {
+					nd.proto.Receive(msg)
+				}
+				nd.mu.Unlock()
+				continue
+			default:
+			}
+			break
+		}
+		// Push to one random live neighbor (crashed nodes fall silent
+		// but keep draining their inbox so notifications don't block).
+		nd.mu.Lock()
+		var msg gossip.Message
+		send := false
+		if !nd.crashed {
+			if live := nd.proto.LiveNeighbors(); len(live) > 0 {
+				send = true
+				msg = nd.proto.MakeMessage(live[nd.rng.Intn(len(live))])
+			}
+		}
+		nd.mu.Unlock()
+		if send {
+			nd.sends++
+			net.deliver(nd, msg)
+		}
+		if net.cfg.SendPacing > 0 {
+			// Plain Sleep: the pacing quantum is far below the context
+			// cancellation latency anyone cares about, and the loop
+			// re-checks ctx right away.
+			time.Sleep(net.cfg.SendPacing)
+		}
+	}
+}
+
+// deliver routes a message through failures and the interceptor into the
+// destination inbox, dropping on back-pressure.
+func (net *Network) deliver(from *node, msg gossip.Message) {
+	if net.linkFailed(msg.From, msg.To) {
+		return
+	}
+	if ic := net.cfg.Interceptor; ic != nil && !ic.Intercept(from.sends, &msg) {
+		return
+	}
+	select {
+	case net.nodes[msg.To].inbox <- msg:
+	default:
+		// Inbox full: the message is lost. Flow-based protocols heal at
+		// the next successful exchange; push-sum does not — which is
+		// the point the paper makes about it.
+	}
+}
+
+func linkKey(i, j int) [2]int {
+	if i < j {
+		return [2]int{i, j}
+	}
+	return [2]int{j, i}
+}

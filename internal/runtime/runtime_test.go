@@ -1,0 +1,243 @@
+package runtime
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"pcfreduce/internal/core"
+	"pcfreduce/internal/fault"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/pushflow"
+	"pcfreduce/internal/pushsum"
+	"pcfreduce/internal/topology"
+)
+
+func scalarInit(n int, agg gossip.Aggregate) []gossip.Value {
+	init := make([]gossip.Value, n)
+	for i := range init {
+		init[i] = gossip.Scalar(float64(i%9)+0.5, agg.InitialWeight(i))
+	}
+	return init
+}
+
+func mustNew(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestConvergesConcurrently(t *testing.T) {
+	mks := map[string]func() gossip.Protocol{
+		"pushsum":    func() gossip.Protocol { return pushsum.New() },
+		"pushflow":   func() gossip.Protocol { return pushflow.New() },
+		"pcf":        func() gossip.Protocol { return core.NewEfficient() },
+		"pcf-robust": func() gossip.Protocol { return core.NewRobust() },
+	}
+	g := topology.Hypercube(5)
+	for name, mk := range mks {
+		net := mustNew(t, Config{Graph: g, NewProtocol: mk, Init: scalarInit(g.N(), gossip.Average), Seed: 1})
+		res := net.Run(context.Background(), RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3})
+		if !res.Converged {
+			t.Errorf("%s: not converged (err %.3e, %d sends)", name, res.FinalMaxError, res.TotalSends)
+		}
+	}
+}
+
+func TestTargetsOracle(t *testing.T) {
+	g := topology.Ring(4)
+	init := []gossip.Value{
+		gossip.Scalar(1, 1), gossip.Scalar(2, 1), gossip.Scalar(3, 1), gossip.Scalar(10, 1),
+	}
+	net := mustNew(t, Config{Graph: g, NewProtocol: func() gossip.Protocol { return core.NewEfficient() }, Init: init, Seed: 1})
+	if got := net.Targets()[0]; got != 4 {
+		t.Fatalf("target = %g, want 4", got)
+	}
+}
+
+func TestLinkFailureDuringRun(t *testing.T) {
+	g := topology.Hypercube(4)
+	net := mustNew(t, Config{
+		Graph:       g,
+		NewProtocol: func() gossip.Protocol { return core.NewEfficient() },
+		Init:        scalarInit(g.N(), gossip.Average),
+		Seed:        2,
+	})
+	done := make(chan RunResult, 1)
+	go func() {
+		done <- net.Run(context.Background(), RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 5})
+	}()
+	time.Sleep(3 * time.Millisecond)
+	net.FailLink(0, 1)
+	net.FailLink(0, 1) // idempotent
+	res := <-done
+	if !res.Converged {
+		t.Fatalf("did not converge after link failure: %.3e", res.FinalMaxError)
+	}
+}
+
+func TestInterceptorLoss(t *testing.T) {
+	g := topology.Hypercube(4)
+	net := mustNew(t, Config{
+		Graph:       g,
+		NewProtocol: func() gossip.Protocol { return core.NewRobust() },
+		Init:        scalarInit(g.N(), gossip.Average),
+		Seed:        3,
+		Interceptor: Locked(fault.NewLoss(0.1, 9)),
+	})
+	res := net.Run(context.Background(), RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3})
+	if !res.Converged {
+		t.Fatalf("did not converge under 10%% loss: %.3e", res.FinalMaxError)
+	}
+}
+
+func TestPushSumBreaksUnderLossConcurrently(t *testing.T) {
+	g := topology.Hypercube(4)
+	net := mustNew(t, Config{
+		Graph:       g,
+		NewProtocol: func() gossip.Protocol { return pushsum.New() },
+		Init:        scalarInit(g.N(), gossip.Average),
+		Seed:        3,
+		Interceptor: Locked(fault.NewLoss(0.1, 9)),
+	})
+	res := net.Run(context.Background(), RunConfig{Eps: 1e-11, Timeout: 1 * time.Second, Stable: 3})
+	if res.Converged {
+		t.Fatal("push-sum converged to 1e-11 despite sustained loss — impossible")
+	}
+}
+
+func TestTinyInboxBackpressure(t *testing.T) {
+	g := topology.Complete(8)
+	net := mustNew(t, Config{
+		Graph:         g,
+		NewProtocol:   func() gossip.Protocol { return core.NewEfficient() },
+		Init:          scalarInit(8, gossip.Average),
+		Seed:          4,
+		InboxCapacity: 2, // heavy back-pressure loss
+	})
+	res := net.Run(context.Background(), RunConfig{Eps: 1e-8, Timeout: 10 * time.Second, Stable: 3})
+	if !res.Converged {
+		t.Fatalf("did not converge under back-pressure: %.3e", res.FinalMaxError)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := topology.Ring(4)
+	mk := func() gossip.Protocol { return core.NewEfficient() }
+	if _, err := New(Config{NewProtocol: mk, Init: scalarInit(4, gossip.Average)}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := New(Config{Graph: g, NewProtocol: mk, Init: scalarInit(3, gossip.Average)}); err == nil {
+		t.Fatal("wrong init length accepted")
+	}
+	if _, err := New(Config{Graph: g, Init: scalarInit(4, gossip.Average)}); err == nil {
+		t.Fatal("nil protocol constructor accepted")
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	g := topology.Ring(4)
+	net := mustNew(t, Config{Graph: g, NewProtocol: func() gossip.Protocol { return core.NewEfficient() }, Init: scalarInit(4, gossip.Average)})
+	for _, cfg := range []RunConfig{
+		{Timeout: time.Second}, // no eps
+		{Eps: 1e-9},            // no timeout
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("invalid %+v accepted", cfg)
+				}
+			}()
+			net.Run(context.Background(), cfg)
+		}()
+	}
+}
+
+func TestEstimatesSnapshot(t *testing.T) {
+	g := topology.Ring(4)
+	net := mustNew(t, Config{Graph: g, NewProtocol: func() gossip.Protocol { return core.NewEfficient() }, Init: scalarInit(4, gossip.Average)})
+	ests := net.Estimates()
+	if len(ests) != 4 {
+		t.Fatalf("%d estimates", len(ests))
+	}
+	for i, est := range ests {
+		if len(est) != 1 || math.IsNaN(est[0]) {
+			t.Fatalf("node %d estimate %v before run", i, est)
+		}
+	}
+}
+
+// Oracle-free termination: the spread criterion converges without any
+// knowledge of the true aggregate, and the result is nevertheless close
+// to it.
+func TestOracleFreeTermination(t *testing.T) {
+	g := topology.Hypercube(5)
+	net := mustNew(t, Config{
+		Graph:       g,
+		NewProtocol: func() gossip.Protocol { return core.NewEfficient() },
+		Init:        scalarInit(g.N(), gossip.Average),
+		Seed:        6,
+	})
+	res := net.Run(context.Background(), RunConfig{
+		Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3, OracleFree: true,
+	})
+	if !res.Converged {
+		t.Fatalf("spread criterion not met: %.3e", res.FinalMaxError)
+	}
+	if err := net.MaxError(); err > 1e-8 {
+		t.Fatalf("spread converged but oracle error is %.3e", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	g := topology.Hypercube(6)
+	net := mustNew(t, Config{Graph: g, NewProtocol: func() gossip.Protocol { return core.NewEfficient() }, Init: scalarInit(64, gossip.Average)})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	net.Run(ctx, RunConfig{Eps: 1e-300, Timeout: time.Minute})
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not stop the run promptly")
+	}
+}
+
+// A node crash mid-run: the survivors converge to their aggregate (the
+// crash happens before mass spreads, so the dead node takes only its own
+// input).
+func TestCrashNodeDuringRun(t *testing.T) {
+	g := topology.Hypercube(4)
+	net := mustNew(t, Config{
+		Graph:       g,
+		NewProtocol: func() gossip.Protocol { return core.NewEfficient() },
+		Init:        scalarInit(g.N(), gossip.Average),
+		Seed:        8,
+	})
+	net.CrashNode(5) // crash before the run starts: no mass has spread
+	net.CrashNode(5) // idempotent
+	res := net.Run(context.Background(), RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3})
+	if !res.Converged {
+		t.Fatalf("survivors did not converge: %.3e", res.FinalMaxError)
+	}
+	ests := net.Estimates()
+	if !math.IsNaN(ests[5][0]) {
+		t.Fatal("crashed node must report NaN")
+	}
+	// Oracle matches the survivors' aggregate.
+	var want float64
+	for i := 0; i < g.N(); i++ {
+		if i != 5 {
+			want += float64(i%9) + 0.5
+		}
+	}
+	want /= float64(g.N() - 1)
+	if got := net.Targets()[0]; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("targets = %.15g, want %.15g", got, want)
+	}
+}

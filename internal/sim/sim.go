@@ -1,0 +1,601 @@
+// Package sim provides the deterministic, round-based gossip simulator
+// used for all paper experiments. In every round each live node is
+// activated once (in a seeded random permutation); an activated node
+// first processes the messages queued in its inbox and then pushes one
+// message to a uniformly random live neighbor, exactly the execution
+// model of the paper's Figs. 1 and 5 ("on receive … on send").
+//
+// Delivery is immediate: a sent message is appended to the target's
+// inbox and processed at the target's next activation. Activations are
+// therefore globally ordered, which makes each pairwise flow exchange
+// atomic — the standard sequential-event simulation of gossip protocols.
+// (A lockstep double-buffered model would make the two endpoints of an
+// edge overwrite each other's flow variables from stale state on every
+// round, which biases the flow algorithms' ratio estimates; sequential
+// activation avoids this artifact.)
+//
+// Two design decisions matter for reproducing the paper:
+//
+//   - The engine, not the protocol, draws the random communication
+//     schedule (activation permutations and push targets). Two
+//     algorithms run with the same seed therefore exchange messages
+//     along bit-identical schedules, which the paper exploits when
+//     comparing PF and PCF ("we initially used exactly the same random
+//     seed", Sec. III-C).
+//
+//   - Convergence is measured by an oracle: the engine knows the exact
+//     aggregate (computed with compensated summation) and tracks each
+//     node's relative local error, the quantity plotted in Figs. 3, 4,
+//     6 and 7.
+//
+// Fault injection composes via the Interceptor hook (per-message drop or
+// corruption) and the FailLink/CrashNode methods (permanent failures with
+// endpoint notification, as assumed in Sec. II-C).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/stats"
+	"pcfreduce/internal/topology"
+)
+
+// Interceptor inspects (and may mutate or veto) every message at send
+// time. Fault models such as message loss and bit flips implement it.
+type Interceptor interface {
+	// Intercept is called once per message in the given round. Returning
+	// false drops the message. The message may be mutated in place to
+	// model corruption.
+	Intercept(round int, msg *gossip.Message) bool
+}
+
+// InterceptorFunc adapts a function to the Interceptor interface.
+type InterceptorFunc func(round int, msg *gossip.Message) bool
+
+// Intercept implements Interceptor.
+func (f InterceptorFunc) Intercept(round int, msg *gossip.Message) bool { return f(round, msg) }
+
+// Replicator is an optional extension of Interceptor: when the installed
+// interceptor also implements Replicator, Copies is consulted after
+// Intercept passes a message and the message is enqueued that many times
+// (1 = normal delivery, 2 = duplicated, 0 behaves like a drop). Used to
+// model duplicate delivery without breaking per-link FIFO order.
+type Replicator interface {
+	Copies(round int, msg *gossip.Message) int
+}
+
+// Injector is an optional extension of Interceptor: after each send is
+// processed (delivered or dropped), Extra is consulted and the returned
+// messages are enqueued verbatim. Used to model delayed/reordered
+// delivery of previously held-back messages.
+type Injector interface {
+	Extra(round int) []gossip.Message
+}
+
+// Order selects the per-round activation order of the nodes.
+type Order int
+
+const (
+	// RandomOrder activates nodes in a fresh seeded random permutation
+	// each round (the default; models unsynchronized gossip).
+	RandomOrder Order = iota
+	// FixedOrder activates nodes in id order every round (the "regular,
+	// synchronous communication schedule" of the paper's bus example).
+	FixedOrder
+)
+
+// Engine drives a set of protocol instances over a topology in rounds.
+type Engine struct {
+	graph  *topology.Graph
+	protos []gossip.Protocol
+	init   []gossip.Value
+	rng    *rand.Rand
+	order  Order
+
+	inbox [][]gossip.Message
+	alive []bool
+	dead  map[[2]int]bool // failed links, ordered pairs i<j
+
+	targets     []float64 // oracle aggregate per component
+	targetScale float64   // max_k |targets[k]|, for WithVectorScaleErrors
+	scaleErrors bool
+	round       int
+
+	interceptor Interceptor
+
+	perm   []int     // activation-order scratch
+	errBuf []float64 // Errors scratch
+}
+
+// EngineOption configures an Engine at construction time.
+type EngineOption func(*Engine)
+
+// WithOrder sets the activation order policy.
+func WithOrder(o Order) EngineOption { return func(e *Engine) { e.order = o } }
+
+// WithVectorScaleErrors switches the per-node error metric from
+// per-component relative error to error relative to the target vector's
+// scale: err_i = max_k |est_i[k] − t_k| / max_j |t_j|. For scalar
+// reductions the two coincide (up to the zero-target fallback); for
+// vector-valued reductions — e.g. the batched dot products of dmGS —
+// components that are incidentally tiny (nearly orthogonal columns) no
+// longer dominate the convergence criterion with meaninglessly large
+// relative errors.
+func WithVectorScaleErrors() EngineOption { return func(e *Engine) { e.scaleErrors = true } }
+
+// New creates an engine over graph g with one protocol instance and one
+// initial value per node. The protocols are Reset with the graph's
+// neighborhoods. All initial values must share the same width.
+func New(g *topology.Graph, protos []gossip.Protocol, init []gossip.Value, seed int64, opts ...EngineOption) *Engine {
+	n := g.N()
+	if len(protos) != n || len(init) != n {
+		panic(fmt.Sprintf("sim: got %d protocols and %d initial values for %d nodes", len(protos), len(init), n))
+	}
+	width := init[0].Width()
+	for i, v := range init {
+		if v.Width() != width {
+			panic(fmt.Sprintf("sim: initial value width mismatch at node %d", i))
+		}
+	}
+	e := &Engine{
+		graph:  g,
+		protos: protos,
+		init:   make([]gossip.Value, n),
+		rng:    rand.New(rand.NewSource(seed)),
+		inbox:  make([][]gossip.Message, n),
+		alive:  make([]bool, n),
+		dead:   make(map[[2]int]bool),
+		perm:   make([]int, n),
+		errBuf: make([]float64, 0, n),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	for i := range protos {
+		e.init[i] = init[i].Clone()
+		e.alive[i] = true
+		protos[i].Reset(i, g.Neighbors(i), init[i].Clone())
+	}
+	for i := range e.perm {
+		e.perm[i] = i
+	}
+	e.recomputeTargets()
+	return e
+}
+
+// NewScalar is a convenience constructor for scalar reductions: node i
+// starts with data inputs[i] and the weight prescribed by the aggregate.
+func NewScalar(g *topology.Graph, protos []gossip.Protocol, inputs []float64, agg gossip.Aggregate, seed int64, opts ...EngineOption) *Engine {
+	init := make([]gossip.Value, len(inputs))
+	for i, x := range inputs {
+		init[i] = gossip.Scalar(x, agg.InitialWeight(i))
+	}
+	return New(g, protos, init, seed, opts...)
+}
+
+// SetInterceptor installs the message interceptor (nil disables).
+func (e *Engine) SetInterceptor(ic Interceptor) { e.interceptor = ic }
+
+// Round returns the number of completed rounds.
+func (e *Engine) Round() int { return e.round }
+
+// N returns the number of nodes.
+func (e *Engine) N() int { return e.graph.N() }
+
+// Graph returns the engine's topology.
+func (e *Engine) Graph() *topology.Graph { return e.graph }
+
+// Protocol returns node i's protocol instance.
+func (e *Engine) Protocol(i int) gossip.Protocol { return e.protos[i] }
+
+// Targets returns the oracle aggregate, one entry per data component,
+// computed over the currently alive nodes with compensated summation.
+func (e *Engine) Targets() []float64 { return e.targets }
+
+func (e *Engine) recomputeTargets() {
+	width := e.init[0].Width()
+	e.targets = make([]float64, width)
+	var wsum stats.Sum2
+	sums := make([]stats.Sum2, width)
+	for i, v := range e.init {
+		if !e.alive[i] {
+			continue
+		}
+		wsum.Add(v.W)
+		for k, x := range v.X {
+			sums[k].Add(x)
+		}
+	}
+	for k := range e.targets {
+		e.targets[k] = sums[k].Value() / wsum.Value()
+	}
+	e.targetScale = 0
+	for _, t := range e.targets {
+		if a := math.Abs(t); a > e.targetScale {
+			e.targetScale = a
+		}
+	}
+}
+
+// Step executes one round: every live node, in activation order, first
+// processes its inbox and then pushes one message to a uniformly random
+// live neighbor.
+func (e *Engine) Step() {
+	if e.order == RandomOrder {
+		e.shufflePerm()
+	}
+	for _, i := range e.perm {
+		if !e.alive[i] {
+			continue
+		}
+		p := e.protos[i]
+		e.drainInbox(i)
+		live := p.LiveNeighbors()
+		if len(live) == 0 {
+			continue
+		}
+		target := live[e.rng.Intn(len(live))]
+		e.send(p.MakeMessage(target))
+	}
+	e.round++
+}
+
+func (e *Engine) shufflePerm() {
+	e.rng.Shuffle(len(e.perm), func(a, b int) { e.perm[a], e.perm[b] = e.perm[b], e.perm[a] })
+}
+
+func (e *Engine) drainInbox(i int) {
+	// Process a snapshot: receives never enqueue messages in this model,
+	// but keep the loop index-based so appends during processing (not
+	// expected) would still be seen.
+	msgs := e.inbox[i]
+	for k := 0; k < len(msgs); k++ {
+		e.protos[i].Receive(msgs[k])
+	}
+	e.inbox[i] = e.inbox[i][:0]
+}
+
+// send routes msg through the link-failure table and the interceptor into
+// the destination inbox.
+func (e *Engine) send(msg gossip.Message) {
+	if e.dead[linkKey(msg.From, msg.To)] || !e.alive[msg.To] {
+		return // sent into a broken link or to a dead node: lost
+	}
+	if e.interceptor == nil {
+		e.inbox[msg.To] = append(e.inbox[msg.To], msg)
+		return
+	}
+	if e.interceptor.Intercept(e.round, &msg) {
+		copies := 1
+		if r, ok := e.interceptor.(Replicator); ok {
+			copies = r.Copies(e.round, &msg)
+		}
+		for k := 0; k < copies; k++ {
+			if k == 0 {
+				e.inbox[msg.To] = append(e.inbox[msg.To], msg)
+			} else {
+				e.inbox[msg.To] = append(e.inbox[msg.To], msg.Clone())
+			}
+		}
+	}
+	if inj, ok := e.interceptor.(Injector); ok {
+		for _, extra := range inj.Extra(e.round) {
+			if e.dead[linkKey(extra.From, extra.To)] || !e.alive[extra.To] {
+				continue
+			}
+			e.inbox[extra.To] = append(e.inbox[extra.To], extra)
+		}
+	}
+}
+
+// Drain delivers all pending messages without generating new sends.
+// After Drain, every exchange has been acknowledged, so flow conservation
+// (and hence mass conservation) holds exactly for flow-based protocols.
+// Primarily a testing aid.
+func (e *Engine) Drain() {
+	for i := range e.inbox {
+		if !e.alive[i] {
+			e.inbox[i] = e.inbox[i][:0]
+			continue
+		}
+		e.drainInbox(i)
+	}
+}
+
+// FailLink permanently fails the undirected link between i and j at a
+// quiescent point: messages already in flight on the link are delivered
+// first, then both endpoints are notified (they zero the corresponding
+// flow state, per Sec. II-C of the paper).
+//
+// This is the failure model under which the paper's Figs. 4/7 hold
+// exactly: with the edge's flow pair acknowledged, zeroing both mirrors
+// is a pure mass *redistribution* (large for PF — the restart effect;
+// tiny for PCF — no fall-back) and global mass conservation is
+// untouched. See FailLinkAbrupt for the harsher model.
+func (e *Engine) FailLink(i, j int) {
+	e.failLink(i, j, false)
+}
+
+// FailLinkAbrupt fails the link mid-transit: in-flight messages on the
+// link are lost. The destroyed messages leave the edge's flow pair
+// unacknowledged, so beyond the redistribution effect the network
+// permanently loses the unacked mass delta. For PCF that delta has the
+// ratio of the sender's current estimate, so the resulting bias is
+// roughly ε(t_fail)/n — far below the error at failure time, but a
+// floor the reduction cannot later cross (measured by EXP-H).
+func (e *Engine) FailLinkAbrupt(i, j int) {
+	e.failLink(i, j, true)
+}
+
+func (e *Engine) failLink(i, j int, abrupt bool) {
+	if !e.graph.HasEdge(i, j) {
+		panic(fmt.Sprintf("sim: no link (%d,%d) to fail", i, j))
+	}
+	key := linkKey(i, j)
+	if e.dead[key] {
+		return
+	}
+	if abrupt {
+		e.dead[key] = true
+		e.purgeLink(i, j)
+	} else {
+		e.flushLink(i, j)
+		e.dead[key] = true
+	}
+	if e.alive[i] {
+		e.protos[i].OnLinkFailure(j)
+	}
+	if e.alive[j] {
+		e.protos[j].OnLinkFailure(i)
+	}
+}
+
+// flushLink delivers the in-flight messages between i and j (in queue
+// order) and removes them from the inboxes.
+func (e *Engine) flushLink(i, j int) {
+	for _, v := range [2]int{i, j} {
+		if !e.alive[v] {
+			e.inbox[v] = e.inbox[v][:0]
+			continue
+		}
+		out := e.inbox[v][:0]
+		for _, m := range e.inbox[v] {
+			if (m.From == i && m.To == j) || (m.From == j && m.To == i) {
+				e.protos[v].Receive(m)
+				continue
+			}
+			out = append(out, m)
+		}
+		e.inbox[v] = out
+	}
+}
+
+// CrashNode permanently fails node i: all its links fail (with endpoint
+// notification on the surviving side), it stops participating, and the
+// oracle aggregate is recomputed over the survivors — the value the
+// network can still recover (the crashed node's local mass is lost, and
+// flow algorithms reclaim per-link contributions by zeroing flows).
+func (e *Engine) CrashNode(i int) {
+	if !e.alive[i] {
+		return
+	}
+	e.alive[i] = false
+	for _, j := range e.graph.Neighbors(i) {
+		key := linkKey(i, j)
+		if e.dead[key] {
+			continue
+		}
+		e.dead[key] = true
+		e.purgeLink(i, j)
+		if e.alive[j] {
+			e.protos[j].OnLinkFailure(i)
+		}
+	}
+	e.inbox[i] = e.inbox[i][:0]
+	e.recomputeTargets()
+}
+
+// purgeLink removes in-flight messages between i and j; such messages can
+// only sit in the two endpoint inboxes.
+func (e *Engine) purgeLink(i, j int) {
+	for _, v := range [2]int{i, j} {
+		out := e.inbox[v][:0]
+		for _, m := range e.inbox[v] {
+			if (m.From == i && m.To == j) || (m.From == j && m.To == i) {
+				continue
+			}
+			out = append(out, m)
+		}
+		e.inbox[v] = out
+	}
+}
+
+// Alive reports whether node i has not crashed.
+func (e *Engine) Alive(i int) bool { return e.alive[i] }
+
+// UpdateInput replaces node i's input value mid-run (live monitoring,
+// the paper's reference [8] use case) and updates the oracle aggregate.
+// The protocol must implement gossip.DynamicInput and the new value must
+// keep the node's original weight and width.
+func (e *Engine) UpdateInput(i int, v gossip.Value) {
+	dyn, ok := e.protos[i].(gossip.DynamicInput)
+	if !ok {
+		panic(fmt.Sprintf("sim: protocol of node %d does not support dynamic inputs", i))
+	}
+	if v.Width() != e.init[i].Width() || v.W != e.init[i].W {
+		panic("sim: UpdateInput must preserve width and weight")
+	}
+	if !e.alive[i] {
+		return
+	}
+	e.init[i] = v.Clone()
+	dyn.SetInput(v)
+	e.recomputeTargets()
+}
+
+// Estimates returns each alive node's current estimate vector; crashed
+// nodes yield nil.
+func (e *Engine) Estimates() [][]float64 {
+	out := make([][]float64, len(e.protos))
+	for i, p := range e.protos {
+		if e.alive[i] {
+			out[i] = p.Estimate()
+		}
+	}
+	return out
+}
+
+// Errors returns, for each alive node, the worst relative error over all
+// data components against the oracle aggregate. The returned slice is
+// reused across calls.
+func (e *Engine) Errors() []float64 {
+	e.errBuf = e.errBuf[:0]
+	for i, p := range e.protos {
+		if !e.alive[i] {
+			continue
+		}
+		est := p.Estimate()
+		worst := 0.0
+		for k, t := range e.targets {
+			var err float64
+			if e.scaleErrors && e.targetScale > 0 {
+				err = math.Abs(est[k]-t) / e.targetScale
+			} else {
+				err = stats.RelErr(est[k], t)
+			}
+			if math.IsNaN(err) {
+				worst = math.NaN()
+				break
+			}
+			if err > worst {
+				worst = err
+			}
+		}
+		e.errBuf = append(e.errBuf, worst)
+	}
+	return e.errBuf
+}
+
+// MaxError returns the maximal relative local error over all alive nodes.
+func (e *Engine) MaxError() float64 { return stats.Max(e.Errors()) }
+
+// GlobalMass sums LocalValue over all alive protocols with compensated
+// summation — the conserved quantity of Sec. II-A. Meaningful after
+// Drain (no in-flight messages).
+func (e *Engine) GlobalMass() gossip.Value {
+	width := e.init[0].Width()
+	sums := make([]stats.Sum2, width)
+	var wsum stats.Sum2
+	for i, p := range e.protos {
+		if !e.alive[i] {
+			continue
+		}
+		v := p.LocalValue()
+		wsum.Add(v.W)
+		for k, x := range v.X {
+			sums[k].Add(x)
+		}
+	}
+	out := gossip.NewValue(width)
+	for k := range sums {
+		out.X[k] = sums[k].Value()
+	}
+	out.W = wsum.Value()
+	return out
+}
+
+// RunConfig controls a Run.
+type RunConfig struct {
+	// MaxRounds bounds the run (required, > 0).
+	MaxRounds int
+	// Eps, when > 0, stops the run once the oracle maximal relative
+	// local error is ≤ Eps.
+	Eps float64
+	// Record, when true, appends one ErrorPoint per round to the result
+	// series.
+	Record bool
+	// OnRound, when non-nil, is invoked before each round with the
+	// round index about to execute — the hook used to inject failures
+	// at prescribed iterations (Figs. 4 and 7).
+	OnRound func(e *Engine, round int)
+	// AfterRound, when non-nil, is invoked after each round with the
+	// 1-based number of the round just completed (matching the
+	// iteration numbers recorded in Series) and the maximal relative
+	// local error it ended with.
+	AfterRound func(round int, maxErr float64)
+	// StallRounds, when > 0, stops the run early if the maximal error
+	// has not improved for that many consecutive rounds — the "run to
+	// convergence" criterion for the accuracy experiments (Figs. 3/6)
+	// where the achievable floor, not a preset ε, is the measurement.
+	StallRounds int
+}
+
+// Result summarizes a Run.
+type Result struct {
+	// Series holds one point per round when RunConfig.Record is set,
+	// otherwise only the final point.
+	Series stats.Series
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Converged reports whether the Eps criterion was met.
+	Converged bool
+	// BestMax is the smallest maximal local error observed at any
+	// recorded round.
+	BestMax float64
+}
+
+// Run executes rounds until MaxRounds, the Eps criterion, or the stall
+// criterion is reached.
+func (e *Engine) Run(cfg RunConfig) Result {
+	if cfg.MaxRounds <= 0 {
+		panic("sim: RunConfig.MaxRounds must be positive")
+	}
+	res := Result{BestMax: math.Inf(1)}
+	stalled := 0
+	for r := 0; r < cfg.MaxRounds; r++ {
+		if cfg.OnRound != nil {
+			cfg.OnRound(e, e.round)
+		}
+		e.Step()
+		errs := e.Errors()
+		maxErr := stats.Max(errs)
+		if cfg.Record {
+			res.Series.Record(e.round, errs)
+		}
+		if cfg.AfterRound != nil {
+			cfg.AfterRound(e.round, maxErr)
+		}
+		if maxErr < res.BestMax {
+			res.BestMax = maxErr
+			stalled = 0
+		} else {
+			stalled++
+		}
+		res.Rounds = r + 1
+		if cfg.Eps > 0 && maxErr <= cfg.Eps {
+			res.Converged = true
+			if !cfg.Record {
+				res.Series.Record(e.round, errs)
+			}
+			return res
+		}
+		if cfg.StallRounds > 0 && stalled >= cfg.StallRounds {
+			break
+		}
+	}
+	errs := e.Errors()
+	if !cfg.Record {
+		res.Series.Record(e.round, errs)
+	}
+	return res
+}
+
+func linkKey(i, j int) [2]int {
+	if i < j {
+		return [2]int{i, j}
+	}
+	return [2]int{j, i}
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"pcfreduce/internal/core"
+	"pcfreduce/internal/flowupdate"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/pushflow"
+	"pcfreduce/internal/pushsum"
+	"pcfreduce/internal/topology"
+)
+
+// makeProtos builds n protocol instances with the given constructor.
+func makeProtos(n int, mk func() gossip.Protocol) []gossip.Protocol {
+	out := make([]gossip.Protocol, n)
+	for i := range out {
+		out[i] = mk()
+	}
+	return out
+}
+
+func TestSmokeConvergenceAllProtocols(t *testing.T) {
+	mks := map[string]func() gossip.Protocol{
+		"pushsum":       func() gossip.Protocol { return pushsum.New() },
+		"pushflow":      func() gossip.Protocol { return pushflow.New() },
+		"pcf-efficient": func() gossip.Protocol { return core.NewEfficient() },
+		"pcf-robust":    func() gossip.Protocol { return core.NewRobust() },
+		"flowupdate":    func() gossip.Protocol { return flowupdate.New() },
+	}
+	g := topology.Hypercube(5) // 32 nodes
+	rng := rand.New(rand.NewSource(7))
+	inputs := make([]float64, g.N())
+	for i := range inputs {
+		inputs[i] = rng.Float64()
+	}
+	for name, mk := range mks {
+		for _, agg := range []gossip.Aggregate{gossip.Sum, gossip.Average} {
+			e := NewScalar(g, makeProtos(g.N(), mk), inputs, agg, 42)
+			res := e.Run(RunConfig{MaxRounds: 2000, Eps: 1e-12})
+			if !res.Converged {
+				t.Errorf("%s/%s: not converged after %d rounds, max err %.3e",
+					name, agg, res.Rounds, e.MaxError())
+			} else {
+				t.Logf("%s/%s: converged in %d rounds", name, agg, res.Rounds)
+			}
+		}
+	}
+}

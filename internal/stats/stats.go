@@ -1,0 +1,215 @@
+// Package stats provides the numerical measurement substrate used by the
+// experiment harnesses: compensated summation, relative-error metrics,
+// order statistics and per-iteration error series in the form reported by
+// the paper (maximal and median local error over all nodes).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sum2 is a Neumaier compensated accumulator. It sums float64 values with
+// an error bound independent of the number of addends, which the oracle
+// side of the experiments needs so that the measured "exact" aggregate is
+// trustworthy at scales where naive summation loses digits.
+type Sum2 struct {
+	sum, comp float64
+}
+
+// Add accumulates x.
+func (s *Sum2) Add(x float64) {
+	t := s.sum + x
+	if math.Abs(s.sum) >= math.Abs(x) {
+		s.comp += (s.sum - t) + x
+	} else {
+		s.comp += (x - t) + s.sum
+	}
+	s.sum = t
+}
+
+// Value returns the compensated total.
+func (s *Sum2) Value() float64 { return s.sum + s.comp }
+
+// Reset clears the accumulator.
+func (s *Sum2) Reset() { s.sum, s.comp = 0, 0 }
+
+// Sum returns the compensated sum of xs.
+func Sum(xs []float64) float64 {
+	var s Sum2
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s.Value()
+}
+
+// Mean returns the compensated arithmetic mean of xs, or NaN when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// RelErr returns |got − want| / |want|; if want is zero it falls back to
+// the absolute error |got|.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// RelErrs maps RelErr over a slice of estimates against a single target.
+func RelErrs(got []float64, want float64) []float64 {
+	out := make([]float64, len(got))
+	for i, g := range got {
+		out[i] = RelErr(g, want)
+	}
+	return out
+}
+
+// Max returns the largest element of xs (NaN-propagating), or NaN when
+// empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsNaN(xs[0]) {
+		return math.NaN()
+	}
+	return m
+}
+
+// Min returns the smallest element of xs (NaN-propagating), or NaN when
+// empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
+		if x < m {
+			m = x
+		}
+	}
+	if math.IsNaN(xs[0]) {
+		return math.NaN()
+	}
+	return m
+}
+
+// Median returns the median of xs without mutating it, or NaN when empty.
+// For even lengths it returns the mean of the two central elements.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics, without mutating xs. It
+// returns NaN for empty input or q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if len(cp) == 1 {
+		return cp[0]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// ErrorPoint is one iteration of a convergence trace: the maximal and
+// median relative local error over all nodes, exactly the two series
+// plotted in the paper's Figs. 4 and 7.
+type ErrorPoint struct {
+	Iteration int
+	Max       float64
+	Median    float64
+}
+
+// Series is a per-iteration error trace.
+type Series []ErrorPoint
+
+// Record appends a point computed from per-node relative errors.
+func (s *Series) Record(iteration int, errs []float64) {
+	*s = append(*s, ErrorPoint{Iteration: iteration, Max: Max(errs), Median: Median(errs)})
+}
+
+// FinalMax returns the Max of the last recorded point, or NaN when empty.
+func (s Series) FinalMax() float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	return s[len(s)-1].Max
+}
+
+// MaxAfter returns the largest Max error at or after the given iteration,
+// used to quantify post-failure fall-back.
+func (s Series) MaxAfter(iteration int) float64 {
+	worst := math.Inf(-1)
+	found := false
+	for _, p := range s {
+		if p.Iteration >= iteration {
+			found = true
+			if p.Max > worst || math.IsNaN(p.Max) {
+				worst = p.Max
+			}
+		}
+	}
+	if !found {
+		return math.NaN()
+	}
+	return worst
+}
+
+// FirstBelow returns the first iteration whose Max error is ≤ eps, or -1
+// if the series never reaches eps.
+func (s Series) FirstBelow(eps float64) int {
+	for _, p := range s {
+		if p.Max <= eps {
+			return p.Iteration
+		}
+	}
+	return -1
+}
+
+// GeoMean returns the geometric mean of xs; zeros and negatives yield
+// zero/NaN respectively, and the empty slice yields NaN.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var logSum Sum2
+	for _, x := range xs {
+		if x < 0 {
+			return math.NaN()
+		}
+		if x == 0 {
+			return 0
+		}
+		logSum.Add(math.Log(x))
+	}
+	return math.Exp(logSum.Value() / float64(len(xs)))
+}

@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSum2Compensation(t *testing.T) {
+	var s Sum2
+	for _, x := range []float64{1, 1e100, 1, -1e100} {
+		s.Add(x)
+	}
+	if got := s.Value(); got != 2 {
+		t.Fatalf("compensated sum = %g, want 2", got)
+	}
+	s.Reset()
+	if s.Value() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestSum2ManyTerms(t *testing.T) {
+	var s Sum2
+	n := 1 << 22
+	for i := 0; i < n; i++ {
+		s.Add(0.1)
+	}
+	want := float64(n) * 0.1
+	if math.Abs(s.Value()-want)/want > 1e-15 {
+		t.Fatalf("sum of %d × 0.1 = %.17g", n, s.Value())
+	}
+}
+
+func TestSumAndMean(t *testing.T) {
+	if Sum([]float64{1, 2, 3}) != 6 {
+		t.Fatal("Sum")
+	}
+	if Mean([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("Mean")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean of empty must be NaN")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(11, 10) != 0.1 {
+		t.Fatalf("RelErr = %g", RelErr(11, 10))
+	}
+	if RelErr(0.5, 0) != 0.5 {
+		t.Fatal("RelErr with zero target must fall back to absolute")
+	}
+	if RelErr(-11, -10) != 0.1 {
+		t.Fatal("RelErr must use magnitudes")
+	}
+	errs := RelErrs([]float64{9, 11}, 10)
+	if errs[0] != 0.1 || errs[1] != 0.1 {
+		t.Fatalf("RelErrs = %v", errs)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Max(xs) != 7 || Min(xs) != -1 {
+		t.Fatal("Max/Min")
+	}
+	if !math.IsNaN(Max(nil)) || !math.IsNaN(Min(nil)) {
+		t.Fatal("empty Max/Min must be NaN")
+	}
+	withNaN := []float64{1, math.NaN(), 2}
+	if !math.IsNaN(Max(withNaN)) || !math.IsNaN(Min(withNaN)) {
+		t.Fatal("NaN must propagate")
+	}
+	leadNaN := []float64{math.NaN(), 5}
+	if !math.IsNaN(Max(leadNaN)) || !math.IsNaN(Min(leadNaN)) {
+		t.Fatal("leading NaN must propagate")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median([]float64{5}) != 5 {
+		t.Fatal("single median")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("empty median")
+	}
+	// Median must not mutate the input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{0, 10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) || !math.IsNaN(Quantile(xs, math.NaN())) {
+		t.Fatal("out-of-range q must be NaN")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Record(1, []float64{0.5, 0.1})
+	s.Record(2, []float64{0.05, 0.01})
+	s.Record(3, []float64{0.2, 0.02}) // error bumps back up
+	if s.FinalMax() != 0.2 {
+		t.Fatalf("FinalMax = %g", s.FinalMax())
+	}
+	if s.MaxAfter(2) != 0.2 {
+		t.Fatalf("MaxAfter(2) = %g", s.MaxAfter(2))
+	}
+	if !math.IsNaN(s.MaxAfter(10)) {
+		t.Fatal("MaxAfter beyond series must be NaN")
+	}
+	if s.FirstBelow(0.06) != 2 {
+		t.Fatalf("FirstBelow = %d", s.FirstBelow(0.06))
+	}
+	if s.FirstBelow(1e-9) != -1 {
+		t.Fatal("unreached FirstBelow must be -1")
+	}
+	var empty Series
+	if !math.IsNaN(empty.FinalMax()) {
+		t.Fatal("empty FinalMax must be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("GeoMean = %g", got)
+	}
+	if GeoMean([]float64{5, 0}) != 0 {
+		t.Fatal("zero element must give 0")
+	}
+	if !math.IsNaN(GeoMean([]float64{-1, 2})) {
+		t.Fatal("negative element must give NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Fatal("empty GeoMean must be NaN")
+	}
+}
+
+// Property: Quantile lies between Min and Max and is monotone in q.
+func TestQuickQuantileBounds(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if math.IsNaN(q1) || math.IsNaN(q2) {
+			return true
+		}
+		lo, hi := math.Min(q1, q2), math.Max(q1, q2)
+		a, b := Quantile(xs, lo), Quantile(xs, hi)
+		return a >= Min(xs) && b <= Max(xs) && a <= b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Median equals the midpoint of the sorted slice.
+func TestQuickMedianMatchesSort(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		got := Median(xs)
+		cp := append([]float64(nil), xs...)
+		sort.Float64s(cp)
+		var want float64
+		if len(cp)%2 == 1 {
+			want = cp[len(cp)/2]
+		} else {
+			want = (cp[len(cp)/2-1] + cp[len(cp)/2]) / 2
+		}
+		return got == want || math.Abs(got-want) <= 1e-9*math.Max(math.Abs(got), math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compensated Sum is at least as accurate as… itself run on a
+// permutation (order independence within tight tolerance).
+func TestQuickSumPermutationStable(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		fwd := Sum(xs)
+		rev := make([]float64, len(xs))
+		for i, x := range xs {
+			rev[len(xs)-1-i] = x
+		}
+		bwd := Sum(rev)
+		if fwd == bwd {
+			return true
+		}
+		scale := math.Max(math.Abs(fwd), math.Abs(bwd))
+		return math.Abs(fwd-bwd) <= 1e-12*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

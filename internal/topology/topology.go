@@ -1,0 +1,522 @@
+// Package topology provides the network graphs on which the reduction
+// algorithms run. The paper evaluates on a bus (path), 3D tori and
+// hypercubes; additional standard topologies are provided for
+// experimentation beyond the paper's grid.
+//
+// All graphs are simple (no self-loops, no parallel edges) and
+// undirected: adjacency lists are symmetric, sorted and deduplicated.
+// The gossip protocols require every node's neighborhood to be nonempty,
+// i.e. connected graphs for a meaningful all-to-all reduction.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is an undirected network topology given by adjacency lists.
+type Graph struct {
+	name string
+	adj  [][]int
+}
+
+// New builds a Graph from raw adjacency lists. It normalizes each list
+// (sorts, removes duplicates and self-loops) and symmetrizes: if j
+// appears in adj[i], i is ensured to appear in adj[j].
+func New(name string, adj [][]int) *Graph {
+	n := len(adj)
+	sets := make([]map[int]bool, n)
+	for i := range sets {
+		sets[i] = make(map[int]bool)
+	}
+	for i, list := range adj {
+		for _, j := range list {
+			if j == i || j < 0 || j >= n {
+				continue
+			}
+			sets[i][j] = true
+			sets[j][i] = true
+		}
+	}
+	out := make([][]int, n)
+	for i, s := range sets {
+		out[i] = make([]int, 0, len(s))
+		for j := range s {
+			out[i] = append(out[i], j)
+		}
+		sort.Ints(out[i])
+	}
+	return &Graph{name: name, adj: out}
+}
+
+// Name returns the topology's human-readable name.
+func (g *Graph) Name() string { return g.name }
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Neighbors returns node i's adjacency list. The returned slice is owned
+// by the graph and must not be mutated.
+func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+
+// Degree returns the number of neighbors of node i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// MaxDegree returns the largest node degree in the graph.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, l := range g.adj {
+		if len(l) > m {
+			m = len(l)
+		}
+	}
+	return m
+}
+
+// Edges returns every undirected edge exactly once as ordered pairs
+// (i < j), sorted lexicographically.
+func (g *Graph) Edges() [][2]int {
+	var es [][2]int
+	for i, list := range g.adj {
+		for _, j := range list {
+			if i < j {
+				es = append(es, [2]int{i, j})
+			}
+		}
+	}
+	return es
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, l := range g.adj {
+		total += len(l)
+	}
+	return total / 2
+}
+
+// HasEdge reports whether nodes i and j are adjacent.
+func (g *Graph) HasEdge(i, j int) bool {
+	list := g.adj[i]
+	k := sort.SearchInts(list, j)
+	return k < len(list) && list[k] == j
+}
+
+// IsConnected reports whether the graph is connected (true for the empty
+// and single-node graphs).
+func (g *Graph) IsConnected() bool {
+	n := len(g.adj)
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// Diameter returns the longest shortest-path length between any pair of
+// nodes, computed by BFS from every node. It returns -1 for disconnected
+// graphs. Intended for test/validation use (O(n·m)).
+func (g *Graph) Diameter() int {
+	n := len(g.adj)
+	diam := 0
+	dist := make([]int, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		reached := 1
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					reached++
+					if dist[w] > diam {
+						diam = dist[w]
+					}
+					queue = append(queue, w)
+				}
+			}
+		}
+		if reached != n {
+			return -1
+		}
+	}
+	return diam
+}
+
+// Validate checks the structural invariants every Graph must satisfy:
+// symmetric, sorted, duplicate-free adjacency with no self-loops and
+// in-range indices. It returns a descriptive error on the first
+// violation.
+func (g *Graph) Validate() error {
+	n := len(g.adj)
+	for i, list := range g.adj {
+		for k, j := range list {
+			if j < 0 || j >= n {
+				return fmt.Errorf("topology %s: node %d has out-of-range neighbor %d", g.name, i, j)
+			}
+			if j == i {
+				return fmt.Errorf("topology %s: node %d has a self-loop", g.name, i)
+			}
+			if k > 0 && list[k-1] >= j {
+				return fmt.Errorf("topology %s: node %d adjacency not sorted/deduplicated", g.name, i)
+			}
+			if !g.HasEdge(j, i) {
+				return fmt.Errorf("topology %s: edge %d→%d not symmetric", g.name, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Path returns the bus network of the paper's Section II-B case study:
+// n nodes in a line, node i adjacent to i−1 and i+1.
+func Path(n int) *Graph {
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			adj[i] = append(adj[i], i-1)
+		}
+		if i < n-1 {
+			adj[i] = append(adj[i], i+1)
+		}
+	}
+	return &Graph{name: fmt.Sprintf("path(%d)", n), adj: adj}
+}
+
+// Ring returns a cycle of n nodes (n ≥ 3).
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic("topology: ring requires n >= 3")
+	}
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		adj[i] = []int{mod(i-1, n), (i + 1) % n}
+		sort.Ints(adj[i])
+	}
+	return &Graph{name: fmt.Sprintf("ring(%d)", n), adj: adj}
+}
+
+// Complete returns the fully connected graph on n nodes.
+func Complete(n int) *Graph {
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		adj[i] = make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return &Graph{name: fmt.Sprintf("complete(%d)", n), adj: adj}
+}
+
+// Star returns a star: node 0 is the hub, nodes 1..n−1 are leaves.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic("topology: star requires n >= 2")
+	}
+	adj := make([][]int, n)
+	for i := 1; i < n; i++ {
+		adj[0] = append(adj[0], i)
+		adj[i] = []int{0}
+	}
+	return &Graph{name: fmt.Sprintf("star(%d)", n), adj: adj}
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim nodes: nodes
+// are adjacent iff their ids differ in exactly one bit. The paper's
+// Figs. 4 and 7 run on the 6D hypercube (64 nodes); Figs. 3 and 6 use
+// dimensions 3i up to 15 (32768 nodes).
+func Hypercube(dim int) *Graph {
+	if dim < 0 || dim > 30 {
+		panic("topology: hypercube dimension out of range")
+	}
+	n := 1 << uint(dim)
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		adj[i] = make([]int, dim)
+		for b := 0; b < dim; b++ {
+			adj[i][b] = i ^ (1 << uint(b))
+		}
+		sort.Ints(adj[i])
+	}
+	return &Graph{name: fmt.Sprintf("hypercube(%d)", dim), adj: adj}
+}
+
+// Grid2D returns a rows×cols mesh without wraparound.
+func Grid2D(rows, cols int) *Graph {
+	n := rows * cols
+	adj := make([][]int, n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := id(r, c)
+			if r > 0 {
+				adj[i] = append(adj[i], id(r-1, c))
+			}
+			if r < rows-1 {
+				adj[i] = append(adj[i], id(r+1, c))
+			}
+			if c > 0 {
+				adj[i] = append(adj[i], id(r, c-1))
+			}
+			if c < cols-1 {
+				adj[i] = append(adj[i], id(r, c+1))
+			}
+			sort.Ints(adj[i])
+		}
+	}
+	return &Graph{name: fmt.Sprintf("grid2d(%dx%d)", rows, cols), adj: adj}
+}
+
+// Torus2D returns an a×b torus (mesh with wraparound in both dimensions).
+func Torus2D(a, b int) *Graph {
+	g := torus([]int{a, b})
+	g.name = fmt.Sprintf("torus2d(%dx%d)", a, b)
+	return g
+}
+
+// Torus3D returns an a×b×c torus. The paper's Figs. 3 and 6 use cubic
+// tori (2^i)³ for i = 1..5.
+func Torus3D(a, b, c int) *Graph {
+	g := torus([]int{a, b, c})
+	g.name = fmt.Sprintf("torus3d(%dx%dx%d)", a, b, c)
+	return g
+}
+
+// torus builds a k-dimensional torus with the given side lengths. Sides
+// of length 1 contribute no edges; sides of length 2 contribute a single
+// (deduplicated) edge per pair.
+func torus(sides []int) *Graph {
+	n := 1
+	for _, s := range sides {
+		if s < 1 {
+			panic("topology: torus sides must be >= 1")
+		}
+		n *= s
+	}
+	adj := make([][]int, n)
+	coords := make([]int, len(sides))
+	for i := 0; i < n; i++ {
+		// Decode i into mixed-radix coordinates.
+		rem := i
+		for d := len(sides) - 1; d >= 0; d-- {
+			coords[d] = rem % sides[d]
+			rem /= sides[d]
+		}
+		set := map[int]bool{}
+		for d := range sides {
+			if sides[d] == 1 {
+				continue
+			}
+			for _, delta := range []int{-1, 1} {
+				c := coords[d]
+				coords[d] = mod(c+delta, sides[d])
+				j := encode(coords, sides)
+				coords[d] = c
+				if j != i {
+					set[j] = true
+				}
+			}
+		}
+		adj[i] = make([]int, 0, len(set))
+		for j := range set {
+			adj[i] = append(adj[i], j)
+		}
+		sort.Ints(adj[i])
+	}
+	return &Graph{adj: adj}
+}
+
+func encode(coords, sides []int) int {
+	id := 0
+	for d, c := range coords {
+		id = id*sides[d] + c
+	}
+	return id
+}
+
+// BinaryTree returns a complete binary tree on n nodes with node 0 as the
+// root; node i's children are 2i+1 and 2i+2.
+func BinaryTree(n int) *Graph {
+	adj := make([][]int, n)
+	for i := 1; i < n; i++ {
+		p := (i - 1) / 2
+		adj[i] = append(adj[i], p)
+		adj[p] = append(adj[p], i)
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+	}
+	return &Graph{name: fmt.Sprintf("bintree(%d)", n), adj: adj}
+}
+
+// RandomRegular returns a random d-regular graph on n nodes built by the
+// pairing model with retries, seeded deterministically. n·d must be even
+// and d < n. The result is resampled until it is simple and connected
+// (overwhelmingly likely for d ≥ 3).
+func RandomRegular(n, d int, seed int64) *Graph {
+	if d >= n || n*d%2 != 0 || d < 1 {
+		panic("topology: invalid random-regular parameters")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; ; attempt++ {
+		if attempt > 1000 {
+			panic("topology: random-regular sampling did not converge")
+		}
+		stubs := make([]int, 0, n*d)
+		for i := 0; i < n; i++ {
+			for k := 0; k < d; k++ {
+				stubs = append(stubs, i)
+			}
+		}
+		rng.Shuffle(len(stubs), func(a, b int) { stubs[a], stubs[b] = stubs[b], stubs[a] })
+		ok := true
+		seen := map[[2]int]bool{}
+		adj := make([][]int, n)
+		for k := 0; k < len(stubs); k += 2 {
+			a, b := stubs[k], stubs[k+1]
+			if a == b {
+				ok = false
+				break
+			}
+			key := [2]int{min(a, b), max(a, b)}
+			if seen[key] {
+				ok = false
+				break
+			}
+			seen[key] = true
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+		if !ok {
+			continue
+		}
+		g := New(fmt.Sprintf("randreg(%d,%d)", n, d), adj)
+		if g.IsConnected() {
+			return g
+		}
+	}
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where each
+// node is joined to its k nearest neighbors on each side (2k total), with
+// each edge rewired with probability p. Rewirings that would create
+// self-loops or duplicate edges are skipped, so degrees may vary
+// slightly. The graph is resampled until connected.
+func WattsStrogatz(n, k int, p float64, seed int64) *Graph {
+	if k < 1 || 2*k >= n {
+		panic("topology: invalid watts-strogatz parameters")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; ; attempt++ {
+		if attempt > 1000 {
+			panic("topology: watts-strogatz sampling did not converge")
+		}
+		seen := map[[2]int]bool{}
+		edge := func(a, b int) [2]int { return [2]int{min(a, b), max(a, b)} }
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			for d := 1; d <= k; d++ {
+				e := edge(i, (i+d)%n)
+				if !seen[e] {
+					seen[e] = true
+					edges = append(edges, e)
+				}
+			}
+		}
+		for idx, e := range edges {
+			if rng.Float64() >= p {
+				continue
+			}
+			a := e[0]
+			b := rng.Intn(n)
+			ne := edge(a, b)
+			if b == a || seen[ne] {
+				continue
+			}
+			delete(seen, e)
+			seen[ne] = true
+			edges[idx] = ne
+		}
+		adj := make([][]int, n)
+		for e := range seen {
+			adj[e[0]] = append(adj[e[0]], e[1])
+			adj[e[1]] = append(adj[e[1]], e[0])
+		}
+		g := New(fmt.Sprintf("smallworld(%d,%d,%g)", n, k, p), adj)
+		ok := g.IsConnected()
+		for i := 0; ok && i < n; i++ {
+			if g.Degree(i) == 0 {
+				ok = false
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+}
+
+// RemoveEdge returns a copy of g with the undirected edge (i, j) removed,
+// used to model permanent link failures at the topology level. It panics
+// if the edge does not exist.
+func (g *Graph) RemoveEdge(i, j int) *Graph {
+	if !g.HasEdge(i, j) {
+		panic(fmt.Sprintf("topology: edge (%d,%d) not in graph", i, j))
+	}
+	adj := make([][]int, len(g.adj))
+	for v, list := range g.adj {
+		out := make([]int, 0, len(list))
+		for _, w := range list {
+			if (v == i && w == j) || (v == j && w == i) {
+				continue
+			}
+			out = append(out, w)
+		}
+		adj[v] = out
+	}
+	return &Graph{name: g.name + "-edge", adj: adj}
+}
+
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

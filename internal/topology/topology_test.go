@@ -1,0 +1,346 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// validateAll asserts a graph's structural invariants plus the given
+// node count, and returns it for chaining.
+func validateAll(t *testing.T, g *Graph, wantN int) *Graph {
+	t.Helper()
+	if g.N() != wantN {
+		t.Fatalf("%s: N = %d, want %d", g.Name(), g.N(), wantN)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: %v", g.Name(), err)
+	}
+	return g
+}
+
+func TestPath(t *testing.T) {
+	g := validateAll(t, Path(5), 5)
+	if !g.IsConnected() {
+		t.Fatal("path must be connected")
+	}
+	if g.Degree(0) != 1 || g.Degree(4) != 1 || g.Degree(2) != 2 {
+		t.Fatal("path degrees wrong")
+	}
+	if g.Diameter() != 4 {
+		t.Fatalf("path(5) diameter = %d, want 4", g.Diameter())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("path(5) edges = %d, want 4", g.NumEdges())
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := validateAll(t, Ring(6), 6)
+	for i := 0; i < 6; i++ {
+		if g.Degree(i) != 2 {
+			t.Fatalf("ring degree(%d) = %d", i, g.Degree(i))
+		}
+	}
+	if g.Diameter() != 3 {
+		t.Fatalf("ring(6) diameter = %d, want 3", g.Diameter())
+	}
+}
+
+func TestRingTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ring(2) must panic")
+		}
+	}()
+	Ring(2)
+}
+
+func TestComplete(t *testing.T) {
+	g := validateAll(t, Complete(7), 7)
+	for i := 0; i < 7; i++ {
+		if g.Degree(i) != 6 {
+			t.Fatalf("complete degree(%d) = %d", i, g.Degree(i))
+		}
+	}
+	if g.Diameter() != 1 {
+		t.Fatalf("complete diameter = %d", g.Diameter())
+	}
+	if g.NumEdges() != 21 {
+		t.Fatalf("complete(7) edges = %d, want 21", g.NumEdges())
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := validateAll(t, Star(9), 9)
+	if g.Degree(0) != 8 {
+		t.Fatalf("hub degree = %d", g.Degree(0))
+	}
+	for i := 1; i < 9; i++ {
+		if g.Degree(i) != 1 {
+			t.Fatalf("leaf degree(%d) = %d", i, g.Degree(i))
+		}
+	}
+	if g.Diameter() != 2 {
+		t.Fatalf("star diameter = %d", g.Diameter())
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	for dim := 0; dim <= 8; dim++ {
+		g := validateAll(t, Hypercube(dim), 1<<uint(dim))
+		for i := 0; i < g.N(); i++ {
+			if g.Degree(i) != dim {
+				t.Fatalf("hypercube(%d) degree(%d) = %d", dim, i, g.Degree(i))
+			}
+		}
+		if dim >= 1 && !g.IsConnected() {
+			t.Fatalf("hypercube(%d) disconnected", dim)
+		}
+		if dim >= 1 && g.Diameter() != dim {
+			t.Fatalf("hypercube(%d) diameter = %d", dim, g.Diameter())
+		}
+	}
+	// Adjacency is exactly single-bit flips.
+	g := Hypercube(4)
+	for i := 0; i < g.N(); i++ {
+		for _, j := range g.Neighbors(i) {
+			x := i ^ j
+			if x&(x-1) != 0 {
+				t.Fatalf("hypercube edge %d-%d differs in more than one bit", i, j)
+			}
+		}
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := validateAll(t, Grid2D(3, 4), 12)
+	// Corner, edge, interior degrees.
+	if g.Degree(0) != 2 || g.Degree(1) != 3 || g.Degree(5) != 4 {
+		t.Fatalf("grid degrees: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(5))
+	}
+	if g.Diameter() != 5 {
+		t.Fatalf("grid2d(3,4) diameter = %d, want 5", g.Diameter())
+	}
+}
+
+func TestTorus2D(t *testing.T) {
+	g := validateAll(t, Torus2D(4, 4), 16)
+	for i := 0; i < 16; i++ {
+		if g.Degree(i) != 4 {
+			t.Fatalf("torus2d degree(%d) = %d", i, g.Degree(i))
+		}
+	}
+	if g.Diameter() != 4 {
+		t.Fatalf("torus2d(4,4) diameter = %d, want 4", g.Diameter())
+	}
+}
+
+func TestTorus3D(t *testing.T) {
+	g := validateAll(t, Torus3D(4, 4, 4), 64)
+	for i := 0; i < 64; i++ {
+		if g.Degree(i) != 6 {
+			t.Fatalf("torus3d degree(%d) = %d", i, g.Degree(i))
+		}
+	}
+	if g.Diameter() != 6 {
+		t.Fatalf("torus3d(4,4,4) diameter = %d, want 6", g.Diameter())
+	}
+}
+
+// Side length 2 must deduplicate the wraparound edge (neighbor +1 and −1
+// coincide), giving degree 3 per node on a 2×2×2 torus.
+func TestTorusSideTwoDeduplicates(t *testing.T) {
+	g := validateAll(t, Torus3D(2, 2, 2), 8)
+	for i := 0; i < 8; i++ {
+		if g.Degree(i) != 3 {
+			t.Fatalf("torus3d(2,2,2) degree(%d) = %d, want 3", i, g.Degree(i))
+		}
+	}
+	// A 2×2×2 torus is exactly the 3D hypercube.
+	h := Hypercube(3)
+	if g.NumEdges() != h.NumEdges() || g.Diameter() != h.Diameter() {
+		t.Fatal("torus3d(2,2,2) should be isomorphic to hypercube(3)")
+	}
+}
+
+func TestTorusSideOne(t *testing.T) {
+	g := validateAll(t, Torus3D(1, 1, 4), 4)
+	for i := 0; i < 4; i++ {
+		if g.Degree(i) != 2 {
+			t.Fatalf("degenerate torus degree(%d) = %d, want 2 (a ring)", i, g.Degree(i))
+		}
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := validateAll(t, BinaryTree(7), 7)
+	if g.Degree(0) != 2 || g.Degree(1) != 3 || g.Degree(3) != 1 {
+		t.Fatal("binary tree degrees wrong")
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("tree edges = %d, want n-1", g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Fatal("tree must be connected")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g := validateAll(t, RandomRegular(50, 3, 7), 50)
+	for i := 0; i < 50; i++ {
+		if g.Degree(i) != 3 {
+			t.Fatalf("randreg degree(%d) = %d", i, g.Degree(i))
+		}
+	}
+	if !g.IsConnected() {
+		t.Fatal("randreg must be connected")
+	}
+	// Determinism: same seed, same graph.
+	h := RandomRegular(50, 3, 7)
+	for i := 0; i < 50; i++ {
+		a, b := g.Neighbors(i), h.Neighbors(i)
+		if len(a) != len(b) {
+			t.Fatal("randreg not deterministic")
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatal("randreg not deterministic")
+			}
+		}
+	}
+}
+
+func TestRandomRegularInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd n·d must panic")
+		}
+	}()
+	RandomRegular(5, 3, 1) // 15 stubs: odd
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := validateAll(t, WattsStrogatz(64, 2, 0.2, 3), 64)
+	if !g.IsConnected() {
+		t.Fatal("small world must be connected")
+	}
+	// With p=0 it is the pristine ring lattice: degree exactly 2k.
+	lattice := WattsStrogatz(20, 2, 0, 1)
+	for i := 0; i < 20; i++ {
+		if lattice.Degree(i) != 4 {
+			t.Fatalf("lattice degree(%d) = %d, want 4", i, lattice.Degree(i))
+		}
+	}
+}
+
+func TestNewNormalizes(t *testing.T) {
+	// Raw adjacency with self-loops, duplicates, asymmetry and
+	// out-of-range entries.
+	g := New("messy", [][]int{
+		{1, 1, 0, 2, 9, -1},
+		{},
+		{},
+	})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("New failed to normalize: %v", err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(2, 0) {
+		t.Fatal("New lost or failed to symmetrize edges")
+	}
+	if g.HasEdge(0, 0) {
+		t.Fatal("self-loop survived")
+	}
+	if g.Degree(0) != 2 {
+		t.Fatalf("degree(0) = %d, want 2", g.Degree(0))
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := Ring(5)
+	h := g.RemoveEdge(0, 1)
+	if h.HasEdge(0, 1) || h.HasEdge(1, 0) {
+		t.Fatal("edge not removed")
+	}
+	if g.HasEdge(0, 1) == false {
+		t.Fatal("RemoveEdge mutated the original")
+	}
+	if !h.IsConnected() {
+		t.Fatal("ring minus one edge is a path: still connected")
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveMissingEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("removing a missing edge must panic")
+		}
+	}()
+	Path(4).RemoveEdge(0, 3)
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	g := New("two islands", [][]int{{1}, {0}, {3}, {2}})
+	if g.IsConnected() {
+		t.Fatal("islands reported connected")
+	}
+	if g.Diameter() != -1 {
+		t.Fatalf("disconnected diameter = %d, want -1", g.Diameter())
+	}
+}
+
+func TestEdges(t *testing.T) {
+	g := Path(4)
+	es := g.Edges()
+	want := [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	if len(es) != len(want) {
+		t.Fatalf("Edges = %v", es)
+	}
+	for i, e := range want {
+		if es[i] != e {
+			t.Fatalf("Edges[%d] = %v, want %v", i, es[i], e)
+		}
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	if Star(10).MaxDegree() != 9 {
+		t.Fatal("star max degree")
+	}
+	if Path(10).MaxDegree() != 2 {
+		t.Fatal("path max degree")
+	}
+}
+
+// Property: New produces a valid graph from arbitrary adjacency lists.
+func TestQuickNewAlwaysValid(t *testing.T) {
+	f := func(raw [][]int8) bool {
+		adj := make([][]int, len(raw))
+		for i, row := range raw {
+			for _, v := range row {
+				adj[i] = append(adj[i], int(v))
+			}
+		}
+		g := New("fuzz", adj)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hypercube BFS distance equals Hamming distance (spot-checked
+// via diameter already; here check edge symmetry exhaustively on a
+// random-regular graph).
+func TestQuickHasEdgeSymmetric(t *testing.T) {
+	g := RandomRegular(40, 4, 99)
+	for i := 0; i < g.N(); i++ {
+		for j := 0; j < g.N(); j++ {
+			if g.HasEdge(i, j) != g.HasEdge(j, i) {
+				t.Fatalf("asymmetric HasEdge(%d,%d)", i, j)
+			}
+		}
+	}
+}

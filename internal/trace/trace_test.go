@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("title", "name", "value")
+	tbl.AddRow("short", 1)
+	tbl.AddRow("a-much-longer-name", 2.5)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "title" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header %q", lines[1])
+	}
+	// Columns align: "value" starts at the same offset in every row.
+	off := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[3][off:], "1") {
+		t.Fatalf("misaligned row: %q", lines[3])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:      "1.5",
+		0:        "0",
+		1e-9:     "1.000e-09",
+		-2.5e-14: "-2.500e-14",
+		1234567:  "1.235e+06",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Fatalf("FormatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("ignored in CSV", "a", "b")
+	tbl.AddRow(1, "x")
+	tbl.AddRow(2.5e-13, "y")
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,x\n2.500e-13,y\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tbl := NewTable("", "only")
+	out := tbl.String()
+	if !strings.Contains(out, "only") {
+		t.Fatalf("empty table output %q", out)
+	}
+}

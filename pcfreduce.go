@@ -1,0 +1,533 @@
+// Package pcfreduce is a fault-tolerant distributed reduction library: a
+// from-scratch Go implementation of the push-cancel-flow (PCF) algorithm
+// of Niederbrucker, Straková and Gansterer ("Improving Fault Tolerance
+// and Accuracy of a Distributed Reduction Algorithm", SC 2012), together
+// with the gossip algorithms it builds on and competes with (push-sum,
+// push-flow, flow-updating), a deterministic round simulator, a
+// concurrent goroutine runtime, fault injection, and a fully distributed
+// QR factorization (dmGS) built on top of the reductions.
+//
+// # Quick start
+//
+//	g := pcfreduce.Hypercube(6)                    // 64 nodes
+//	res, err := pcfreduce.Reduce(inputs, pcfreduce.PCF, pcfreduce.ReduceOptions{
+//		Topology:  g,
+//		Aggregate: pcfreduce.Average,
+//		Eps:       1e-15,
+//	})
+//	// res.Estimates[i] is node i's estimate of the global average.
+//
+// # Choosing an algorithm
+//
+//   - PCF (default choice): reaches machine precision at any scale and
+//     recovers from permanent link/node failures without convergence
+//     fall-back. Use PCFRobust when in-flight payload corruption (bit
+//     flips) must be tolerated with minimal disturbance.
+//   - PushFlow: the predecessor algorithm; same failure model, but its
+//     accuracy degrades with system size and failure handling restarts
+//     convergence.
+//   - PushSum: fastest and simplest, but any lost message permanently
+//     corrupts the result; only for reliable transports.
+//   - FlowUpdating: an alternative flow-based method (Jesus et al.),
+//     averaging-style dynamics.
+//
+// The deeper API — protocol state machines, the round engine, fault
+// injectors, the concurrent runtime, and the experiment harnesses that
+// regenerate every figure of the paper — lives in the internal packages
+// and is exercised by the binaries in cmd/ and the examples in
+// examples/.
+package pcfreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"pcfreduce/internal/core"
+	"pcfreduce/internal/dmgs"
+	"pcfreduce/internal/eigen"
+	"pcfreduce/internal/fault"
+	"pcfreduce/internal/flowupdate"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/linalg"
+	"pcfreduce/internal/pushflow"
+	"pcfreduce/internal/pushsum"
+	"pcfreduce/internal/runtime"
+	"pcfreduce/internal/sim"
+	"pcfreduce/internal/topology"
+)
+
+// Graph is a network topology (re-exported from the topology package).
+type Graph = topology.Graph
+
+// Convenient topology constructors.
+var (
+	// Hypercube returns the d-dimensional hypercube on 2^d nodes.
+	Hypercube = topology.Hypercube
+	// Torus3D returns an a×b×c torus.
+	Torus3D = topology.Torus3D
+	// Torus2D returns an a×b torus.
+	Torus2D = topology.Torus2D
+	// Path returns the n-node bus/line network.
+	Path = topology.Path
+	// Ring returns the n-node cycle.
+	Ring = topology.Ring
+	// Complete returns the fully connected n-node graph.
+	Complete = topology.Complete
+	// Grid2D returns a rows×cols mesh.
+	Grid2D = topology.Grid2D
+	// RandomRegular returns a seeded random d-regular graph.
+	RandomRegular = topology.RandomRegular
+	// WattsStrogatz returns a seeded small-world graph.
+	WattsStrogatz = topology.WattsStrogatz
+)
+
+// Aggregate selects the reduction target.
+type Aggregate = gossip.Aggregate
+
+// Aggregate kinds.
+const (
+	// Sum computes Σ xᵢ.
+	Sum = gossip.Sum
+	// Average computes (Σ xᵢ)/n.
+	Average = gossip.Average
+)
+
+// Protocol is the node-local reduction state machine interface; advanced
+// users can implement their own and drive it with the same engines.
+type Protocol = gossip.Protocol
+
+// Value is the (data vector, weight) pair all protocols exchange.
+type Value = gossip.Value
+
+// Algorithm identifies one of the built-in reduction algorithms.
+type Algorithm int
+
+// The built-in reduction algorithms.
+const (
+	// PCF is the push-cancel-flow algorithm (the paper's contribution)
+	// in its computationally efficient form (paper Fig. 5).
+	PCF Algorithm = iota
+	// PCFRobust is push-cancel-flow in the bit-flip-tolerant form
+	// (paper Sec. III-A).
+	PCFRobust
+	// PushFlow is the predecessor push-flow algorithm (paper Fig. 1).
+	PushFlow
+	// PushSum is the classic non-fault-tolerant gossip aggregation
+	// (Kempe et al., FOCS 2003).
+	PushSum
+	// FlowUpdating is the Flow Updating algorithm (Jesus et al.,
+	// DAIS 2009).
+	FlowUpdating
+)
+
+// String returns the algorithm's display name.
+func (a Algorithm) String() string {
+	switch a {
+	case PCF:
+		return "PCF"
+	case PCFRobust:
+		return "PCF-robust"
+	case PushFlow:
+		return "push-flow"
+	case PushSum:
+		return "push-sum"
+	case FlowUpdating:
+		return "flow-updating"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// NewNode constructs one protocol instance (one per network node).
+func (a Algorithm) NewNode() Protocol {
+	switch a {
+	case PCF:
+		return core.NewEfficient()
+	case PCFRobust:
+		return core.NewRobust()
+	case PushFlow:
+		return pushflow.New()
+	case PushSum:
+		return pushsum.New()
+	case FlowUpdating:
+		return flowupdate.New()
+	default:
+		panic("pcfreduce: unknown algorithm")
+	}
+}
+
+// ReduceOptions configures Reduce.
+type ReduceOptions struct {
+	// Topology is the gossip network (required, connected).
+	Topology *Graph
+	// Aggregate selects Sum or Average (default Average).
+	Aggregate Aggregate
+	// Eps is the target maximal relative local error (default 1e-12).
+	Eps float64
+	// MaxRounds caps the computation (default 500·log2(n)+2000).
+	MaxRounds int
+	// Seed makes the randomized schedule reproducible (default 1).
+	Seed int64
+	// LossRate, when > 0, drops each message independently with this
+	// probability (seeded).
+	LossRate float64
+	// LinkFailures schedules permanent link failures: at the given
+	// round both endpoints are notified and stop using the link.
+	LinkFailures []LinkFailure
+	// NodeCrashes schedules permanent node failures: all the node's
+	// links fail and it stops participating. The reported Exact value
+	// and errors then refer to the aggregate over the survivors.
+	NodeCrashes []NodeCrash
+	// Trace, when non-nil, is called after every round with the 1-based
+	// number of the completed round and the maximal relative local
+	// error it ended with.
+	Trace func(round int, maxErr float64)
+}
+
+// LinkFailure schedules a permanent link failure for Reduce.
+type LinkFailure struct {
+	// Round at which the failure strikes.
+	Round int
+	// A, B are the link endpoints.
+	A, B int
+}
+
+// NodeCrash schedules a permanent node failure for Reduce.
+type NodeCrash struct {
+	// Round at which the node crashes.
+	Round int
+	// Node is the crashed node id.
+	Node int
+}
+
+// ReduceResult reports a completed reduction.
+type ReduceResult struct {
+	// Estimates[i] is node i's estimate of the aggregate.
+	Estimates []float64
+	// Exact is the true aggregate (compensated summation oracle).
+	Exact float64
+	// Rounds is the number of gossip rounds executed.
+	Rounds int
+	// Converged reports whether Eps was reached before MaxRounds.
+	Converged bool
+	// MaxError is the final maximal relative local error.
+	MaxError float64
+}
+
+// Reduce runs a gossip reduction of the per-node inputs over the given
+// topology in the deterministic round simulator and returns every node's
+// final estimate. len(inputs) must equal the topology's node count.
+func Reduce(inputs []float64, algo Algorithm, opt ReduceOptions) (ReduceResult, error) {
+	if opt.Topology == nil {
+		return ReduceResult{}, errors.New("pcfreduce: ReduceOptions.Topology is required")
+	}
+	n := opt.Topology.N()
+	if len(inputs) != n {
+		return ReduceResult{}, fmt.Errorf("pcfreduce: %d inputs for %d nodes", len(inputs), n)
+	}
+	if !opt.Topology.IsConnected() {
+		return ReduceResult{}, errors.New("pcfreduce: topology must be connected")
+	}
+	applyReduceDefaults(&opt, n)
+	protos := make([]Protocol, n)
+	for i := range protos {
+		protos[i] = algo.NewNode()
+	}
+	e := sim.NewScalar(opt.Topology, protos, inputs, opt.Aggregate, opt.Seed)
+	if opt.LossRate > 0 {
+		e.SetInterceptor(fault.NewLoss(opt.LossRate, opt.Seed+1))
+	}
+	var events []fault.Event
+	for _, lf := range opt.LinkFailures {
+		events = append(events, fault.LinkFailure(lf.Round, lf.A, lf.B))
+	}
+	for _, nc := range opt.NodeCrashes {
+		events = append(events, fault.NodeCrash(nc.Round, nc.Node))
+	}
+	plan := fault.NewPlan(events...)
+	res := e.Run(sim.RunConfig{
+		MaxRounds:  opt.MaxRounds,
+		Eps:        opt.Eps,
+		OnRound:    plan.OnRound,
+		AfterRound: opt.Trace,
+	})
+	out := ReduceResult{
+		Exact:     e.Targets()[0],
+		Rounds:    res.Rounds,
+		Converged: res.Converged,
+		MaxError:  e.MaxError(),
+	}
+	for _, est := range e.Estimates() {
+		if est == nil {
+			// Crashed node: it has no estimate; report NaN in its slot
+			// so indices still line up with node ids.
+			out.Estimates = append(out.Estimates, math.NaN())
+			continue
+		}
+		out.Estimates = append(out.Estimates, est[0])
+	}
+	return out, nil
+}
+
+func applyReduceDefaults(opt *ReduceOptions, n int) {
+	if opt.Eps == 0 {
+		opt.Eps = 1e-12
+	}
+	if opt.MaxRounds == 0 {
+		log2 := 0
+		for 1<<uint(log2) < n {
+			log2++
+		}
+		opt.MaxRounds = 500*log2 + 2000
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+}
+
+// ConcurrentOptions configures ReduceConcurrent.
+type ConcurrentOptions struct {
+	// Topology is the gossip network (required, connected).
+	Topology *Graph
+	// Aggregate selects Sum or Average (default Average).
+	Aggregate Aggregate
+	// Eps is the convergence target (default 1e-9).
+	Eps float64
+	// Timeout bounds the run wall-clock (default 10s).
+	Timeout time.Duration
+	// Seed drives the per-node RNGs (default 1).
+	Seed int64
+}
+
+// ReduceConcurrent runs the reduction as a real concurrent system: one
+// goroutine per node, bounded channel inboxes, no global synchronization.
+// Messages lost to inbox back-pressure are healed by the flow algorithms
+// (and permanently corrupt PushSum — by design, that is the trade-off
+// the paper describes).
+func ReduceConcurrent(ctx context.Context, inputs []float64, algo Algorithm, opt ConcurrentOptions) (ReduceResult, error) {
+	if opt.Topology == nil {
+		return ReduceResult{}, errors.New("pcfreduce: ConcurrentOptions.Topology is required")
+	}
+	n := opt.Topology.N()
+	if len(inputs) != n {
+		return ReduceResult{}, fmt.Errorf("pcfreduce: %d inputs for %d nodes", len(inputs), n)
+	}
+	if opt.Eps == 0 {
+		opt.Eps = 1e-9
+	}
+	if opt.Timeout == 0 {
+		opt.Timeout = 10 * time.Second
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	init := make([]Value, n)
+	for i, x := range inputs {
+		init[i] = gossip.Scalar(x, opt.Aggregate.InitialWeight(i))
+	}
+	net, err := runtime.New(runtime.Config{
+		Graph:       opt.Topology,
+		NewProtocol: algo.NewNode,
+		Init:        init,
+		Seed:        opt.Seed,
+	})
+	if err != nil {
+		return ReduceResult{}, err
+	}
+	rres := net.Run(ctx, runtime.RunConfig{Eps: opt.Eps, Timeout: opt.Timeout, Stable: 3})
+	out := ReduceResult{
+		Exact:     net.Targets()[0],
+		Converged: rres.Converged,
+		MaxError:  rres.FinalMaxError,
+	}
+	for _, est := range net.Estimates() {
+		out.Estimates = append(out.Estimates, est[0])
+	}
+	return out, nil
+}
+
+// Matrix is a dense row-major matrix (re-exported from linalg).
+type Matrix = linalg.Matrix
+
+// NewMatrix returns a zero matrix.
+func NewMatrix(rows, cols int) *Matrix { return linalg.NewMatrix(rows, cols) }
+
+// RandomMatrix returns a seeded random matrix with entries in [-1, 1).
+func RandomMatrix(rows, cols int, seed int64) *Matrix { return linalg.Random(rows, cols, seed) }
+
+// QROptions configures the distributed QR factorization.
+type QROptions struct {
+	// Topology is the gossip network the matrix rows are distributed
+	// over (required; rows ≥ nodes).
+	Topology *Graph
+	// Eps is the per-reduction target accuracy (default 1e-15, the
+	// paper's setting).
+	Eps float64
+	// MaxRounds caps each reduction (default 4000).
+	MaxRounds int
+	// Seed makes the factorization reproducible (default 1).
+	Seed int64
+}
+
+// QRResult reports a distributed factorization V ≈ Q·R.
+type QRResult struct {
+	// Q is the column-orthonormal factor (rows distributed over nodes,
+	// assembled here).
+	Q *Matrix
+	// R is node 0's copy of the triangular factor.
+	R *Matrix
+	// FactorizationError is ‖V − QR‖∞ / ‖V‖∞.
+	FactorizationError float64
+	// OrthogonalityError is ‖QᵀQ − I‖∞.
+	OrthogonalityError float64
+	// Reductions and TotalRounds count the gossip work performed.
+	Reductions  int
+	TotalRounds int
+}
+
+// QR computes the fully distributed QR factorization of v (dmGS, paper
+// Sec. IV) using the given reduction algorithm for every norm and dot
+// product.
+func QR(v *Matrix, algo Algorithm, opt QROptions) (QRResult, error) {
+	if opt.Topology == nil {
+		return QRResult{}, errors.New("pcfreduce: QROptions.Topology is required")
+	}
+	if opt.Eps == 0 {
+		opt.Eps = 1e-15
+	}
+	if opt.MaxRounds == 0 {
+		opt.MaxRounds = 4000
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	res, err := dmgs.Factorize(v, dmgs.Config{
+		Topology:    opt.Topology,
+		NewProtocol: algo.NewNode,
+		Eps:         opt.Eps,
+		MaxRounds:   opt.MaxRounds,
+		StallRounds: 60,
+		Seed:        opt.Seed,
+	})
+	if err != nil {
+		return QRResult{}, err
+	}
+	return QRResult{
+		Q:                  res.Q,
+		R:                  res.R,
+		FactorizationError: linalg.FactorizationError(v, res.Q, res.R),
+		OrthogonalityError: linalg.OrthogonalityError(res.Q),
+		Reductions:         res.Reductions,
+		TotalRounds:        res.TotalRounds,
+	}, nil
+}
+
+// EigenOptions configures the distributed symmetric eigensolver.
+type EigenOptions struct {
+	// Topology is the gossip network; the matrix dimension must equal
+	// its node count (one column per node).
+	Topology *Graph
+	// Eigenvectors is the number m of dominant eigenpairs (default 1).
+	Eigenvectors int
+	// Tol is the subspace-stabilization tolerance (default 1e-10).
+	Tol float64
+	// MaxIterations caps the orthogonal iteration (default 300).
+	MaxIterations int
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+}
+
+// EigenResult reports the dominant eigenpairs of a distributed solve.
+type EigenResult struct {
+	// Values are the dominant eigenvalues in descending |λ| order.
+	Values []float64
+	// Vectors holds the corresponding eigenvectors as columns.
+	Vectors *Matrix
+	// Iterations is the number of orthogonal-iteration steps.
+	Iterations int
+	// Converged reports whether Tol was met before MaxIterations.
+	Converged bool
+}
+
+// Eigen computes the m dominant eigenpairs of the symmetric matrix a
+// with fully distributed orthogonal iteration: the matrix-subspace
+// product is one gossip reduction per iteration and the
+// orthonormalization builds on the same machinery as QR (the
+// eigensolver application of the paper's reference [9]).
+func Eigen(a *Matrix, algo Algorithm, opt EigenOptions) (EigenResult, error) {
+	if opt.Topology == nil {
+		return EigenResult{}, errors.New("pcfreduce: EigenOptions.Topology is required")
+	}
+	if opt.Eigenvectors == 0 {
+		opt.Eigenvectors = 1
+	}
+	cfg := eigen.DefaultConfig(opt.Topology, algo.NewNode, opt.Eigenvectors)
+	if opt.Tol > 0 {
+		cfg.Tol = opt.Tol
+	}
+	if opt.MaxIterations > 0 {
+		cfg.MaxIterations = opt.MaxIterations
+	}
+	if opt.Seed != 0 {
+		cfg.Seed = opt.Seed
+	}
+	res, err := eigen.Solve(a, cfg)
+	if err != nil {
+		return EigenResult{}, err
+	}
+	return EigenResult{
+		Values:     res.Values,
+		Vectors:    res.Vectors,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+	}, nil
+}
+
+// WeightedReduce computes the weighted mean Σ wᵢ·xᵢ / Σ wᵢ of the
+// per-node inputs with the given positive per-node weights, using the
+// same gossip machinery as Reduce (node i contributes mass (wᵢ·xᵢ, wᵢ)).
+// The Aggregate field of opt is ignored.
+func WeightedReduce(inputs, weights []float64, algo Algorithm, opt ReduceOptions) (ReduceResult, error) {
+	if opt.Topology == nil {
+		return ReduceResult{}, errors.New("pcfreduce: ReduceOptions.Topology is required")
+	}
+	n := opt.Topology.N()
+	if len(inputs) != n || len(weights) != n {
+		return ReduceResult{}, fmt.Errorf("pcfreduce: %d inputs / %d weights for %d nodes", len(inputs), len(weights), n)
+	}
+	for i, w := range weights {
+		if !(w > 0) {
+			return ReduceResult{}, fmt.Errorf("pcfreduce: weight %d is %g, want > 0", i, w)
+		}
+	}
+	if !opt.Topology.IsConnected() {
+		return ReduceResult{}, errors.New("pcfreduce: topology must be connected")
+	}
+	applyReduceDefaults(&opt, n)
+	protos := make([]Protocol, n)
+	for i := range protos {
+		protos[i] = algo.NewNode()
+	}
+	init := make([]Value, n)
+	for i := range init {
+		init[i] = gossip.Scalar(weights[i]*inputs[i], weights[i])
+	}
+	e := sim.New(opt.Topology, protos, init, opt.Seed)
+	if opt.LossRate > 0 {
+		e.SetInterceptor(fault.NewLoss(opt.LossRate, opt.Seed+1))
+	}
+	res := e.Run(sim.RunConfig{MaxRounds: opt.MaxRounds, Eps: opt.Eps, AfterRound: opt.Trace})
+	out := ReduceResult{
+		Exact:     e.Targets()[0],
+		Rounds:    res.Rounds,
+		Converged: res.Converged,
+		MaxError:  e.MaxError(),
+	}
+	for _, est := range e.Estimates() {
+		out.Estimates = append(out.Estimates, est[0])
+	}
+	return out, nil
+}

@@ -1,0 +1,295 @@
+package pcfreduce_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"pcfreduce"
+)
+
+func inputsFor(g *pcfreduce.Graph) []float64 {
+	out := make([]float64, g.N())
+	for i := range out {
+		out[i] = float64(i%7) + 0.5
+	}
+	return out
+}
+
+func TestReduceAverage(t *testing.T) {
+	g := pcfreduce.Hypercube(5)
+	in := inputsFor(g)
+	res, err := pcfreduce.Reduce(in, pcfreduce.PCF, pcfreduce.ReduceOptions{
+		Topology: g,
+		Eps:      1e-13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %.3e", res.MaxError)
+	}
+	var want float64
+	for _, x := range in {
+		want += x
+	}
+	want /= float64(len(in))
+	if math.Abs(res.Exact-want) > 1e-12 {
+		t.Fatalf("Exact = %.15g, want %.15g", res.Exact, want)
+	}
+	for i, est := range res.Estimates {
+		if math.Abs(est-want)/want > 1e-12 {
+			t.Fatalf("node %d estimate %.15g", i, est)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	g := pcfreduce.Ring(16)
+	in := inputsFor(g)
+	res, err := pcfreduce.Reduce(in, pcfreduce.PushFlow, pcfreduce.ReduceOptions{
+		Topology:  g,
+		Aggregate: pcfreduce.Sum,
+		Eps:       1e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %.3e", res.MaxError)
+	}
+	var want float64
+	for _, x := range in {
+		want += x
+	}
+	if math.Abs(res.Estimates[7]-want)/want > 1e-11 {
+		t.Fatalf("estimate %.15g, want %.15g", res.Estimates[7], want)
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	g := pcfreduce.Path(4)
+	if _, err := pcfreduce.Reduce([]float64{1, 2, 3, 4}, pcfreduce.PCF, pcfreduce.ReduceOptions{}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	if _, err := pcfreduce.Reduce([]float64{1, 2}, pcfreduce.PCF, pcfreduce.ReduceOptions{Topology: g}); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+	disconnected := pcfreduce.Grid2D(1, 1)
+	_ = disconnected
+	two := pcfreduce.Path(2).RemoveEdge(0, 1)
+	if _, err := pcfreduce.Reduce([]float64{1, 2}, pcfreduce.PCF, pcfreduce.ReduceOptions{Topology: two}); err == nil {
+		t.Fatal("disconnected topology accepted")
+	}
+}
+
+func TestReduceWithFaults(t *testing.T) {
+	g := pcfreduce.Hypercube(5)
+	in := inputsFor(g)
+	var traced int
+	res, err := pcfreduce.Reduce(in, pcfreduce.PCF, pcfreduce.ReduceOptions{
+		Topology:     g,
+		Eps:          1e-12,
+		MaxRounds:    5000,
+		LossRate:     0.05,
+		LinkFailures: []pcfreduce.LinkFailure{{Round: 30, A: 0, B: 1}},
+		NodeCrashes:  []pcfreduce.NodeCrash{{Round: 0, Node: 9}},
+		Trace:        func(round int, maxErr float64) { traced++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged under faults: %.3e", res.MaxError)
+	}
+	if traced != res.Rounds {
+		t.Fatalf("trace called %d times for %d rounds", traced, res.Rounds)
+	}
+	if !math.IsNaN(res.Estimates[9]) {
+		t.Fatal("crashed node must report NaN")
+	}
+	// With node 9 crashed at round 0, Exact is the survivors' average.
+	var want float64
+	for i, x := range in {
+		if i != 9 {
+			want += x
+		}
+	}
+	want /= float64(len(in) - 1)
+	if math.Abs(res.Exact-want) > 1e-12 {
+		t.Fatalf("Exact = %.15g, want survivors' %.15g", res.Exact, want)
+	}
+}
+
+func TestReduceDeterminism(t *testing.T) {
+	g := pcfreduce.Torus2D(4, 4)
+	in := inputsFor(g)
+	opt := pcfreduce.ReduceOptions{Topology: g, Seed: 42, MaxRounds: 60, Eps: 1e-300}
+	a, err := pcfreduce.Reduce(in, pcfreduce.PCF, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pcfreduce.Reduce(in, pcfreduce.PCF, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Estimates {
+		if a.Estimates[i] != b.Estimates[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	names := map[pcfreduce.Algorithm]string{
+		pcfreduce.PCF:          "PCF",
+		pcfreduce.PCFRobust:    "PCF-robust",
+		pcfreduce.PushFlow:     "push-flow",
+		pcfreduce.PushSum:      "push-sum",
+		pcfreduce.FlowUpdating: "flow-updating",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Fatalf("%v", a)
+		}
+		if a.NewNode() == nil {
+			t.Fatalf("%v: nil node", a)
+		}
+	}
+}
+
+func TestReduceConcurrent(t *testing.T) {
+	g := pcfreduce.Hypercube(4)
+	in := inputsFor(g)
+	res, err := pcfreduce.ReduceConcurrent(context.Background(), in, pcfreduce.PCF, pcfreduce.ConcurrentOptions{
+		Topology: g,
+		Eps:      1e-9,
+		Timeout:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %.3e", res.MaxError)
+	}
+	if math.Abs(res.Estimates[3]-res.Exact)/res.Exact > 1e-8 {
+		t.Fatalf("estimate %.12g vs exact %.12g", res.Estimates[3], res.Exact)
+	}
+}
+
+func TestReduceConcurrentValidation(t *testing.T) {
+	if _, err := pcfreduce.ReduceConcurrent(context.Background(), nil, pcfreduce.PCF, pcfreduce.ConcurrentOptions{}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	g := pcfreduce.Ring(4)
+	if _, err := pcfreduce.ReduceConcurrent(context.Background(), []float64{1}, pcfreduce.PCF, pcfreduce.ConcurrentOptions{Topology: g}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+}
+
+func TestQRFacade(t *testing.T) {
+	g := pcfreduce.Hypercube(4)
+	v := pcfreduce.RandomMatrix(16, 5, 7)
+	res, err := pcfreduce.QR(v, pcfreduce.PCF, pcfreduce.QROptions{Topology: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FactorizationError > 1e-12 {
+		t.Fatalf("factorization error %.3e", res.FactorizationError)
+	}
+	if res.OrthogonalityError > 1e-12 {
+		t.Fatalf("orthogonality error %.3e", res.OrthogonalityError)
+	}
+	if res.Reductions != 9 || res.TotalRounds <= 0 {
+		t.Fatalf("work counters %+v", res)
+	}
+	if res.Q.Rows != 16 || res.Q.Cols != 5 || res.R.Rows != 5 {
+		t.Fatal("factor shapes")
+	}
+	if _, err := pcfreduce.QR(v, pcfreduce.PCF, pcfreduce.QROptions{}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+}
+
+func TestNewMatrixHelpers(t *testing.T) {
+	m := pcfreduce.NewMatrix(2, 2)
+	if m.Rows != 2 || m.At(1, 1) != 0 {
+		t.Fatal("NewMatrix")
+	}
+	r := pcfreduce.RandomMatrix(3, 3, 1)
+	if r.Rows != 3 || r.MaxAbs() == 0 {
+		t.Fatal("RandomMatrix")
+	}
+}
+
+func TestEigenFacade(t *testing.T) {
+	g := pcfreduce.Hypercube(3)
+	n := g.N()
+	// Diagonal-dominant symmetric matrix with a clear dominant pair.
+	a := pcfreduce.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	a.Set(0, 0, 12)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	res, err := pcfreduce.Eigen(a, pcfreduce.PCF, pcfreduce.EigenOptions{
+		Topology:     g,
+		Eigenvectors: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged after %d iterations", res.Iterations)
+	}
+	// Dominant eigenvalue of the 2x2 block [[12,2],[2,1]] ⊕ I:
+	// (13 + sqrt(121+16))/2.
+	want := (13 + math.Sqrt(137)) / 2
+	if math.Abs(res.Values[0]-want) > 1e-8 {
+		t.Fatalf("λ1 = %.12g, want %.12g", res.Values[0], want)
+	}
+	if _, err := pcfreduce.Eigen(a, pcfreduce.PCF, pcfreduce.EigenOptions{}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+}
+
+func TestWeightedReduce(t *testing.T) {
+	g := pcfreduce.Hypercube(4)
+	n := g.N()
+	inputs := make([]float64, n)
+	weights := make([]float64, n)
+	var num, den float64
+	for i := range inputs {
+		inputs[i] = float64(i)
+		weights[i] = float64(i%3) + 0.5
+		num += weights[i] * inputs[i]
+		den += weights[i]
+	}
+	res, err := pcfreduce.WeightedReduce(inputs, weights, pcfreduce.PCF, pcfreduce.ReduceOptions{
+		Topology: g,
+		Eps:      1e-12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := num / den
+	if math.Abs(res.Exact-want) > 1e-12 {
+		t.Fatalf("Exact = %.15g, want %.15g", res.Exact, want)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %.3e", res.MaxError)
+	}
+	if math.Abs(res.Estimates[7]-want)/want > 1e-11 {
+		t.Fatalf("estimate %.15g", res.Estimates[7])
+	}
+	// Validation.
+	if _, err := pcfreduce.WeightedReduce(inputs, weights[:3], pcfreduce.PCF, pcfreduce.ReduceOptions{Topology: g}); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+	weights[2] = 0
+	if _, err := pcfreduce.WeightedReduce(inputs, weights, pcfreduce.PCF, pcfreduce.ReduceOptions{Topology: g}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
