@@ -11,12 +11,21 @@
 //	gossipsim -algo pcf -topo ring:64 -crash 50:3
 //	gossipsim -algo pcf-robust -topo hypercube:6 -concurrent -eps 1e-9
 //	gossipsim -algo pcf -topo hypercube:6 -event -latency 0.05,0.2
+//
+// Oracle-free failure detection (silent faults nobody is notified of;
+// the detector of internal/detect must discover them):
+//
+//	gossipsim -algo pcf -topo hypercube:6 -detect -silent-crash 100:21
+//	gossipsim -algo pcf -topo ring:32 -detect -detect-timeout 30 -outage 50:400:0:1
+//	gossipsim -algo pcf -topo hypercube:6 -detect -detect-policy phi -phi 6 -silent-crash 200:40
+//	gossipsim -topo hypercube:6 -detect-exp -detect-params 10,20,40,80,160
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"strconv"
@@ -24,6 +33,9 @@ import (
 	"time"
 
 	"pcfreduce"
+	"pcfreduce/internal/detect"
+	"pcfreduce/internal/experiments"
+	"pcfreduce/internal/fault"
 	"pcfreduce/internal/gossip"
 	"pcfreduce/internal/sim"
 	"pcfreduce/internal/topology"
@@ -46,6 +58,16 @@ func main() {
 		eventMode  = flag.Bool("event", false, "run on the continuous-time event engine (per-message latencies)")
 		latency    = flag.String("latency", "0.05,0.2", "message latency range MIN,MAX in gossip-interval units for -event")
 		simTime    = flag.Float64("simtime", 5000, "simulated-time bound for -event")
+
+		detectMode    = flag.Bool("detect", false, "enable the oracle-free failure detector (round simulator)")
+		detectPolicy  = flag.String("detect-policy", "fixed", "suspicion policy: fixed|phi")
+		detectTimeout = flag.Float64("detect-timeout", 50, "silence timeout in rounds (fixed policy; φ bootstrap)")
+		phiThreshold  = flag.Float64("phi", 8, "φ-accrual suspicion threshold")
+		silentCrash   = flag.String("silent-crash", "", "UNANNOUNCED node crash ROUND:NODE (repeatable, comma-separated)")
+		outage        = flag.String("outage", "", "transient silent link outage FROM:TO:A:B (repeatable, comma-separated)")
+		detectExp     = flag.Bool("detect-exp", false, "run the detection latency/false-positive sweep (EXP-L) and exit")
+		detectParams  = flag.String("detect-params", "10,20,40,80,160", "sweep axis for -detect-exp: timeouts in rounds (fixed) or φ thresholds (phi)")
+		trials        = flag.Int("trials", 5, "seeds per sweep point for -detect-exp")
 	)
 	flag.Parse()
 
@@ -74,6 +96,46 @@ func main() {
 
 	fmt.Printf("gossipsim: %s on %s (%d nodes, diameter-friendly degree %d), aggregate %s\n",
 		algo, g.Name(), g.N(), g.MaxDegree(), agg)
+
+	if *detectExp {
+		pol, err := parsePolicy(*detectPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		params, err := parseFloats(*detectParams)
+		if err != nil {
+			fatal(fmt.Errorf("bad -detect-params: %w", err))
+		}
+		expAlgo, err := experiments.AlgorithmByName(*algoName)
+		if err != nil {
+			fatal(err)
+		}
+		runDetectExp(g, expAlgo, pol, params, *trials, *seed, *detectTimeout)
+		return
+	}
+
+	if *detectMode || *silentCrash != "" || *outage != "" {
+		pol, err := parsePolicy(*detectPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := buildSilentPlan(g, *silentCrash, *outage, *failLink, *crash)
+		if err != nil {
+			fatal(err)
+		}
+		var dc *sim.DetectorConfig
+		if *detectMode {
+			dc = &sim.DetectorConfig{Detect: detect.Config{
+				Policy:       pol,
+				Timeout:      *detectTimeout,
+				PhiThreshold: *phiThreshold,
+			}}
+		} else {
+			fmt.Println("note: silent faults without -detect — nobody will ever evict the failed components")
+		}
+		runDetect(g, algo, agg, inputs, *eps, *seed, *rounds, plan, dc, *traceEvery)
+		return
+	}
 
 	if *eventMode {
 		lmin, lmax, err := parseRange(*latency)
@@ -169,6 +231,207 @@ func runEvent(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggreg
 	fmt.Printf("event engine: converged=%v at t=%.1f (%d activations, %d sends), maxErr=%.3e\n",
 		res.Converged, res.Time, e.Activations, e.Sends, res.FinalMaxError)
 	fmt.Printf("exact aggregate %.9g\n", e.Targets()[0])
+}
+
+// runDetect drives the round simulator directly (below the public
+// facade, like runEvent) with a failure plan of silent faults and,
+// optionally, the oracle-free detector.
+func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggregate, inputs []float64, eps float64, seed int64, rounds int, plan *fault.Plan, dc *sim.DetectorConfig, traceEvery int) {
+	protos := make([]pcfreduce.Protocol, g.N())
+	for i := range protos {
+		protos[i] = algo.NewNode()
+	}
+	init := make([]gossip.Value, g.N())
+	for i, x := range inputs {
+		init[i] = gossip.Scalar(x, agg.InitialWeight(i))
+	}
+	var opts []sim.EngineOption
+	if dc != nil {
+		opts = append(opts, sim.WithDetector(*dc))
+	}
+	e := sim.New(g, protos, init, seed, opts...)
+	if rounds == 0 {
+		rounds = 20000
+	}
+	cfg := sim.RunConfig{MaxRounds: rounds, Eps: eps, OnRound: plan.OnRound}
+	if traceEvery > 0 {
+		cfg.AfterRound = func(round int, maxErr float64) {
+			if round%traceEvery == 0 {
+				fmt.Printf("  round %5d  max local error %.3e\n", round, maxErr)
+			}
+		}
+	}
+	res := e.Run(cfg)
+	// The oracle error cannot cross the eviction-bias floor after a
+	// silent crash (mass drained into the dead links is absorbed at
+	// eviction), so report internal consensus alongside it: a tiny
+	// spread with a larger maxErr means the survivors agreed on a
+	// slightly biased aggregate.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, est := range e.Estimates() {
+		if est == nil {
+			continue
+		}
+		lo = math.Min(lo, est[0])
+		hi = math.Max(hi, est[0])
+	}
+	fmt.Printf("finished after %d rounds: converged=%v maxErr=%.3e spread=%.3e\n",
+		res.Rounds, res.Converged, e.MaxError(), hi-lo)
+	if dc != nil {
+		st := e.DetectorStats()
+		fmt.Printf("detector (%s): %d suspicions, %d reintegrations, %d keepalives/probes\n",
+			dc.Detect.Policy, st.Suspicions, st.Reintegrations, st.Keepalives)
+		for i := 0; i < g.N(); i++ {
+			if s := e.Suspects(i); len(s) > 0 {
+				fmt.Printf("  node %d still suspects %v\n", i, s)
+			}
+		}
+	}
+	fmt.Printf("exact aggregate over survivors %.9g\n", e.Targets()[0])
+}
+
+// runDetectExp runs EXP-L and prints the latency/false-positive table.
+func runDetectExp(g *pcfreduce.Graph, algo experiments.Algorithm, pol detect.Policy, params []float64, trials int, seed int64, bootstrap float64) {
+	pts, err := experiments.DetectionTradeoff(experiments.DetectionConfig{
+		Graph:            g,
+		Algo:             algo,
+		Policy:           pol,
+		Params:           params,
+		BootstrapTimeout: bootstrap,
+		Trials:           trials,
+		Seed:             seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	axis := "timeout(rounds)"
+	if pol == detect.PhiAccrual {
+		axis = "φ-threshold"
+	}
+	fmt.Printf("detection trade-off (%s policy, %d trials/point, silent crash of node %d):\n",
+		pol, trials, g.N()/3)
+	fmt.Printf("  %-16s %14s %12s %14s %14s %7s\n", axis, "mean latency", "max latency", "false alarms", "reintegrated", "missed")
+	for _, pt := range pts {
+		fmt.Printf("  %-16g %14.1f %12d %14.2f %14.2f %7d\n",
+			pt.Param, pt.MeanLatency, pt.MaxLatency, pt.FalsePositives, pt.Reintegrations, pt.Missed)
+	}
+}
+
+// buildSilentPlan assembles the failure schedule from the CLI flags
+// (silent faults plus the legacy notified ones, so they compose).
+func buildSilentPlan(g *topology.Graph, silentCrash, outage, failLink, crash string) (*fault.Plan, error) {
+	n := g.N()
+	checkNode := func(flag, spec string, nodes ...int) error {
+		for _, nd := range nodes {
+			if nd < 0 || nd >= n {
+				return fmt.Errorf("bad %s %q: node %d out of range [0,%d)", flag, spec, nd, n)
+			}
+		}
+		return nil
+	}
+	checkEdge := func(flag, spec string, a, b int) error {
+		if err := checkNode(flag, spec, a, b); err != nil {
+			return err
+		}
+		if !g.HasEdge(a, b) {
+			return fmt.Errorf("bad %s %q: %s has no edge %d-%d", flag, spec, g.Name(), a, b)
+		}
+		return nil
+	}
+	plan := fault.NewPlan()
+	if silentCrash != "" {
+		for _, spec := range strings.Split(silentCrash, ",") {
+			parts := strings.Split(spec, ":")
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("bad -silent-crash %q (want ROUND:NODE)", spec)
+			}
+			r, err1 := strconv.Atoi(parts[0])
+			nd, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad -silent-crash %q", spec)
+			}
+			if err := checkNode("-silent-crash", spec, nd); err != nil {
+				return nil, err
+			}
+			plan.Add(fault.SilentNodeCrash(r, nd))
+		}
+	}
+	if outage != "" {
+		for _, spec := range strings.Split(outage, ",") {
+			parts := strings.Split(spec, ":")
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("bad -outage %q (want FROM:TO:A:B)", spec)
+			}
+			var v [4]int
+			for k, p := range parts {
+				x, err := strconv.Atoi(p)
+				if err != nil {
+					return nil, fmt.Errorf("bad -outage %q", spec)
+				}
+				v[k] = x
+			}
+			if err := checkEdge("-outage", spec, v[2], v[3]); err != nil {
+				return nil, err
+			}
+			plan.Add(fault.LinkOutage(v[0], v[1], v[2], v[3])...)
+		}
+	}
+	if failLink != "" {
+		for _, spec := range strings.Split(failLink, ",") {
+			r, a, b, err := parse3(spec)
+			if err != nil {
+				return nil, fmt.Errorf("bad -faillink %q: %w", spec, err)
+			}
+			if err := checkEdge("-faillink", spec, a, b); err != nil {
+				return nil, err
+			}
+			plan.Add(fault.LinkFailure(r, a, b))
+		}
+	}
+	if crash != "" {
+		for _, spec := range strings.Split(crash, ",") {
+			parts := strings.Split(spec, ":")
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("bad -crash %q (want ROUND:NODE)", spec)
+			}
+			r, err1 := strconv.Atoi(parts[0])
+			nd, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad -crash %q", spec)
+			}
+			if err := checkNode("-crash", spec, nd); err != nil {
+				return nil, err
+			}
+			plan.Add(fault.NodeCrash(r, nd))
+		}
+	}
+	return plan, nil
+}
+
+func parsePolicy(name string) (detect.Policy, error) {
+	switch strings.ToLower(name) {
+	case "fixed", "fixed-timeout", "timeout":
+		return detect.FixedTimeout, nil
+	case "phi", "phi-accrual", "accrual":
+		return detect.PhiAccrual, nil
+	default:
+		return 0, fmt.Errorf("unknown detection policy %q (want fixed|phi)", name)
+	}
+}
+
+func parseFloats(spec string) ([]float64, error) {
+	var out []float64
+	for _, p := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 func parseRange(spec string) (float64, float64, error) {

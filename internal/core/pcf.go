@@ -89,6 +89,19 @@ type edge struct {
 	f [2]gossip.Value
 	c uint8 // active slot: 0 or 1 (wire format uses 1 or 2)
 	r uint64
+
+	// saved holds the edge state frozen by OnLinkFailure so that
+	// OnLinkRecover can reinstate it (see there for why restoring beats
+	// restarting clean). nil when the edge has never been evicted or has
+	// been reintegrated.
+	saved *edgeSnapshot
+}
+
+// edgeSnapshot is the pre-eviction state of an edge.
+type edgeSnapshot struct {
+	f [2]gossip.Value
+	c uint8
+	r uint64
 }
 
 // Node is the push-cancel-flow state machine for a single node.
@@ -313,6 +326,14 @@ func (n *Node) LocalValue() gossip.Value { return n.local() }
 func (n *Node) OnLinkFailure(neighbor int) {
 	ed, ok := n.edges[neighbor]
 	if ok {
+		// Freeze the edge state first: if the "failure" turns out to be a
+		// false suspicion or a transient outage, OnLinkRecover reinstates
+		// it and the eviction becomes a no-op in retrospect.
+		ed.saved = &edgeSnapshot{
+			f: [2]gossip.Value{ed.f[0].Clone(), ed.f[1].Clone()},
+			c: ed.c,
+			r: ed.r,
+		}
 		if n.variant == VariantRobust {
 			// Fold the slots into ϕ so the estimate v − ϕ − Σf is
 			// unchanged by the zeroing below.
@@ -325,6 +346,46 @@ func (n *Node) OnLinkFailure(neighbor int) {
 		ed.r = 1
 	}
 	n.live = remove(n.live, neighbor)
+}
+
+// OnLinkRecover implements gossip.Reintegrator: re-admit a neighbor
+// evicted by OnLinkFailure by reinstating the edge exactly as it was at
+// eviction time (slots, active slot, role counter). Restoring — rather
+// than restarting from a clean edge — matters for conservation: the
+// absorb semantics of OnLinkFailure left the slot mass accounted in ϕ,
+// so a clean restart followed by adopting the peer's flows would strand
+// that mass in ϕ forever, a permanent slot-scale bias. With the state
+// reinstated, a false suspicion is a no-op in retrospect: the peer's
+// role counter cannot have advanced without our messages, so the next
+// exchange proceeds through the ordinary paths (or the hard-resync path
+// when the peer reset its own edge meanwhile) and flow antisymmetry —
+// hence exact global conservation — is restored by the first delivered
+// message. The estimate does not move at reintegration time in either
+// variant, mirroring the zero-cost eviction.
+func (n *Node) OnLinkRecover(neighbor int) {
+	ed, ok := n.edges[neighbor]
+	if !ok || contains(n.live, neighbor) {
+		return
+	}
+	if s := ed.saved; s != nil {
+		if n.variant == VariantRobust {
+			// Take the slots back out of ϕ; with the slots reinstated
+			// below, v − ϕ − Σf is unchanged.
+			n.phi.SubInPlace(s.f[0])
+			n.phi.SubInPlace(s.f[1])
+		}
+		ed.f[0].Set(s.f[0])
+		ed.f[1].Set(s.f[1])
+		ed.c = s.c
+		ed.r = s.r
+		ed.saved = nil
+	} else {
+		ed.f[0].Zero()
+		ed.f[1].Zero()
+		ed.c = 0
+		ed.r = 1
+	}
+	n.live = append(n.live, neighbor)
 }
 
 // LiveNeighbors implements gossip.Protocol.
@@ -364,6 +425,15 @@ func remove(list []int, x int) []int {
 		}
 	}
 	return out
+}
+
+func contains(list []int, x int) bool {
+	for _, v := range list {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // SetInput implements gossip.DynamicInput: live-monitoring input change

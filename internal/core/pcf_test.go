@@ -437,3 +437,77 @@ func TestResetReuse(t *testing.T) {
 		t.Fatal("ϕ after Reset")
 	}
 }
+
+// Eviction followed by reintegration: a one-sided false suspicion zeroes
+// the edge on one endpoint only; after OnLinkRecover the hard-resync path
+// restores flow antisymmetry from the peer's first message and the pair
+// re-converges with mass conserved.
+func TestEvictReintegrateConservesMass(t *testing.T) {
+	for _, variant := range []Variant{VariantEfficient, VariantRobust} {
+		a, b := New(variant), New(variant)
+		a.Reset(0, []int{1}, gossip.Scalar(8, 1))
+		b.Reset(1, []int{0}, gossip.Scalar(0, 1))
+		for k := 0; k < 6; k++ {
+			b.Receive(a.MakeMessage(1))
+			a.Receive(b.MakeMessage(0))
+		}
+
+		// a falsely suspects b: one-sided eviction. The absorb semantics
+		// keep a's estimate unchanged.
+		before := a.Estimate()[0]
+		a.OnLinkFailure(1)
+		if after := a.Estimate()[0]; math.Abs(after-before) > 1e-15 {
+			t.Fatalf("%v: eviction moved the estimate %.17g -> %.17g", variant, before, after)
+		}
+		if len(a.LiveNeighbors()) != 0 {
+			t.Fatalf("%v: evicted neighbor still live", variant)
+		}
+
+		// Suspicion clears; the edge restarts clean, then the peer's
+		// next message (whose r is ahead of the reset r=1) hard-resyncs.
+		a.OnLinkRecover(1)
+		a.OnLinkRecover(1) // idempotent
+		if len(a.LiveNeighbors()) != 1 {
+			t.Fatalf("%v: reintegrated neighbor not live", variant)
+		}
+		for k := 0; k < 40; k++ {
+			a.Receive(b.MakeMessage(0))
+			b.Receive(a.MakeMessage(1))
+		}
+		ea, eb := a.Estimate()[0], b.Estimate()[0]
+		if math.Abs(ea-4) > 1e-9 || math.Abs(eb-4) > 1e-9 {
+			t.Fatalf("%v: estimates %.12f %.12f after reintegration, want 4", variant, ea, eb)
+		}
+		ma, mb := a.LocalValue(), b.LocalValue()
+		if total := ma.X[0] + mb.X[0]; math.Abs(total-8) > 1e-12 {
+			t.Fatalf("%v: mass not conserved after evict/reintegrate: %.15f", variant, total)
+		}
+	}
+}
+
+// Symmetric eviction (both endpoints suspect each other, e.g. during a
+// transient outage of the link) followed by symmetric reintegration: both
+// edges restart clean and the pair re-converges.
+func TestSymmetricEvictReintegrate(t *testing.T) {
+	for _, variant := range []Variant{VariantEfficient, VariantRobust} {
+		a, b := New(variant), New(variant)
+		a.Reset(0, []int{1}, gossip.Scalar(8, 1))
+		b.Reset(1, []int{0}, gossip.Scalar(0, 1))
+		for k := 0; k < 6; k++ {
+			b.Receive(a.MakeMessage(1))
+			a.Receive(b.MakeMessage(0))
+		}
+		a.OnLinkFailure(1)
+		b.OnLinkFailure(0)
+		a.OnLinkRecover(1)
+		b.OnLinkRecover(0)
+		for k := 0; k < 40; k++ {
+			b.Receive(a.MakeMessage(1))
+			a.Receive(b.MakeMessage(0))
+		}
+		ea, eb := a.Estimate()[0], b.Estimate()[0]
+		if math.Abs(ea-4) > 1e-6 || math.Abs(eb-4) > 1e-6 {
+			t.Fatalf("%v: estimates %.9f %.9f after symmetric reintegration", variant, ea, eb)
+		}
+	}
+}

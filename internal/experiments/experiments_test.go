@@ -4,7 +4,9 @@ import (
 	"math"
 	"testing"
 
+	"pcfreduce/internal/detect"
 	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/topology"
 )
 
 func TestAlgorithmByName(t *testing.T) {
@@ -359,5 +361,65 @@ func TestDataDistDraw(t *testing.T) {
 	}
 	if DistConstant.Draw(5, 1)[0] != DistConstant.Draw(5, 2)[4] {
 		t.Fatal("constant distribution must not vary")
+	}
+}
+
+// EXP-I sanity: detection latency grows with the fixed timeout and is
+// never below it (a neighbor cannot be suspected before Timeout rounds
+// of silence); no neighbor misses the crash at sane settings; the
+// φ-accrual policy orders the same way with its threshold.
+func TestDetectionTradeoff(t *testing.T) {
+	g := topology.Hypercube(4)
+	fixed, err := DetectionTradeoff(DetectionConfig{
+		Graph:         g,
+		Params:        []float64{10, 60},
+		CrashRound:    60,
+		ObserveRounds: 400,
+		Trials:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range fixed {
+		if pt.Missed != 0 {
+			t.Errorf("timeout %.0f: %d trials missed the crash", pt.Param, pt.Missed)
+		}
+		if pt.MeanLatency < pt.Param {
+			t.Errorf("timeout %.0f: mean latency %.1f rounds is below the timeout", pt.Param, pt.MeanLatency)
+		}
+	}
+	if fixed[0].MeanLatency >= fixed[1].MeanLatency {
+		t.Errorf("latency not increasing in timeout: %.1f (t=10) vs %.1f (t=60)",
+			fixed[0].MeanLatency, fixed[1].MeanLatency)
+	}
+
+	phi, err := DetectionTradeoff(DetectionConfig{
+		Graph:         g,
+		Policy:        detect.PhiAccrual,
+		Params:        []float64{2, 8},
+		CrashRound:    200, // past the warm-up: the φ model is active
+		ObserveRounds: 400,
+		Trials:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range phi {
+		if pt.Missed != 0 {
+			t.Errorf("φ=%.0f: %d trials missed the crash", pt.Param, pt.Missed)
+		}
+	}
+	if phi[0].MeanLatency > phi[1].MeanLatency {
+		t.Errorf("latency not monotone in φ threshold: %.1f (φ=2) vs %.1f (φ=8)",
+			phi[0].MeanLatency, phi[1].MeanLatency)
+	}
+}
+
+func TestDetectionTradeoffValidates(t *testing.T) {
+	if _, err := DetectionTradeoff(DetectionConfig{Params: []float64{10}}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := DetectionTradeoff(DetectionConfig{Graph: topology.Ring(8)}); err == nil {
+		t.Error("empty parameter sweep accepted")
 	}
 }

@@ -5,13 +5,24 @@
 // compose with any protocol; permanent failures are driven through
 // sim.Engine.FailLink / CrashNode via the Plan type.
 //
+// Beyond the paper's notified failures, Plan also schedules the
+// oracle-free events of the detection layer: silent link outages
+// (SilentLinkFailure / LinkOutage), silent node crashes
+// (SilentNodeCrash) and transient node freezes (NodeHang / NodeOutage).
+// The same Plan drives both execution engines — Plan.OnRound plugs into
+// the round simulator, Plan.RunOn replays the schedule on a wall-clock
+// tick against any Runner, notably the concurrent runtime.Network.
+//
 // All injectors are deterministic given their seed, so every faulty
 // experiment in this repository is exactly reproducible.
 package fault
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"sort"
+	"time"
 
 	"pcfreduce/internal/gossip"
 	"pcfreduce/internal/sim"
@@ -216,9 +227,40 @@ func Window(ic sim.Interceptor, from, to int) sim.Interceptor {
 	})
 }
 
-// Event is one scheduled permanent failure.
+// Op identifies the kind of a scheduled failure event.
+type Op int
+
+const (
+	// OpAuto derives the operation from the legacy Node/Abrupt encoding
+	// (Node >= 0: node crash; otherwise link failure, abrupt when the
+	// Abrupt flag is set). The zero value, so Events built by hand with
+	// only Round/A/B/Node keep their historical meaning.
+	OpAuto Op = iota
+	// OpLinkFail is the quiescent, notified link failure (Figs. 4/7).
+	OpLinkFail
+	// OpLinkFailAbrupt loses in-flight messages; on engines without a
+	// quiescent-flush path (the concurrent runtime) it equals OpLinkFail.
+	OpLinkFailAbrupt
+	// OpNodeCrash is the notified node crash.
+	OpNodeCrash
+	// OpLinkSilence starts an unannounced outage on a link: messages are
+	// silently dropped and NO endpoint is notified — only a failure
+	// detector can react. The oracle-free counterpart of OpLinkFail.
+	OpLinkSilence
+	// OpLinkRestore heals a silenced link.
+	OpLinkRestore
+	// OpNodeCrashSilent crashes a node without telling anyone.
+	OpNodeCrashSilent
+	// OpNodeHang freezes a node (no sends, no receives) until resumed.
+	OpNodeHang
+	// OpNodeResume unfreezes a hung node.
+	OpNodeResume
+)
+
+// Event is one scheduled failure (permanent, silent, or transient).
 type Event struct {
-	// Round at which the failure strikes (before the round executes).
+	// Round at which the failure strikes (before the round executes; in
+	// Plan.RunOn it is a multiple of the tick duration).
 	Round int
 	// Link failure when Node < 0: the undirected link (A, B) fails.
 	A, B int
@@ -228,6 +270,24 @@ type Event struct {
 	// messages lost) instead of the quiescent one. See
 	// sim.Engine.FailLinkAbrupt.
 	Abrupt bool
+	// Op selects the operation explicitly; OpAuto (the zero value) keeps
+	// the legacy Node/Abrupt encoding above.
+	Op Op
+}
+
+// op resolves the effective operation of the event.
+func (ev Event) op() Op {
+	if ev.Op != OpAuto {
+		return ev.Op
+	}
+	switch {
+	case ev.Node >= 0:
+		return OpNodeCrash
+	case ev.Abrupt:
+		return OpLinkFailAbrupt
+	default:
+		return OpLinkFail
+	}
 }
 
 // LinkFailure returns a quiescent link-failure event (in-flight messages
@@ -243,8 +303,63 @@ func AbruptLinkFailure(round, a, b int) Event {
 // NodeCrash returns a node-crash event.
 func NodeCrash(round, node int) Event { return Event{Round: round, Node: node, A: -1, B: -1} }
 
-// Plan is a schedule of permanent failures. Its OnRound method plugs
-// into sim.RunConfig.OnRound.
+// SilentLinkFailure returns an unannounced permanent link outage: the
+// link drops everything from the given round on and nobody is told.
+func SilentLinkFailure(round, a, b int) Event {
+	return Event{Round: round, A: a, B: b, Node: -1, Op: OpLinkSilence}
+}
+
+// LinkRestore returns the healing event for a silenced link.
+func LinkRestore(round, a, b int) Event {
+	return Event{Round: round, A: a, B: b, Node: -1, Op: OpLinkRestore}
+}
+
+// LinkOutage returns the transient-outage pair: the link falls silent at
+// failRound and heals at healRound.
+func LinkOutage(failRound, healRound, a, b int) []Event {
+	return []Event{SilentLinkFailure(failRound, a, b), LinkRestore(healRound, a, b)}
+}
+
+// SilentNodeCrash returns an unannounced node crash — the node falls
+// silent forever and only failure detectors can discover it.
+func SilentNodeCrash(round, node int) Event {
+	return Event{Round: round, Node: node, A: -1, B: -1, Op: OpNodeCrashSilent}
+}
+
+// NodeHang returns a node-freeze event (no sends, no receives, inbox
+// still accumulating — a long GC pause or overloaded host).
+func NodeHang(round, node int) Event {
+	return Event{Round: round, Node: node, A: -1, B: -1, Op: OpNodeHang}
+}
+
+// NodeResume returns the resume event for a hung node.
+func NodeResume(round, node int) Event {
+	return Event{Round: round, Node: node, A: -1, B: -1, Op: OpNodeResume}
+}
+
+// NodeOutage returns the transient node-outage pair: the node hangs at
+// hangRound and resumes at resumeRound.
+func NodeOutage(hangRound, resumeRound, node int) []Event {
+	return []Event{NodeHang(hangRound, node), NodeResume(resumeRound, node)}
+}
+
+// Runner is the fault-injection surface shared by both execution
+// engines: sim.Engine and runtime.Network implement it, so one Plan can
+// drive a round-based simulation and a live concurrent run. The methods
+// mirror the engines' documented semantics; see their doc comments.
+type Runner interface {
+	FailLink(i, j int)
+	CrashNode(i int)
+	SilenceLink(i, j int)
+	RestoreLink(i, j int)
+	CrashNodeSilent(i int)
+	HangNode(i int)
+	ResumeNode(i int)
+}
+
+// Plan is a schedule of failures. Its OnRound method plugs into
+// sim.RunConfig.OnRound; RunOn replays the same schedule against any
+// Runner (notably runtime.Network) on a wall-clock tick.
 type Plan struct {
 	events []Event
 }
@@ -254,19 +369,80 @@ func NewPlan(events ...Event) *Plan {
 	return &Plan{events: append([]Event(nil), events...)}
 }
 
+// Add appends events (e.g. the pairs returned by LinkOutage/NodeOutage)
+// and returns the plan for chaining.
+func (p *Plan) Add(events ...Event) *Plan {
+	p.events = append(p.events, events...)
+	return p
+}
+
+// Events returns a copy of the schedule.
+func (p *Plan) Events() []Event {
+	return append([]Event(nil), p.events...)
+}
+
 // OnRound applies all events scheduled for the given round.
 func (p *Plan) OnRound(e *sim.Engine, round int) {
 	for _, ev := range p.events {
 		if ev.Round != round {
 			continue
 		}
-		switch {
-		case ev.Node >= 0:
-			e.CrashNode(ev.Node)
-		case ev.Abrupt:
+		if ev.op() == OpLinkFailAbrupt {
 			e.FailLinkAbrupt(ev.A, ev.B)
-		default:
-			e.FailLink(ev.A, ev.B)
+			continue
 		}
+		apply(e, ev)
 	}
+}
+
+// apply executes one event against a Runner. OpLinkFailAbrupt maps to
+// FailLink: the generic Runner surface has no quiescent-flush notion
+// (the concurrent runtime's FailLink is already abrupt); OnRound keeps
+// the distinction for the simulator.
+func apply(r Runner, ev Event) {
+	switch ev.op() {
+	case OpLinkFail, OpLinkFailAbrupt:
+		r.FailLink(ev.A, ev.B)
+	case OpNodeCrash:
+		r.CrashNode(ev.Node)
+	case OpLinkSilence:
+		r.SilenceLink(ev.A, ev.B)
+	case OpLinkRestore:
+		r.RestoreLink(ev.A, ev.B)
+	case OpNodeCrashSilent:
+		r.CrashNodeSilent(ev.Node)
+	case OpNodeHang:
+		r.HangNode(ev.Node)
+	case OpNodeResume:
+		r.ResumeNode(ev.Node)
+	}
+}
+
+// RunOn replays the plan against a live Runner, interpreting each
+// event's Round as a multiple of tick since the call: an event with
+// Round r fires r×tick after RunOn starts. Events are applied in Round
+// order; same-round events fire in schedule order. RunOn blocks until
+// the last event has been applied or ctx is cancelled (returning
+// ctx.Err() in that case), so it is typically launched in its own
+// goroutine alongside runtime.Network.Run.
+func (p *Plan) RunOn(ctx context.Context, r Runner, tick time.Duration) error {
+	if tick <= 0 {
+		panic("fault: RunOn tick must be positive")
+	}
+	evs := p.Events()
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].Round < evs[b].Round })
+	start := time.Now()
+	for _, ev := range evs {
+		if wait := time.Duration(ev.Round)*tick - time.Since(start); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
+		}
+		apply(r, ev)
+	}
+	return nil
 }

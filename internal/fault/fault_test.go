@@ -1,8 +1,11 @@
 package fault
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"pcfreduce/internal/gossip"
 	"pcfreduce/internal/pushflow"
@@ -251,5 +254,86 @@ func TestBoundedBitFlipHitsSignBit(t *testing.T) {
 	}
 	if signFlips == 0 {
 		t.Fatal("sign bit never flipped in 5000 trials")
+	}
+}
+
+// The oracle-free events route through the engine's silent-injection
+// APIs: nothing is notified, only state changes the detector could later
+// observe.
+func TestPlanFiresSilentEvents(t *testing.T) {
+	g := topology.Path(4)
+	protos := make([]gossip.Protocol, 4)
+	for i := range protos {
+		protos[i] = pushflow.New()
+	}
+	e := sim.NewScalar(g, protos, []float64{1, 2, 3, 4}, gossip.Average, 1)
+	plan := NewPlan(SilentNodeCrash(2, 0)).
+		Add(LinkOutage(1, 4, 2, 3)...).
+		Add(NodeOutage(1, 5, 1)...)
+	e.Run(sim.RunConfig{MaxRounds: 8, OnRound: plan.OnRound})
+	if e.Alive(0) {
+		t.Fatal("node 0 should have crashed silently")
+	}
+	// Silent events never notify: every protocol keeps its full neighbor
+	// list (contrast TestPlanFiresEvents, where FailLink prunes it).
+	for i := 1; i < 4; i++ {
+		if len(protos[i].LiveNeighbors()) != len(g.Neighbors(i)) {
+			t.Fatalf("node %d was notified of a silent failure: %v", i, protos[i].LiveNeighbors())
+		}
+	}
+}
+
+// recorder is a Runner that logs the operations applied to it.
+type recorder struct{ ops []string }
+
+func (r *recorder) FailLink(i, j int)     { r.ops = append(r.ops, fmt.Sprintf("fail %d-%d", i, j)) }
+func (r *recorder) CrashNode(i int)       { r.ops = append(r.ops, fmt.Sprintf("crash %d", i)) }
+func (r *recorder) SilenceLink(i, j int)  { r.ops = append(r.ops, fmt.Sprintf("silence %d-%d", i, j)) }
+func (r *recorder) RestoreLink(i, j int)  { r.ops = append(r.ops, fmt.Sprintf("restore %d-%d", i, j)) }
+func (r *recorder) CrashNodeSilent(i int) { r.ops = append(r.ops, fmt.Sprintf("scrash %d", i)) }
+func (r *recorder) HangNode(i int)        { r.ops = append(r.ops, fmt.Sprintf("hang %d", i)) }
+func (r *recorder) ResumeNode(i int)      { r.ops = append(r.ops, fmt.Sprintf("resume %d", i)) }
+
+// Both engines satisfy the Runner surface (runtime.Network is asserted
+// in the runtime package to keep import directions clean).
+var _ Runner = (*sim.Engine)(nil)
+
+// RunOn replays events in Round order on the tick clock, regardless of
+// schedule order, and honors cancellation.
+func TestPlanRunOn(t *testing.T) {
+	plan := NewPlan(
+		NodeCrash(3, 7),
+		SilentLinkFailure(1, 0, 1),
+		LinkRestore(2, 0, 1),
+		LinkFailure(0, 4, 5),
+	)
+	rec := &recorder{}
+	if err := plan.RunOn(context.Background(), rec, 100*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fail 4-5", "silence 0-1", "restore 0-1", "crash 7"}
+	if len(rec.ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", rec.ops, want)
+	}
+	for i := range want {
+		if rec.ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", rec.ops, want)
+		}
+	}
+}
+
+func TestPlanRunOnCancellation(t *testing.T) {
+	plan := NewPlan(NodeCrash(1000000, 0)) // far in the future
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- plan.RunOn(ctx, &recorder{}, time.Millisecond) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled RunOn returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunOn did not return after cancellation")
 	}
 }

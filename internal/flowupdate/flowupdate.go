@@ -142,6 +142,21 @@ func (n *Node) OnLinkFailure(neighbor int) {
 	n.live = remove(n.live, neighbor)
 }
 
+// OnLinkRecover implements gossip.Reintegrator: re-admit a neighbor
+// evicted by OnLinkFailure. The edge restarts with a zero flow and no
+// remembered estimate, exactly as after Reset; the averaging dynamics
+// re-learn the neighbor's state from its next message.
+func (n *Node) OnLinkRecover(neighbor int) {
+	f, ok := n.flows[neighbor]
+	if !ok || contains(n.live, neighbor) {
+		return
+	}
+	f.Zero()
+	n.lastEst[neighbor].Zero()
+	n.known[neighbor] = false
+	n.live = append(n.live, neighbor)
+}
+
 // LiveNeighbors implements gossip.Protocol.
 func (n *Node) LiveNeighbors() []int { return n.live }
 
@@ -161,6 +176,15 @@ func remove(list []int, x int) []int {
 		}
 	}
 	return out
+}
+
+func contains(list []int, x int) bool {
+	for _, v := range list {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // SetInput implements gossip.DynamicInput: live-monitoring input change.

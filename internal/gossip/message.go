@@ -2,6 +2,39 @@ package gossip
 
 import "fmt"
 
+// Kind classifies a message on the wire. The zero value is a plain data
+// message, so protocol code that constructs messages field-by-field is
+// unaffected; the non-zero kinds are engine-level control messages that
+// are never handed to Protocol.Receive.
+type Kind uint8
+
+const (
+	// KindData is a protocol payload message (the zero value).
+	KindData Kind = iota
+	// KindLinkDown notifies the receiver that the link to From has
+	// permanently failed (oracle-style failure notification).
+	KindLinkDown
+	// KindKeepalive is a liveness beacon carrying no payload: engines
+	// emit it on links that have been idle too long (and, at a lower
+	// rate, toward suspected neighbors as reintegration probes) so that
+	// failure detectors can tell silence from a quiet schedule.
+	KindKeepalive
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindLinkDown:
+		return "link-down"
+	case KindKeepalive:
+		return "keepalive"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
 // Message is the single wire format shared by every reduction protocol in
 // this repository. Keeping one concrete format (rather than per-protocol
 // payload types behind an interface) lets the fault injectors corrupt
@@ -16,8 +49,12 @@ import "fmt"
 //	                 index (1 or 2), R = role-change round counter
 //	flow-updating:   Flow1 = flow f(i,j), Flow2.X = sender's estimate,
 //	                 Flow2.W = sender's weight estimate
+//
+// Kind distinguishes data messages from engine control messages; only
+// KindData messages reach Protocol.Receive.
 type Message struct {
 	From, To int
+	Kind     Kind
 	Flow1    Value
 	Flow2    Value
 	C        uint8
@@ -35,6 +72,9 @@ func (m Message) Clone() Message {
 
 // String renders a compact debugging representation.
 func (m Message) String() string {
+	if m.Kind != KindData {
+		return fmt.Sprintf("Message{%d→%d %s}", m.From, m.To, m.Kind)
+	}
 	return fmt.Sprintf("Message{%d→%d f1:%v f2:%v c:%d r:%d}",
 		m.From, m.To, m.Flow1, m.Flow2, m.C, m.R)
 }
@@ -86,6 +126,21 @@ type Protocol interface {
 	// LiveNeighbors returns the neighbors not excluded by OnLinkFailure,
 	// in stable order. The engine draws push targets from this set.
 	LiveNeighbors() []int
+}
+
+// Reintegrator is an optional Protocol extension for self-healing
+// engines: a failure detector that evicted a neighbor on suspicion can
+// restore it when traffic resumes (the suspicion was false, or the
+// outage was transient). OnLinkRecover undoes OnLinkFailure's exclusion:
+// the neighbor rejoins LiveNeighbors and the per-edge flow state restarts
+// from zero on both endpoints — a fresh edge carries no mass, so
+// reintegration is exactly as cheap as PCF's failure handling. All
+// protocols in this repository implement it.
+type Reintegrator interface {
+	// OnLinkRecover restores a neighbor previously excluded by
+	// OnLinkFailure. Calling it for a live (or unknown) neighbor is a
+	// no-op.
+	OnLinkRecover(neighbor int)
 }
 
 // Flows is an optional interface exposing a protocol's per-neighbor flow

@@ -113,6 +113,20 @@ func (n *Node) OnLinkFailure(neighbor int) {
 	n.live = remove(n.live, neighbor)
 }
 
+// OnLinkRecover implements gossip.Reintegrator: re-admit a neighbor
+// evicted by OnLinkFailure. The flow variable restarts from zero — for
+// PF the peer's mirror was (or will be, once it reintegrates us) zeroed
+// too, and the first exchange overwrites both halves anyway, so the edge
+// resumes plain push-flow immediately.
+func (n *Node) OnLinkRecover(neighbor int) {
+	f, ok := n.flows[neighbor]
+	if !ok || contains(n.live, neighbor) {
+		return
+	}
+	f.Zero()
+	n.live = append(n.live, neighbor)
+}
+
 // LiveNeighbors implements gossip.Protocol.
 func (n *Node) LiveNeighbors() []int { return n.live }
 
@@ -133,6 +147,15 @@ func remove(list []int, x int) []int {
 		}
 	}
 	return out
+}
+
+func contains(list []int, x int) bool {
+	for _, v := range list {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // SetInput implements gossip.DynamicInput: live-monitoring input change.

@@ -74,6 +74,24 @@ func (n *Node) OnLinkFailure(neighbor int) {
 	n.live = remove(n.live, neighbor)
 }
 
+// OnLinkRecover implements gossip.Reintegrator: resume using the link.
+// Push-sum keeps no per-link state, so reintegration is pure membership;
+// mass lost to messages dropped during the outage stays lost (the same
+// fragility OnLinkFailure documents).
+func (n *Node) OnLinkRecover(neighbor int) {
+	for _, v := range n.neighbors {
+		if v == neighbor {
+			for _, l := range n.live {
+				if l == neighbor {
+					return
+				}
+			}
+			n.live = append(n.live, neighbor)
+			return
+		}
+	}
+}
+
 // LiveNeighbors implements gossip.Protocol.
 func (n *Node) LiveNeighbors() []int { return n.live }
 

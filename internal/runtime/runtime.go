@@ -14,6 +14,18 @@
 // per-message interceptors plus permanent link failures with endpoint
 // notification.
 //
+// Failures come in two flavors. The oracle paths (FailLink, CrashNode)
+// notify the surviving endpoints with link-down control messages — the
+// "failure is known" assumption of the paper's Sec. II-C. The silent
+// paths (SilenceLink, CrashNodeSilent, HangNode) inject the failure
+// without telling anyone; pairing them with Config.Detector runs the
+// oracle-free stack: per-neighbor liveness tracked from traffic plus
+// keepalives, suspicion by fixed timeout or φ-accrual, eviction through
+// the protocols' cheap PCF-style recovery path, and reintegration (via
+// gossip.Reintegrator) when a suspected neighbor's traffic resumes — so
+// transient outages and false suspicions heal instead of permanently
+// shrinking the graph.
+//
 // Protocols are not internally synchronized; each node goroutine owns
 // its protocol instance and guards it with a per-node mutex so that the
 // convergence monitor can take consistent snapshots.
@@ -26,8 +38,10 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"pcfreduce/internal/detect"
 	"pcfreduce/internal/gossip"
 	"pcfreduce/internal/stats"
 	"pcfreduce/internal/topology"
@@ -61,18 +75,86 @@ func (l *lockedInterceptor) Intercept(seq int, msg *gossip.Message) bool {
 	return l.inner.Intercept(seq, msg)
 }
 
+// DetectorConfig enables and tunes oracle-free failure detection. Every
+// node runs one detect.Detector over its neighbors, fed by all received
+// traffic; keepalives cover links the gossip schedule leaves idle, and
+// suspected neighbors are probed at a lower rate so that healed links
+// reintegrate instead of staying partitioned (after mutual eviction
+// neither side gossips to the other, so without probes a recovered
+// neighbor would never be heard again).
+type DetectorConfig struct {
+	// Policy selects the suspicion rule (default detect.FixedTimeout).
+	Policy detect.Policy
+	// SuspicionTimeout is the silence threshold of the fixed-timeout
+	// policy, and the bootstrap threshold of φ-accrual before enough
+	// inter-arrival samples exist. Default 25ms — comfortably above the
+	// default keepalive cadence yet far below any test timeout.
+	SuspicionTimeout time.Duration
+	// PhiThreshold is the φ-accrual suspicion level (default 8).
+	PhiThreshold float64
+	// WindowSize is the φ-accrual inter-arrival window (default 64).
+	WindowSize int
+	// KeepaliveInterval bounds how long a node lets a live link sit idle
+	// before sending an explicit keepalive (default SuspicionTimeout/5).
+	KeepaliveInterval time.Duration
+	// ProbeInterval is the cadence of reintegration probes toward
+	// suspected neighbors (default 2×KeepaliveInterval).
+	ProbeInterval time.Duration
+	// DisableReintegration makes every suspicion permanent: the first
+	// eviction withdraws the neighbor for good, as an oracle notification
+	// would. Suspicions of protocols that do not implement
+	// gossip.Reintegrator are always permanent.
+	DisableReintegration bool
+}
+
+func (dc DetectorConfig) withDefaults() DetectorConfig {
+	if dc.SuspicionTimeout == 0 {
+		dc.SuspicionTimeout = 25 * time.Millisecond
+	}
+	if dc.KeepaliveInterval == 0 {
+		dc.KeepaliveInterval = dc.SuspicionTimeout / 5
+	}
+	if dc.ProbeInterval == 0 {
+		dc.ProbeInterval = 2 * dc.KeepaliveInterval
+	}
+	return dc
+}
+
+func (dc DetectorConfig) validate() error {
+	if dc.SuspicionTimeout <= 0 {
+		return errors.New("runtime: DetectorConfig.SuspicionTimeout must be positive")
+	}
+	if dc.KeepaliveInterval <= 0 || dc.ProbeInterval <= 0 {
+		return errors.New("runtime: detector keepalive/probe intervals must be positive")
+	}
+	return dc.detectConfig().Validate()
+}
+
+// detectConfig translates the runtime configuration (durations) into the
+// engine-agnostic detector configuration (seconds).
+func (dc DetectorConfig) detectConfig() detect.Config {
+	return detect.Config{
+		Policy:       dc.Policy,
+		Timeout:      dc.SuspicionTimeout.Seconds(),
+		PhiThreshold: dc.PhiThreshold,
+		WindowSize:   dc.WindowSize,
+	}
+}
+
 // Config parameterizes a Network.
 type Config struct {
 	// Graph is the communication topology.
 	Graph *topology.Graph
 	// NewProtocol constructs one protocol instance per node.
 	NewProtocol func() gossip.Protocol
-	// Init holds the per-node initial values (len == Graph.N()).
+	// Init holds the per-node initial values (len == Graph.N(), all of
+	// the same positive width).
 	Init []gossip.Value
 	// Seed drives each node's private RNG (node i uses Seed+i).
 	Seed int64
 	// InboxCapacity bounds each node's inbox channel; sends to a full
-	// inbox are dropped (back-pressure loss). Default 256.
+	// inbox are dropped (back-pressure loss). 0 selects the default of
+	// 256; negative values are a configuration error.
 	InboxCapacity int
 	// SendPacing is the interval between a node's consecutive sends,
 	// modeling the gossip tick of a real deployment. Default 50µs.
@@ -85,8 +167,48 @@ type Config struct {
 	// deliveries keep pace with sends. Negative values disable pacing
 	// for tests that deliberately explore that regime.
 	SendPacing time.Duration
-	// Interceptor, when non-nil, filters/corrupts every message.
+	// Interceptor, when non-nil, filters/corrupts every message
+	// (keepalives included — they cross the same faulty transport).
 	Interceptor Interceptor
+	// Detector, when non-nil, enables oracle-free failure detection and
+	// self-healing; see DetectorConfig.
+	Detector *DetectorConfig
+}
+
+func (cfg *Config) validate() error {
+	if cfg.Graph == nil {
+		return errors.New("runtime: Config.Graph is nil")
+	}
+	n := cfg.Graph.N()
+	if n <= 0 {
+		return errors.New("runtime: Config.Graph has no nodes")
+	}
+	if cfg.NewProtocol == nil {
+		return errors.New("runtime: Config.NewProtocol is nil")
+	}
+	if len(cfg.Init) != n {
+		return fmt.Errorf("runtime: %d initial values for %d nodes", len(cfg.Init), n)
+	}
+	width := cfg.Init[0].Width()
+	if width <= 0 {
+		return errors.New("runtime: initial values must have positive width")
+	}
+	for i, v := range cfg.Init {
+		if v.Width() != width {
+			return fmt.Errorf("runtime: initial value width mismatch at node %d (%d, want %d)", i, v.Width(), width)
+		}
+	}
+	if cfg.InboxCapacity < 0 {
+		return fmt.Errorf("runtime: Config.InboxCapacity is %d, want > 0 (or 0 for the default)", cfg.InboxCapacity)
+	}
+	if cfg.Detector != nil {
+		// Validate the effective (defaulted) configuration: zero fields
+		// mean "use the default", not "invalid".
+		if err := cfg.Detector.withDefaults().validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Network is a running (or runnable) concurrent gossip system.
@@ -96,50 +218,58 @@ type Network struct {
 	nodes   []*node
 	targets []float64
 
-	targetsMu sync.RWMutex
-	failedMu  sync.RWMutex
-	failed    map[[2]int]bool
+	start time.Time // set by Run; base of the detectors' clock
+
+	ctxMu  sync.Mutex
+	runCtx context.Context // set by Run; bounds async notification retries
+
+	targetsMu  sync.RWMutex
+	failedMu   sync.RWMutex
+	failed     map[[2]int]bool
+	silencedMu sync.RWMutex
+	silenced   map[[2]int]bool
+
+	drops atomic.Int64 // messages lost to full inboxes
 }
 
 type node struct {
-	id      int
-	mu      sync.Mutex // guards proto and crashed
-	proto   gossip.Protocol
-	inbox   chan gossip.Message
-	rng     *rand.Rand
-	sends   int
-	crashed bool
+	id         int
+	mu         sync.Mutex // guards proto, crashed, silent, hung, det, lastSent, keepalives
+	proto      gossip.Protocol
+	inbox      chan gossip.Message
+	rng        *rand.Rand
+	sends      int // written only by the node goroutine; read after Run returns
+	crashed    bool
+	silent     bool // crashed without notification: stops draining too
+	hung       bool // transiently frozen: no processing, no sending, state kept
+	det        *detect.Detector
+	canReint   bool
+	lastSent   map[int]float64 // per-neighbor time of last send (detector clock)
+	keepalives int
 }
-
-// linkDown is the control message a node receives when one of its links
-// permanently fails; To is the surviving node, From the lost neighbor.
-// It is distinguished from data messages by a zero-width Flow1 plus the
-// control byte 0xFF, which no protocol emits.
-const linkDownC = 0xFF
 
 // New builds the network and initializes all protocol instances.
 func New(cfg Config) (*Network, error) {
-	if cfg.Graph == nil {
-		return nil, errors.New("runtime: nil graph")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	n := cfg.Graph.N()
-	if len(cfg.Init) != n {
-		return nil, fmt.Errorf("runtime: %d initial values for %d nodes", len(cfg.Init), n)
-	}
-	if cfg.NewProtocol == nil {
-		return nil, errors.New("runtime: nil protocol constructor")
-	}
-	if cfg.InboxCapacity <= 0 {
+	if cfg.InboxCapacity == 0 {
 		cfg.InboxCapacity = 256
 	}
 	if cfg.SendPacing == 0 {
 		cfg.SendPacing = 50 * time.Microsecond
 	}
+	if cfg.Detector != nil {
+		dc := cfg.Detector.withDefaults()
+		cfg.Detector = &dc
+	}
+	n := cfg.Graph.N()
 	net := &Network{
-		cfg:    cfg,
-		n:      n,
-		nodes:  make([]*node, n),
-		failed: make(map[[2]int]bool),
+		cfg:      cfg,
+		n:        n,
+		nodes:    make([]*node, n),
+		failed:   make(map[[2]int]bool),
+		silenced: make(map[[2]int]bool),
 	}
 	for i := 0; i < n; i++ {
 		p := cfg.NewProtocol()
@@ -151,21 +281,31 @@ func New(cfg Config) (*Network, error) {
 			rng:   rand.New(rand.NewSource(cfg.Seed + int64(i))),
 		}
 	}
-	// Oracle aggregate for convergence monitoring.
-	width := cfg.Init[0].Width()
+	net.targets = make([]float64, cfg.Init[0].Width())
+	net.recomputeTargets()
+	return net, nil
+}
+
+// recomputeTargets refreshes the oracle aggregate over the non-crashed
+// nodes (convergence monitoring only — no protocol ever sees it).
+func (net *Network) recomputeTargets() {
+	width := len(net.targets)
 	sums := make([]stats.Sum2, width)
 	var wsum stats.Sum2
-	for _, v := range cfg.Init {
+	for i, v := range net.cfg.Init {
+		if net.nodes[i].isCrashed() {
+			continue
+		}
 		wsum.Add(v.W)
 		for k, x := range v.X {
 			sums[k].Add(x)
 		}
 	}
-	net.targets = make([]float64, width)
+	net.targetsMu.Lock()
 	for k := range net.targets {
 		net.targets[k] = sums[k].Value() / wsum.Value()
 	}
-	return net, nil
+	net.targetsMu.Unlock()
 }
 
 // Targets returns a snapshot of the oracle aggregate per component.
@@ -175,9 +315,16 @@ func (net *Network) Targets() []float64 {
 	return append([]float64(nil), net.targets...)
 }
 
-// FailLink permanently fails the undirected link (i, j): subsequent
-// sends on it are dropped and both endpoints receive an asynchronous
-// link-down notification, mirroring a failure detector.
+// now is the detectors' clock: seconds since Run started.
+func (net *Network) now() float64 {
+	return time.Since(net.start).Seconds()
+}
+
+// FailLink permanently fails the undirected link (i, j) with oracle
+// notification: subsequent sends on it are dropped and both endpoints
+// receive an asynchronous link-down control message, mirroring an
+// external failure detector with perfect knowledge. For the oracle-free
+// model see SilenceLink.
 func (net *Network) FailLink(i, j int) {
 	key := linkKey(i, j)
 	net.failedMu.Lock()
@@ -187,10 +334,44 @@ func (net *Network) FailLink(i, j int) {
 	if already {
 		return
 	}
-	// Notify both endpoints; a full inbox cannot reject the
-	// notification silently, so block until accepted.
-	net.nodes[i].inbox <- gossip.Message{From: j, To: i, C: linkDownC}
-	net.nodes[j].inbox <- gossip.Message{From: i, To: j, C: linkDownC}
+	net.notifyLinkDown(i, j)
+	net.notifyLinkDown(j, i)
+}
+
+// notifyLinkDown enqueues a link-down control message at the surviving
+// endpoint. The notification must not be lost to back-pressure, so a
+// full inbox is retried from a goroutine (bounded by the run context)
+// rather than blocking the caller; silently crashed nodes no longer
+// drain their inbox and are skipped.
+func (net *Network) notifyLinkDown(to, from int) {
+	nd := net.nodes[to]
+	nd.mu.Lock()
+	dead := nd.silent
+	nd.mu.Unlock()
+	if dead {
+		return
+	}
+	msg := gossip.Message{From: from, To: to, Kind: gossip.KindLinkDown}
+	select {
+	case nd.inbox <- msg:
+		return
+	default:
+	}
+	net.ctxMu.Lock()
+	ctx := net.runCtx
+	net.ctxMu.Unlock()
+	if ctx == nil {
+		// Not running yet and the inbox is full: nothing is draining, so
+		// retrying cannot help; deliver synchronously.
+		nd.inbox <- msg
+		return
+	}
+	go func() {
+		select {
+		case nd.inbox <- msg:
+		case <-ctx.Done():
+		}
+	}()
 }
 
 func (net *Network) linkFailed(i, j int) bool {
@@ -199,19 +380,42 @@ func (net *Network) linkFailed(i, j int) bool {
 	return net.failed[linkKey(i, j)]
 }
 
-// CrashNode permanently removes node i mid-run: all its links fail (the
-// surviving endpoints are notified asynchronously), its goroutine stops
-// gossiping, and the oracle aggregate is recomputed over the survivors.
-// The crashed node's estimates are reported as NaN from then on.
+// SilenceLink makes the undirected link (i, j) silently drop all traffic
+// in both directions: no endpoint is notified. Without a detector the
+// protocols keep pushing into the void; with Config.Detector set, both
+// endpoints suspect each other after the suspicion threshold and evict
+// the link through the same recovery path the oracle uses.
+func (net *Network) SilenceLink(i, j int) {
+	net.silencedMu.Lock()
+	net.silenced[linkKey(i, j)] = true
+	net.silencedMu.Unlock()
+}
+
+// RestoreLink heals a link silenced by SilenceLink: delivery resumes,
+// and with a detector the endpoints reintegrate each other (probes cross
+// the healed link, each side's Heard transitions the other back to
+// alive, and the protocols restore the edge via OnLinkRecover).
+func (net *Network) RestoreLink(i, j int) {
+	net.silencedMu.Lock()
+	delete(net.silenced, linkKey(i, j))
+	net.silencedMu.Unlock()
+}
+
+func (net *Network) linkSilenced(i, j int) bool {
+	net.silencedMu.RLock()
+	defer net.silencedMu.RUnlock()
+	return net.silenced[linkKey(i, j)]
+}
+
+// CrashNode permanently removes node i mid-run with oracle notification:
+// all its links fail, the surviving endpoints are notified
+// asynchronously, its goroutine stops gossiping, and the oracle
+// aggregate is recomputed over the survivors. The crashed node's
+// estimates are reported as NaN from then on.
 func (net *Network) CrashNode(i int) {
-	nd := net.nodes[i]
-	nd.mu.Lock()
-	if nd.crashed {
-		nd.mu.Unlock()
+	if !net.markCrashed(i, false) {
 		return
 	}
-	nd.crashed = true
-	nd.mu.Unlock()
 	for _, j := range net.cfg.Graph.Neighbors(i) {
 		key := linkKey(i, j)
 		net.failedMu.Lock()
@@ -219,27 +423,57 @@ func (net *Network) CrashNode(i int) {
 		net.failed[key] = true
 		net.failedMu.Unlock()
 		if !already {
-			net.nodes[j].inbox <- gossip.Message{From: i, To: j, C: linkDownC}
+			net.notifyLinkDown(j, i)
 		}
 	}
-	// Recompute the oracle over survivors.
-	width := len(net.targets)
-	sums := make([]stats.Sum2, width)
-	var wsum stats.Sum2
-	for k, v := range net.cfg.Init {
-		if net.nodes[k].isCrashed() {
-			continue
-		}
-		wsum.Add(v.W)
-		for c, x := range v.X {
-			sums[c].Add(x)
-		}
+	net.recomputeTargets()
+}
+
+// CrashNodeSilent kills node i without telling anyone: it stops sending
+// and stops draining its inbox, exactly like a dead process. No links
+// are marked failed and no notifications are sent — surviving neighbors
+// must detect the crash from silence (Config.Detector). The oracle
+// aggregate is still recomputed over the survivors, for measurement
+// only.
+func (net *Network) CrashNodeSilent(i int) {
+	if !net.markCrashed(i, true) {
+		return
 	}
-	net.targetsMu.Lock()
-	for c := range net.targets {
-		net.targets[c] = sums[c].Value() / wsum.Value()
+	net.recomputeTargets()
+}
+
+// markCrashed transitions node i to crashed (and silent, for the
+// oracle-free variant); it reports false if the node was already down.
+func (net *Network) markCrashed(i int, silent bool) bool {
+	nd := net.nodes[i]
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.crashed {
+		return false
 	}
-	net.targetsMu.Unlock()
+	nd.crashed = true
+	nd.silent = silent
+	return true
+}
+
+// HangNode transiently freezes node i: it stops processing and sending
+// but keeps all protocol state — a long GC pause, an overloaded host, a
+// partitioned process. Neighbors running a detector evict it after the
+// suspicion threshold; once ResumeNode is called its traffic resumes and
+// the neighbors reintegrate it.
+func (net *Network) HangNode(i int) {
+	nd := net.nodes[i]
+	nd.mu.Lock()
+	nd.hung = true
+	nd.mu.Unlock()
+}
+
+// ResumeNode unfreezes a node frozen by HangNode.
+func (net *Network) ResumeNode(i int) {
+	nd := net.nodes[i]
+	nd.mu.Lock()
+	nd.hung = false
+	nd.mu.Unlock()
 }
 
 func (nd *node) isCrashed() bool {
@@ -264,6 +498,44 @@ func (net *Network) Estimates() [][]float64 {
 		} else {
 			out[i] = nd.proto.Estimate()
 		}
+		nd.mu.Unlock()
+	}
+	return out
+}
+
+// Suspects returns the neighbors node i currently suspects (empty when
+// no detector is configured or the run has not started).
+func (net *Network) Suspects(i int) []int {
+	nd := net.nodes[i]
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.det == nil {
+		return nil
+	}
+	return nd.det.Suspects()
+}
+
+// DetectorStats aggregates the detection activity of all nodes. Safe to
+// call mid-run.
+type DetectorStats struct {
+	// Suspicions counts alive→suspected transitions over all detectors.
+	Suspicions int
+	// Reintegrations counts suspected→alive healings.
+	Reintegrations int
+	// Keepalives counts keepalive and probe messages sent.
+	Keepalives int
+}
+
+// DetectorStats sums the per-node detector counters.
+func (net *Network) DetectorStats() DetectorStats {
+	var out DetectorStats
+	for _, nd := range net.nodes {
+		nd.mu.Lock()
+		if nd.det != nil {
+			out.Suspicions += nd.det.Suspicions
+			out.Reintegrations += nd.det.Reintegrations
+		}
+		out.Keepalives += nd.keepalives
 		nd.mu.Unlock()
 	}
 	return out
@@ -346,6 +618,16 @@ type RunConfig struct {
 	Stable int
 }
 
+func (cfg *RunConfig) validate() error {
+	if cfg.Eps <= 0 {
+		return errors.New("runtime: RunConfig.Eps must be positive")
+	}
+	if cfg.Timeout <= 0 {
+		return errors.New("runtime: RunConfig.Timeout must be positive")
+	}
+	return nil
+}
+
 // RunResult describes a concurrent run.
 type RunResult struct {
 	// Converged reports whether Eps was reached within Timeout.
@@ -354,19 +636,17 @@ type RunResult struct {
 	FinalMaxError float64
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
-	// TotalSends is the number of messages emitted by all nodes.
+	// TotalSends is the number of messages emitted by all nodes,
+	// keepalives and probes included.
 	TotalSends int
 }
 
 // Run starts all node goroutines, monitors convergence, and shuts the
 // network down. It returns once converged or timed out; the Network can
 // be Run again only after re-construction.
-func (net *Network) Run(ctx context.Context, cfg RunConfig) RunResult {
-	if cfg.Eps <= 0 {
-		panic("runtime: RunConfig.Eps must be positive")
-	}
-	if cfg.Timeout <= 0 {
-		panic("runtime: RunConfig.Timeout must be positive")
+func (net *Network) Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
+	if err := cfg.validate(); err != nil {
+		return RunResult{}, err
 	}
 	if cfg.CheckInterval <= 0 {
 		cfg.CheckInterval = 200 * time.Microsecond
@@ -376,9 +656,24 @@ func (net *Network) Run(ctx context.Context, cfg RunConfig) RunResult {
 	}
 	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
+	net.ctxMu.Lock()
+	net.runCtx = ctx
+	net.ctxMu.Unlock()
+
+	net.start = time.Now()
+	if dc := net.cfg.Detector; dc != nil {
+		for _, nd := range net.nodes {
+			nd.mu.Lock()
+			neighbors := net.cfg.Graph.Neighbors(nd.id)
+			nd.det = detect.New(dc.detectConfig(), neighbors, 0)
+			_, reint := nd.proto.(gossip.Reintegrator)
+			nd.canReint = reint && !dc.DisableReintegration
+			nd.lastSent = make(map[int]float64, len(neighbors))
+			nd.mu.Unlock()
+		}
+	}
 
 	var wg sync.WaitGroup
-	start := time.Now()
 	for _, nd := range net.nodes {
 		wg.Add(1)
 		go func(nd *node) {
@@ -417,15 +712,16 @@ monitor:
 	}
 	cancel()
 	wg.Wait()
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(net.start)
 	for _, nd := range net.nodes {
 		res.TotalSends += nd.sends
 	}
-	return res
+	return res, nil
 }
 
-// nodeLoop is the per-node goroutine: drain the inbox, push to a random
-// live neighbor, repeat.
+// nodeLoop is the per-node goroutine: drain the inbox, run the failure
+// detector, push to a random live neighbor, keep idle links alive,
+// repeat.
 func (net *Network) nodeLoop(ctx context.Context, nd *node) {
 	for {
 		select {
@@ -433,35 +729,55 @@ func (net *Network) nodeLoop(ctx context.Context, nd *node) {
 			return
 		default:
 		}
+		nd.mu.Lock()
+		frozen := nd.silent || nd.hung
+		nd.mu.Unlock()
+		if frozen {
+			// Dead or hung: no processing, no sending. The inbox fills up
+			// and senders drop on back-pressure, exactly like a real dead
+			// process's socket buffers.
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
 		// Drain everything currently queued.
 		for {
 			select {
 			case msg := <-nd.inbox:
-				nd.mu.Lock()
-				if msg.C == linkDownC && msg.Flow1.Width() == 0 {
-					nd.proto.OnLinkFailure(msg.From)
-				} else {
-					nd.proto.Receive(msg)
-				}
-				nd.mu.Unlock()
+				net.receive(nd, msg)
 				continue
 			default:
 			}
 			break
 		}
-		// Push to one random live neighbor (crashed nodes fall silent
-		// but keep draining their inbox so notifications don't block).
+		// Suspicion pass, regular push, keepalive pass — under one lock
+		// acquisition; actual channel sends happen outside the lock.
+		now := net.now()
 		nd.mu.Lock()
-		var msg gossip.Message
-		send := false
+		if nd.det != nil && !nd.crashed {
+			for _, j := range nd.det.Check(now) {
+				nd.proto.OnLinkFailure(j)
+				if !nd.canReint {
+					nd.det.Remove(j)
+				}
+			}
+		}
+		var out []gossip.Message
 		if !nd.crashed {
+			// Push to one random live neighbor (crashed nodes fall silent
+			// but keep draining their inbox so notifications don't block).
 			if live := nd.proto.LiveNeighbors(); len(live) > 0 {
-				send = true
-				msg = nd.proto.MakeMessage(live[nd.rng.Intn(len(live))])
+				msg := nd.proto.MakeMessage(live[nd.rng.Intn(len(live))])
+				if nd.lastSent != nil {
+					nd.lastSent[msg.To] = now
+				}
+				out = append(out, msg)
+			}
+			if nd.det != nil {
+				out = nd.appendKeepalives(out, now, net.cfg.Detector)
 			}
 		}
 		nd.mu.Unlock()
-		if send {
+		for _, msg := range out {
 			nd.sends++
 			net.deliver(nd, msg)
 		}
@@ -474,10 +790,76 @@ func (net *Network) nodeLoop(ctx context.Context, nd *node) {
 	}
 }
 
+// appendKeepalives schedules keepalives for idle live links and probes
+// for suspected neighbors. Caller holds nd.mu.
+func (nd *node) appendKeepalives(out []gossip.Message, now float64, dc *DetectorConfig) []gossip.Message {
+	keepalive := dc.KeepaliveInterval.Seconds()
+	for _, j := range nd.proto.LiveNeighbors() {
+		if now-nd.lastSent[j] >= keepalive {
+			out = append(out, gossip.Message{From: nd.id, To: j, Kind: gossip.KindKeepalive})
+			nd.lastSent[j] = now
+			nd.keepalives++
+		}
+	}
+	probe := dc.ProbeInterval.Seconds()
+	for _, j := range nd.det.Suspects() {
+		if now-nd.lastSent[j] >= probe {
+			out = append(out, gossip.Message{From: nd.id, To: j, Kind: gossip.KindKeepalive})
+			nd.lastSent[j] = now
+			nd.keepalives++
+		}
+	}
+	return out
+}
+
+// receive dispatches one delivered message: control messages feed the
+// detector / failure handling, data messages additionally reach the
+// protocol. Any traffic from a suspected neighbor reintegrates it first
+// (the suspicion was false or the outage healed), so the protocol never
+// processes data on an edge it currently considers failed.
+func (net *Network) receive(nd *node, msg gossip.Message) {
+	now := net.now()
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.crashed {
+		return // drained only so pending notifications don't stall senders
+	}
+	switch msg.Kind {
+	case gossip.KindLinkDown:
+		// Oracle notification: authoritative and permanent. Stop
+		// monitoring and probing the neighbor for good.
+		nd.proto.OnLinkFailure(msg.From)
+		if nd.det != nil {
+			nd.det.Remove(msg.From)
+		}
+	case gossip.KindKeepalive:
+		nd.heardLocked(msg.From, now)
+	default:
+		if nd.det != nil && nd.det.Removed(msg.From) {
+			return // late traffic from an authoritatively failed neighbor
+		}
+		nd.heardLocked(msg.From, now)
+		nd.proto.Receive(msg)
+	}
+}
+
+// heardLocked feeds the detector and performs reintegration when a
+// suspected neighbor's traffic resumes. Caller holds nd.mu.
+func (nd *node) heardLocked(from int, now float64) {
+	if nd.det == nil {
+		return
+	}
+	if nd.det.Heard(from, now) && nd.canReint {
+		if r, ok := nd.proto.(gossip.Reintegrator); ok {
+			r.OnLinkRecover(from)
+		}
+	}
+}
+
 // deliver routes a message through failures and the interceptor into the
 // destination inbox, dropping on back-pressure.
 func (net *Network) deliver(from *node, msg gossip.Message) {
-	if net.linkFailed(msg.From, msg.To) {
+	if net.linkFailed(msg.From, msg.To) || net.linkSilenced(msg.From, msg.To) {
 		return
 	}
 	if ic := net.cfg.Interceptor; ic != nil && !ic.Intercept(from.sends, &msg) {
@@ -489,8 +871,13 @@ func (net *Network) deliver(from *node, msg gossip.Message) {
 		// Inbox full: the message is lost. Flow-based protocols heal at
 		// the next successful exchange; push-sum does not — which is
 		// the point the paper makes about it.
+		net.drops.Add(1)
 	}
 }
+
+// Drops returns the number of messages lost to full inboxes
+// (back-pressure) over the network's lifetime.
+func (net *Network) Drops() int64 { return net.drops.Load() }
 
 func linkKey(i, j int) [2]int {
 	if i < j {

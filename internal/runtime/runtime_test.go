@@ -31,6 +31,15 @@ func mustNew(t *testing.T, cfg Config) *Network {
 	return net
 }
 
+func mustRun(t *testing.T, net *Network, cfg RunConfig) RunResult {
+	t.Helper()
+	res, err := net.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestConvergesConcurrently(t *testing.T) {
 	mks := map[string]func() gossip.Protocol{
 		"pushsum":    func() gossip.Protocol { return pushsum.New() },
@@ -41,7 +50,7 @@ func TestConvergesConcurrently(t *testing.T) {
 	g := topology.Hypercube(5)
 	for name, mk := range mks {
 		net := mustNew(t, Config{Graph: g, NewProtocol: mk, Init: scalarInit(g.N(), gossip.Average), Seed: 1})
-		res := net.Run(context.Background(), RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3})
+		res := mustRun(t, net, RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3})
 		if !res.Converged {
 			t.Errorf("%s: not converged (err %.3e, %d sends)", name, res.FinalMaxError, res.TotalSends)
 		}
@@ -69,7 +78,11 @@ func TestLinkFailureDuringRun(t *testing.T) {
 	})
 	done := make(chan RunResult, 1)
 	go func() {
-		done <- net.Run(context.Background(), RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 5})
+		res, err := net.Run(context.Background(), RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 5})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
 	}()
 	time.Sleep(3 * time.Millisecond)
 	net.FailLink(0, 1)
@@ -89,7 +102,7 @@ func TestInterceptorLoss(t *testing.T) {
 		Seed:        3,
 		Interceptor: Locked(fault.NewLoss(0.1, 9)),
 	})
-	res := net.Run(context.Background(), RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3})
+	res := mustRun(t, net, RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3})
 	if !res.Converged {
 		t.Fatalf("did not converge under 10%% loss: %.3e", res.FinalMaxError)
 	}
@@ -104,7 +117,7 @@ func TestPushSumBreaksUnderLossConcurrently(t *testing.T) {
 		Seed:        3,
 		Interceptor: Locked(fault.NewLoss(0.1, 9)),
 	})
-	res := net.Run(context.Background(), RunConfig{Eps: 1e-11, Timeout: 1 * time.Second, Stable: 3})
+	res := mustRun(t, net, RunConfig{Eps: 1e-11, Timeout: 1 * time.Second, Stable: 3})
 	if res.Converged {
 		t.Fatal("push-sum converged to 1e-11 despite sustained loss — impossible")
 	}
@@ -119,7 +132,7 @@ func TestTinyInboxBackpressure(t *testing.T) {
 		Seed:          4,
 		InboxCapacity: 2, // heavy back-pressure loss
 	})
-	res := net.Run(context.Background(), RunConfig{Eps: 1e-8, Timeout: 10 * time.Second, Stable: 3})
+	res := mustRun(t, net, RunConfig{Eps: 1e-8, Timeout: 10 * time.Second, Stable: 3})
 	if !res.Converged {
 		t.Fatalf("did not converge under back-pressure: %.3e", res.FinalMaxError)
 	}
@@ -146,14 +159,9 @@ func TestRunConfigValidation(t *testing.T) {
 		{Timeout: time.Second}, // no eps
 		{Eps: 1e-9},            // no timeout
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("invalid %+v accepted", cfg)
-				}
-			}()
-			net.Run(context.Background(), cfg)
-		}()
+		if _, err := net.Run(context.Background(), cfg); err == nil {
+			t.Fatalf("invalid %+v accepted", cfg)
+		}
 	}
 }
 
@@ -182,7 +190,7 @@ func TestOracleFreeTermination(t *testing.T) {
 		Init:        scalarInit(g.N(), gossip.Average),
 		Seed:        6,
 	})
-	res := net.Run(context.Background(), RunConfig{
+	res := mustRun(t, net, RunConfig{
 		Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3, OracleFree: true,
 	})
 	if !res.Converged {
@@ -202,7 +210,9 @@ func TestContextCancellation(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	net.Run(ctx, RunConfig{Eps: 1e-300, Timeout: time.Minute})
+	if _, err := net.Run(ctx, RunConfig{Eps: 1e-300, Timeout: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
 	if time.Since(start) > 5*time.Second {
 		t.Fatal("cancellation did not stop the run promptly")
 	}
@@ -221,7 +231,7 @@ func TestCrashNodeDuringRun(t *testing.T) {
 	})
 	net.CrashNode(5) // crash before the run starts: no mass has spread
 	net.CrashNode(5) // idempotent
-	res := net.Run(context.Background(), RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3})
+	res := mustRun(t, net, RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3})
 	if !res.Converged {
 		t.Fatalf("survivors did not converge: %.3e", res.FinalMaxError)
 	}
@@ -239,5 +249,55 @@ func TestCrashNodeDuringRun(t *testing.T) {
 	want /= float64(g.N() - 1)
 	if got := net.Targets()[0]; math.Abs(got-want) > 1e-12 {
 		t.Fatalf("targets = %.15g, want %.15g", got, want)
+	}
+}
+
+// Satellite coverage for the back-pressure path: a one-slot inbox and
+// pacing cut to a tenth of the default make senders outrun receivers, so
+// sends get dropped on full inboxes (asserted via Drops). Flow-based
+// protocols converge regardless (per-edge flow state is retransmitted
+// wholesale, so a drop only delays the exchange), while push-sum
+// physically loses the mass carried by every dropped message and cannot
+// reach a tight oracle target. (Pacing stays well above zero: a fully
+// unpaced flooding node halves its local mass into unacknowledged flow
+// deltas faster than deliveries restore it and every snapshot reads
+// 0/0 — the regime documented on Config.SendPacing, and not what this
+// test is about.)
+func TestBackpressureDropsBiasPushSumNotFlows(t *testing.T) {
+	g := topology.Complete(8)
+	for name, mk := range map[string]func() gossip.Protocol{
+		"pcf": func() gossip.Protocol { return core.NewEfficient() },
+		"pf":  func() gossip.Protocol { return pushflow.New() },
+	} {
+		net := mustNew(t, Config{
+			Graph:         g,
+			NewProtocol:   mk,
+			Init:          scalarInit(8, gossip.Average),
+			Seed:          21,
+			InboxCapacity: 1,
+			SendPacing:    5 * time.Microsecond,
+		})
+		res := mustRun(t, net, RunConfig{Eps: 1e-8, Timeout: 10 * time.Second, Stable: 3})
+		if !res.Converged {
+			t.Errorf("%s did not converge under back-pressure drops: %.3e", name, res.FinalMaxError)
+		}
+		if net.Drops() == 0 {
+			t.Errorf("%s: no inbox-full drops recorded — the test exercised nothing", name)
+		}
+	}
+	net := mustNew(t, Config{
+		Graph:         g,
+		NewProtocol:   func() gossip.Protocol { return pushsum.New() },
+		Init:          scalarInit(8, gossip.Average),
+		Seed:          21,
+		InboxCapacity: 1,
+		SendPacing:    5 * time.Microsecond,
+	})
+	res := mustRun(t, net, RunConfig{Eps: 1e-11, Timeout: time.Second, Stable: 3})
+	if res.Converged {
+		t.Fatal("push-sum met a 1e-11 oracle target despite sustained inbox-full mass loss — impossible")
+	}
+	if net.Drops() == 0 {
+		t.Fatal("push-sum run recorded no inbox-full drops")
 	}
 }

@@ -57,7 +57,10 @@ func TestCrossEngineConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := net.Run(context.Background(), runtime.RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3})
+	res, err := net.Run(context.Background(), runtime.RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Converged {
 		t.Fatalf("runtime: %.3e", res.FinalMaxError)
 	}

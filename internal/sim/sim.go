@@ -30,7 +30,13 @@
 //
 // Fault injection composes via the Interceptor hook (per-message drop or
 // corruption) and the FailLink/CrashNode methods (permanent failures with
-// endpoint notification, as assumed in Sec. II-C).
+// endpoint notification, as assumed in Sec. II-C). The oracle-free model
+// is available too: SilenceLink/CrashNodeSilent/HangNode inject failures
+// that nobody is told about, and WithDetector runs the same
+// detect.Detector state machine as the concurrent runtime — driven by
+// round numbers instead of wall-clock seconds — so detection latency and
+// false-positive behaviour are exactly reproducible here before being
+// observed under real concurrency.
 package sim
 
 import (
@@ -38,6 +44,7 @@ import (
 	"math"
 	"math/rand"
 
+	"pcfreduce/internal/detect"
 	"pcfreduce/internal/gossip"
 	"pcfreduce/internal/stats"
 	"pcfreduce/internal/topology"
@@ -95,9 +102,17 @@ type Engine struct {
 	rng    *rand.Rand
 	order  Order
 
-	inbox [][]gossip.Message
-	alive []bool
-	dead  map[[2]int]bool // failed links, ordered pairs i<j
+	inbox    [][]gossip.Message
+	alive    []bool
+	dead     map[[2]int]bool // failed links, ordered pairs i<j
+	silenced map[[2]int]bool // silently dropping links (no notification)
+	hung     []bool          // transiently frozen nodes
+
+	detCfg     *DetectorConfig
+	det        []*detect.Detector
+	canReint   []bool
+	lastSent   [][]int // lastSent[i][j]: round of node i's last send to j
+	keepalives int
 
 	targets     []float64 // oracle aggregate per component
 	targetScale float64   // max_k |targets[k]|, for WithVectorScaleErrors
@@ -115,6 +130,49 @@ type EngineOption func(*Engine)
 
 // WithOrder sets the activation order policy.
 func WithOrder(o Order) EngineOption { return func(e *Engine) { e.order = o } }
+
+// DetectorConfig mirrors runtime.DetectorConfig for the round simulator:
+// all durations are measured in rounds. A node pushes one data message
+// per round to one random neighbor, so a degree-d node's links each see
+// data roughly every d rounds — keepalives cover the gaps.
+type DetectorConfig struct {
+	// Detect is the engine-agnostic detector configuration; its Timeout
+	// is in rounds (required > 0).
+	Detect detect.Config
+	// KeepaliveInterval is the maximal idle time of a live link, in
+	// rounds, before an explicit keepalive is pushed (default
+	// max(1, Timeout/5)).
+	KeepaliveInterval int
+	// ProbeInterval is the reintegration-probe cadence toward suspected
+	// neighbors, in rounds (default 2×KeepaliveInterval).
+	ProbeInterval int
+	// DisableReintegration makes every suspicion permanent.
+	DisableReintegration bool
+}
+
+func (dc DetectorConfig) withDefaults() DetectorConfig {
+	if dc.KeepaliveInterval == 0 {
+		dc.KeepaliveInterval = int(dc.Detect.Timeout / 5)
+		if dc.KeepaliveInterval < 1 {
+			dc.KeepaliveInterval = 1
+		}
+	}
+	if dc.ProbeInterval == 0 {
+		dc.ProbeInterval = 2 * dc.KeepaliveInterval
+	}
+	return dc
+}
+
+// WithDetector enables oracle-free failure detection: every node runs a
+// detect.Detector over its neighbors, suspected neighbors are evicted
+// via OnLinkFailure and reintegrated via OnLinkRecover when their
+// traffic resumes. The detector adds no randomness — a run with the
+// detector enabled uses the same seeded communication schedule as one
+// without, which is what makes detection experiments reproducible.
+func WithDetector(cfg DetectorConfig) EngineOption {
+	cfg = cfg.withDefaults()
+	return func(e *Engine) { e.detCfg = &cfg }
+}
 
 // WithVectorScaleErrors switches the per-node error metric from
 // per-component relative error to error relative to the target vector's
@@ -141,15 +199,17 @@ func New(g *topology.Graph, protos []gossip.Protocol, init []gossip.Value, seed 
 		}
 	}
 	e := &Engine{
-		graph:  g,
-		protos: protos,
-		init:   make([]gossip.Value, n),
-		rng:    rand.New(rand.NewSource(seed)),
-		inbox:  make([][]gossip.Message, n),
-		alive:  make([]bool, n),
-		dead:   make(map[[2]int]bool),
-		perm:   make([]int, n),
-		errBuf: make([]float64, 0, n),
+		graph:    g,
+		protos:   protos,
+		init:     make([]gossip.Value, n),
+		rng:      rand.New(rand.NewSource(seed)),
+		inbox:    make([][]gossip.Message, n),
+		alive:    make([]bool, n),
+		hung:     make([]bool, n),
+		dead:     make(map[[2]int]bool),
+		silenced: make(map[[2]int]bool),
+		perm:     make([]int, n),
+		errBuf:   make([]float64, 0, n),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -161,6 +221,20 @@ func New(g *topology.Graph, protos []gossip.Protocol, init []gossip.Value, seed 
 	}
 	for i := range e.perm {
 		e.perm[i] = i
+	}
+	if e.detCfg != nil {
+		if err := e.detCfg.Detect.Validate(); err != nil {
+			panic(err)
+		}
+		e.det = make([]*detect.Detector, n)
+		e.canReint = make([]bool, n)
+		e.lastSent = make([][]int, n)
+		for i := range protos {
+			e.det[i] = detect.New(e.detCfg.Detect, g.Neighbors(i), 0)
+			_, reint := protos[i].(gossip.Reintegrator)
+			e.canReint[i] = reint && !e.detCfg.DisableReintegration
+			e.lastSent[i] = make([]int, n)
+		}
 	}
 	e.recomputeTargets()
 	return e
@@ -228,19 +302,59 @@ func (e *Engine) Step() {
 		e.shufflePerm()
 	}
 	for _, i := range e.perm {
-		if !e.alive[i] {
+		if !e.alive[i] || e.hung[i] {
 			continue
 		}
 		p := e.protos[i]
 		e.drainInbox(i)
-		live := p.LiveNeighbors()
-		if len(live) == 0 {
-			continue
+		if e.det != nil {
+			for _, j := range e.det[i].Check(float64(e.round)) {
+				p.OnLinkFailure(j)
+				if !e.canReint[i] {
+					e.det[i].Remove(j)
+				}
+			}
 		}
-		target := live[e.rng.Intn(len(live))]
-		e.send(p.MakeMessage(target))
+		if live := p.LiveNeighbors(); len(live) > 0 {
+			target := live[e.rng.Intn(len(live))]
+			e.noteSent(i, target)
+			e.send(p.MakeMessage(target))
+		}
+		if e.det != nil {
+			e.sendKeepalives(i)
+		}
 	}
 	e.round++
+}
+
+// noteSent records the round of node i's last send to j for keepalive
+// scheduling.
+func (e *Engine) noteSent(i, j int) {
+	if e.lastSent != nil {
+		e.lastSent[i][j] = e.round
+	}
+}
+
+// sendKeepalives pushes keepalives on live links that have been idle for
+// KeepaliveInterval rounds and probes suspected neighbors every
+// ProbeInterval rounds so that healed links reintegrate (after mutual
+// eviction neither side gossips to the other; only probes can cross a
+// recovered link).
+func (e *Engine) sendKeepalives(i int) {
+	for _, j := range e.protos[i].LiveNeighbors() {
+		if e.round-e.lastSent[i][j] >= e.detCfg.KeepaliveInterval {
+			e.noteSent(i, j)
+			e.keepalives++
+			e.send(gossip.Message{From: i, To: j, Kind: gossip.KindKeepalive})
+		}
+	}
+	for _, j := range e.det[i].Suspects() {
+		if e.round-e.lastSent[i][j] >= e.detCfg.ProbeInterval {
+			e.noteSent(i, j)
+			e.keepalives++
+			e.send(gossip.Message{From: i, To: j, Kind: gossip.KindKeepalive})
+		}
+	}
 }
 
 func (e *Engine) shufflePerm() {
@@ -253,16 +367,53 @@ func (e *Engine) drainInbox(i int) {
 	// expected) would still be seen.
 	msgs := e.inbox[i]
 	for k := 0; k < len(msgs); k++ {
-		e.protos[i].Receive(msgs[k])
+		e.dispatch(i, msgs[k])
 	}
 	e.inbox[i] = e.inbox[i][:0]
+}
+
+// dispatch routes one delivered message: control messages feed the
+// detector, data messages additionally reach the protocol. Traffic from
+// a suspected neighbor reintegrates it before the protocol sees the
+// payload, so a protocol never processes data on an edge it considers
+// failed.
+func (e *Engine) dispatch(i int, m gossip.Message) {
+	switch m.Kind {
+	case gossip.KindLinkDown:
+		e.protos[i].OnLinkFailure(m.From)
+		if e.det != nil {
+			e.det[i].Remove(m.From)
+		}
+	case gossip.KindKeepalive:
+		e.heard(i, m.From)
+	default:
+		if e.det != nil && e.det[i].Removed(m.From) {
+			return // late traffic from an authoritatively failed neighbor
+		}
+		e.heard(i, m.From)
+		e.protos[i].Receive(m)
+	}
+}
+
+// heard feeds node i's detector with traffic from a neighbor and
+// performs reintegration when a suspected neighbor's traffic resumes.
+func (e *Engine) heard(i, from int) {
+	if e.det == nil {
+		return
+	}
+	if e.det[i].Heard(from, float64(e.round)) && e.canReint[i] {
+		if r, ok := e.protos[i].(gossip.Reintegrator); ok {
+			r.OnLinkRecover(from)
+		}
+	}
 }
 
 // send routes msg through the link-failure table and the interceptor into
 // the destination inbox.
 func (e *Engine) send(msg gossip.Message) {
-	if e.dead[linkKey(msg.From, msg.To)] || !e.alive[msg.To] {
-		return // sent into a broken link or to a dead node: lost
+	key := linkKey(msg.From, msg.To)
+	if e.dead[key] || e.silenced[key] || !e.alive[msg.To] {
+		return // sent into a broken, silenced or dead destination: lost
 	}
 	if e.interceptor == nil {
 		e.inbox[msg.To] = append(e.inbox[msg.To], msg)
@@ -283,7 +434,8 @@ func (e *Engine) send(msg gossip.Message) {
 	}
 	if inj, ok := e.interceptor.(Injector); ok {
 		for _, extra := range inj.Extra(e.round) {
-			if e.dead[linkKey(extra.From, extra.To)] || !e.alive[extra.To] {
+			k := linkKey(extra.From, extra.To)
+			if e.dead[k] || e.silenced[k] || !e.alive[extra.To] {
 				continue
 			}
 			e.inbox[extra.To] = append(e.inbox[extra.To], extra)
@@ -347,9 +499,15 @@ func (e *Engine) failLink(i, j int, abrupt bool) {
 	}
 	if e.alive[i] {
 		e.protos[i].OnLinkFailure(j)
+		if e.det != nil {
+			e.det[i].Remove(j)
+		}
 	}
 	if e.alive[j] {
 		e.protos[j].OnLinkFailure(i)
+		if e.det != nil {
+			e.det[j].Remove(i)
+		}
 	}
 }
 
@@ -364,7 +522,7 @@ func (e *Engine) flushLink(i, j int) {
 		out := e.inbox[v][:0]
 		for _, m := range e.inbox[v] {
 			if (m.From == i && m.To == j) || (m.From == j && m.To == i) {
-				e.protos[v].Receive(m)
+				e.dispatch(v, m)
 				continue
 			}
 			out = append(out, m)
@@ -392,6 +550,9 @@ func (e *Engine) CrashNode(i int) {
 		e.purgeLink(i, j)
 		if e.alive[j] {
 			e.protos[j].OnLinkFailure(i)
+			if e.det != nil {
+				e.det[j].Remove(i)
+			}
 		}
 	}
 	e.inbox[i] = e.inbox[i][:0]
@@ -411,6 +572,80 @@ func (e *Engine) purgeLink(i, j int) {
 		}
 		e.inbox[v] = out
 	}
+}
+
+// SilenceLink silently drops every message on the undirected link
+// between i and j, in both directions, with NO notification to either
+// endpoint — the oracle-free outage model. Only a failure detector
+// (WithDetector) can react to it. RestoreLink heals the outage.
+func (e *Engine) SilenceLink(i, j int) {
+	if !e.graph.HasEdge(i, j) {
+		panic(fmt.Sprintf("sim: no link (%d,%d) to silence", i, j))
+	}
+	e.silenced[linkKey(i, j)] = true
+}
+
+// RestoreLink heals a silenced link: messages flow again, and detectors
+// that evicted the peer will reintegrate it once its traffic resumes.
+func (e *Engine) RestoreLink(i, j int) {
+	delete(e.silenced, linkKey(i, j))
+}
+
+// CrashNodeSilent crashes node i without notifying anyone: its in-flight
+// messages are lost and it falls silent. Neighbors keep pushing mass into
+// the dead links until a failure detector evicts the node — the scenario
+// that motivates the detection layer. The oracle aggregate is recomputed
+// over the survivors, as with CrashNode.
+func (e *Engine) CrashNodeSilent(i int) {
+	if !e.alive[i] {
+		return
+	}
+	e.alive[i] = false
+	e.inbox[i] = e.inbox[i][:0]
+	e.recomputeTargets()
+}
+
+// HangNode freezes node i: it stops being activated (no receives, no
+// sends) but is not dead — ResumeNode unfreezes it. Messages sent to a
+// hung node queue in its inbox and are processed on resume, modeling a
+// long GC pause or an overloaded host.
+func (e *Engine) HangNode(i int) { e.hung[i] = true }
+
+// ResumeNode unfreezes a node hung with HangNode.
+func (e *Engine) ResumeNode(i int) { e.hung[i] = false }
+
+// DetectorStats aggregates failure-detection counters over all nodes.
+type DetectorStats struct {
+	// Suspicions counts transitions into the suspected state.
+	Suspicions int
+	// Reintegrations counts suspected neighbors welcomed back.
+	Reintegrations int
+	// Keepalives counts keepalive and probe messages pushed.
+	Keepalives int
+}
+
+// DetectorStats sums the detection counters over all nodes. Zero when
+// the engine runs without WithDetector.
+func (e *Engine) DetectorStats() DetectorStats {
+	var s DetectorStats
+	if e.det == nil {
+		return s
+	}
+	s.Keepalives = e.keepalives
+	for _, d := range e.det {
+		s.Suspicions += d.Suspicions
+		s.Reintegrations += d.Reintegrations
+	}
+	return s
+}
+
+// Suspects returns the neighbors node i currently suspects (nil without
+// WithDetector).
+func (e *Engine) Suspects(i int) []int {
+	if e.det == nil {
+		return nil
+	}
+	return e.det[i].Suspects()
 }
 
 // Alive reports whether node i has not crashed.

@@ -337,7 +337,10 @@ func ReduceConcurrent(ctx context.Context, inputs []float64, algo Algorithm, opt
 	if err != nil {
 		return ReduceResult{}, err
 	}
-	rres := net.Run(ctx, runtime.RunConfig{Eps: opt.Eps, Timeout: opt.Timeout, Stable: 3})
+	rres, err := net.Run(ctx, runtime.RunConfig{Eps: opt.Eps, Timeout: opt.Timeout, Stable: 3})
+	if err != nil {
+		return ReduceResult{}, err
+	}
 	out := ReduceResult{
 		Exact:     net.Targets()[0],
 		Converged: rres.Converged,
