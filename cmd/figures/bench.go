@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"pcfreduce/internal/experiments"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/sim"
+	"pcfreduce/internal/topology"
+)
+
+// simBaselines are the pre-optimization reference timings of the
+// simulator hot path (one synchronous round plus the oracle error scan
+// on an n=1024 hypercube, Intel Xeon @ 2.70GHz), recorded before the
+// allocation-free fast path and dense-slice protocol state landed.
+// Speedups in BENCH_sim.json are computed against these.
+var simBaselines = map[string]float64{
+	"PCF":        606251,
+	"PCF-robust": 892518,
+	"PF":         632415,
+	"push-sum":   233779,
+}
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BaselineNs  float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup     float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+type benchReport struct {
+	Description string       `json:"description"`
+	Topology    string       `json:"topology"`
+	N           int          `json:"n"`
+	GoMaxProcs  int          `json:"go_max_procs"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+}
+
+// writeBenchJSON measures one Step+Errors round of every algorithm on
+// the n=1024 hypercube via testing.Benchmark and writes the results —
+// with speedups against the recorded pre-optimization baselines — to
+// the given JSON file.
+func writeBenchJSON(path string, seed int64) {
+	g := topology.Hypercube(10)
+	inputs := experiments.UniformInputs(g.N(), seed)
+	rep := benchReport{
+		Description: "simulator hot path: one synchronous round + oracle error scan per op",
+		Topology:    g.Name(),
+		N:           g.N(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	for _, al := range []experiments.Algorithm{
+		experiments.PCF, experiments.PCFRobust, experiments.PushFlow, experiments.PushSum,
+	} {
+		e := sim.NewScalar(g, al.Protos(g.N()), inputs, gossip.Average, seed)
+		// Best of three 1-second repetitions: the per-op minimum is the
+		// standard noise-robust estimate on shared machines.
+		var best testing.BenchmarkResult
+		for rep := 0; rep < 3; rep++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					e.Step()
+					e.Errors()
+				}
+			})
+			if rep == 0 || r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		ent := benchEntry{
+			Name:        al.Name,
+			NsPerOp:     float64(best.NsPerOp()),
+			BytesPerOp:  best.AllocedBytesPerOp(),
+			AllocsPerOp: best.AllocsPerOp(),
+		}
+		if base, ok := simBaselines[al.Name]; ok {
+			ent.BaselineNs = base
+			ent.Speedup = base / ent.NsPerOp
+		}
+		rep.Benchmarks = append(rep.Benchmarks, ent)
+		fmt.Fprintf(os.Stderr, "bench %-10s %10.0f ns/op  %3d allocs/op  %.2fx\n",
+			al.Name, ent.NsPerOp, ent.AllocsPerOp, ent.Speedup)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -35,6 +35,7 @@ func main() {
 		qrDim = flag.Int("qrdim", 8, "max hypercube dimension for Fig. 8 (paper: 10)")
 		seed  = flag.Int64("seed", 1, "base random seed")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		bench = flag.String("bench-json", "", "measure the simulator hot path and write results to this JSON file (e.g. benches/BENCH_sim.json)")
 	)
 	flag.Parse()
 
@@ -118,6 +119,10 @@ func main() {
 	}
 	if runExp("K") {
 		expK(emit, *seed)
+		ran = true
+	}
+	if *bench != "" {
+		writeBenchJSON(*bench, *seed)
 		ran = true
 	}
 	if !ran {

@@ -68,8 +68,17 @@ func main() {
 		detectExp     = flag.Bool("detect-exp", false, "run the detection latency/false-positive sweep (EXP-L) and exit")
 		detectParams  = flag.String("detect-params", "10,20,40,80,160", "sweep axis for -detect-exp: timeouts in rounds (fixed) or φ thresholds (phi)")
 		trials        = flag.Int("trials", 5, "seeds per sweep point for -detect-exp")
+
+		sweepMode = flag.Bool("sweep", false, "run the standard experiment grid on the parallel sweep engine and exit")
+		workers   = flag.Int("workers", 0, "worker-pool size for -sweep (0 = GOMAXPROCS); any value yields bit-identical results")
+		sweepJSON = flag.String("sweep-json", "", "write the -sweep result JSON to this file instead of a summary to stdout")
 	)
 	flag.Parse()
+
+	if *sweepMode {
+		runSweep(*workers, *seed, *rounds, *sweepJSON)
+		return
+	}
 
 	algo, err := parseAlgo(*algoName)
 	if err != nil {
@@ -207,6 +216,36 @@ func main() {
 	}
 	fmt.Printf("finished after %d rounds: converged=%v maxErr=%.3e\n", res.Rounds, res.Converged, res.MaxError)
 	fmt.Printf("exact aggregate %.9g; node 0 estimates %.9g\n", res.Exact, res.Estimates[0])
+}
+
+// runSweep executes the standard experiment grid (experiments.DefaultSweep)
+// on the parallel sweep engine. The worker count never changes the
+// numbers — every trial's seed is derived from the root seed and its
+// grid position — so -workers only trades wall-clock time.
+func runSweep(workers int, seed int64, rounds int, jsonPath string) {
+	cfg := experiments.DefaultSweep()
+	cfg.Workers = workers
+	cfg.RootSeed = seed
+	if rounds > 0 {
+		cfg.MaxRounds = rounds
+	}
+	cfg.Record = jsonPath != ""
+	start := time.Now()
+	res := experiments.Sweep(cfg)
+	elapsed := time.Since(start)
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, res.JSON(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sweep: %d trials in %v, wrote %s\n", len(res.Trials), elapsed.Round(time.Millisecond), jsonPath)
+		return
+	}
+	fmt.Printf("sweep: %d trials in %v (root seed %d)\n", len(res.Trials), elapsed.Round(time.Millisecond), seed)
+	fmt.Printf("  %-14s %-13s %-12s %6s %10s %12s\n", "topology", "algorithm", "plan", "trial", "rounds", "final max")
+	for _, tr := range res.Trials {
+		fmt.Printf("  %-14s %-13s %-12s %6d %10d %12.3e\n",
+			tr.Topology, tr.Algorithm, tr.Plan, tr.Trial, tr.Rounds, tr.FinalMax)
+	}
 }
 
 // runEvent drives the continuous-time engine directly (it is below the

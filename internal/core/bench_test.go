@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"testing"
+
+	"pcfreduce/internal/core"
+	"pcfreduce/internal/gossip"
+)
+
+// benchPair ping-pongs one message buffer between two connected nodes
+// over the allocation-free FillMessage/Receive path — the inner loop of
+// every engine's hot path, isolated from engine bookkeeping.
+func benchPair(b *testing.B, mk func() *core.Node) {
+	a, c := mk(), mk()
+	a.Reset(0, []int{1}, gossip.Scalar(1, 1))
+	c.Reset(1, []int{0}, gossip.Scalar(5, 1))
+	var msg gossip.Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.FillMessage(1, &msg)
+		c.Receive(msg)
+		c.FillMessage(0, &msg)
+		a.Receive(msg)
+	}
+}
+
+func BenchmarkPairEfficient(b *testing.B) { benchPair(b, core.NewEfficient) }
+func BenchmarkPairRobust(b *testing.B)    { benchPair(b, core.NewRobust) }
+
+// benchFan measures FillMessage across a neighborhood of the given
+// degree: ≤ 32 exercises the linear-scan edge lookup, larger degrees the
+// map fallback.
+func benchFan(b *testing.B, degree int) {
+	n := core.NewEfficient()
+	nbrs := make([]int, degree)
+	for k := range nbrs {
+		nbrs[k] = k + 1
+	}
+	n.Reset(0, nbrs, gossip.Scalar(2, 1))
+	var msg gossip.Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.FillMessage(nbrs[i%degree], &msg)
+	}
+}
+
+func BenchmarkFanDegree8(b *testing.B)  { benchFan(b, 8) }
+func BenchmarkFanDegree64(b *testing.B) { benchFan(b, 64) }

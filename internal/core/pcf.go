@@ -105,6 +105,11 @@ type edgeSnapshot struct {
 }
 
 // Node is the push-cancel-flow state machine for a single node.
+//
+// Per-neighbor edge state lives in a dense slice parallel to the
+// neighbor list; the map only translates sender ids to slice positions
+// on the receive path. This keeps the robust variant's local-mass
+// computation (one pass over all slots per send) free of hashing.
 type Node struct {
 	variant   Variant
 	id        int
@@ -112,8 +117,33 @@ type Node struct {
 	live      []int
 	init      gossip.Value
 	phi       gossip.Value // ϕ: accumulated flow mass
-	edges     map[int]*edge
+	edgeList  []edge       // per-neighbor state, parallel to neighbors
+	idx       map[int]int  // neighbor id → position in neighbors/edgeList
 	width     int
+	scratch   gossip.Value // reused by FillMessage/EstimateInto
+}
+
+// denseScanMax bounds the neighborhood size up to which edgeFor uses a
+// linear scan of the neighbor list instead of the id map. For typical
+// gossip degrees (ring, torus, hypercube) the scan is faster than
+// hashing; complete-like graphs fall back to the map.
+const denseScanMax = 32
+
+// edgeFor returns the edge state for the given neighbor id, or nil when
+// the id is not a neighbor.
+func (n *Node) edgeFor(neighbor int) *edge {
+	if len(n.neighbors) <= denseScanMax {
+		for k, j := range n.neighbors {
+			if j == neighbor {
+				return &n.edgeList[k]
+			}
+		}
+		return nil
+	}
+	if k, ok := n.idx[neighbor]; ok {
+		return &n.edgeList[k]
+	}
+	return nil
 }
 
 // New returns an uninitialized PCF node with the given variant; callers
@@ -129,66 +159,97 @@ func NewRobust() *Node { return New(VariantRobust) }
 // Variant returns the node's configured variant.
 func (n *Node) Variant() Variant { return n.variant }
 
-// Reset implements gossip.Protocol.
+// Reset implements gossip.Protocol. A repeated Reset over the same
+// neighborhood and value width zeroes the existing edge state in place
+// instead of reallocating it, so restarting a trial on a reused engine
+// does not allocate.
 func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
+	reuse := n.idx != nil && n.width == init.Width() && sameInts(n.neighbors, neighbors)
 	n.id = node
 	n.neighbors = append(n.neighbors[:0], neighbors...)
 	n.live = append(n.live[:0], neighbors...)
-	n.init = init.Clone()
+	n.init.Set(init)
 	n.width = init.Width()
+	if reuse {
+		n.phi.Zero()
+		for k := range n.edgeList {
+			ed := &n.edgeList[k]
+			ed.f[0].Zero()
+			ed.f[1].Zero()
+			ed.c = 0
+			ed.r = 1
+			ed.saved = nil
+		}
+		return
+	}
 	n.phi = gossip.NewValue(n.width)
-	n.edges = make(map[int]*edge, len(neighbors))
-	for _, j := range neighbors {
-		n.edges[j] = &edge{
+	n.edgeList = make([]edge, len(neighbors))
+	n.idx = make(map[int]int, len(neighbors))
+	for k, j := range neighbors {
+		n.edgeList[k] = edge{
 			f: [2]gossip.Value{gossip.NewValue(n.width), gossip.NewValue(n.width)},
 			c: 0,
 			r: 1,
 		}
+		n.idx[j] = k
 	}
 }
 
 // local returns the node's current mass: v − ϕ for the efficient
 // variant, v − ϕ − Σ f for the robust variant (paper Sec. III-A).
 func (n *Node) local() gossip.Value {
-	e := n.init.Clone()
-	e.SubInPlace(n.phi)
+	var e gossip.Value
+	n.localInto(&e)
+	return e
+}
+
+// localInto computes the node's current mass into dst without allocating
+// (beyond growing dst once to the value width).
+func (n *Node) localInto(dst *gossip.Value) {
+	dst.Set(n.init)
+	dst.SubInPlace(n.phi)
 	if n.variant == VariantRobust {
-		for _, j := range n.neighbors {
-			ed := n.edges[j]
-			e.SubInPlace(ed.f[0])
-			e.SubInPlace(ed.f[1])
+		for k := range n.edgeList {
+			dst.SubInPlace(n.edgeList[k].f[0])
+			dst.SubInPlace(n.edgeList[k].f[1])
 		}
 	}
-	return e
 }
 
 // MakeMessage implements gossip.Protocol (paper Fig. 5 lines 30–33):
 // virtual-send half the local mass into the edge's active slot, then
 // transmit both slots plus the (c, r) control pair.
 func (n *Node) MakeMessage(target int) gossip.Message {
-	ed, ok := n.edges[target]
-	if !ok {
+	msg := gossip.Message{From: n.id, To: target}
+	n.FillMessage(target, &msg)
+	return msg
+}
+
+// FillMessage implements gossip.MessageFiller: the allocation-free form
+// of MakeMessage (identical state transition, bit-identical wire
+// contents).
+func (n *Node) FillMessage(target int, msg *gossip.Message) {
+	ed := n.edgeFor(target)
+	if ed == nil {
 		panic("core: send to non-neighbor")
 	}
-	half := n.local().Half()
-	ed.f[ed.c].AddInPlace(half)
+	n.localInto(&n.scratch)
+	n.scratch.HalfInPlace()
+	ed.f[ed.c].AddInPlace(n.scratch)
 	if n.variant == VariantEfficient {
-		n.phi.AddInPlace(half) // line 32: ϕ ← ϕ + e/2
+		n.phi.AddInPlace(n.scratch) // line 32: ϕ ← ϕ + e/2
 	}
-	return gossip.Message{
-		From:  n.id,
-		To:    target,
-		Flow1: ed.f[0].Clone(),
-		Flow2: ed.f[1].Clone(),
-		C:     ed.c + 1, // wire format counts slots from 1, as the paper does
-		R:     ed.r,
-	}
+	msg.From, msg.To, msg.Kind = n.id, target, gossip.KindData
+	msg.Flow1.Set(ed.f[0])
+	msg.Flow2.Set(ed.f[1])
+	msg.C = ed.c + 1 // wire format counts slots from 1, as the paper does
+	msg.R = ed.r
 }
 
 // Receive implements gossip.Protocol (paper Fig. 5 lines 6–29).
 func (n *Node) Receive(msg gossip.Message) {
-	ed, ok := n.edges[msg.From]
-	if !ok {
+	ed := n.edgeFor(msg.From)
+	if ed == nil {
 		return // unknown sender
 	}
 	if msg.Flow1.Width() != n.width || msg.Flow2.Width() != n.width {
@@ -230,7 +291,7 @@ func (n *Node) Receive(msg gossip.Message) {
 					n.phi.SubInPlace(ed.f[s])
 					n.phi.SubInPlace(peerF[s])
 				}
-				ed.f[s].Set(peerF[s].Neg())
+				ed.f[s].SetNeg(peerF[s])
 			}
 		}
 		return // otherwise stale: wait for a current message
@@ -246,10 +307,10 @@ func (n *Node) Receive(msg gossip.Message) {
 		n.phi.SubInPlace(ed.f[a])
 		n.phi.SubInPlace(peerF[a])
 	}
-	ed.f[a].Set(peerF[a].Neg())
+	ed.f[a].SetNeg(peerF[a])
 
 	switch {
-	case peerF[p].Equal(ed.f[p].Neg()) && ed.r == msg.R:
+	case peerF[p].EqualNeg(ed.f[p]) && ed.r == msg.R:
 		// Lines 13–16, case (i): flow conservation achieved on the
 		// passive slot — cancel our half.
 		n.cancel(ed, p)
@@ -279,7 +340,7 @@ func (n *Node) Receive(msg gossip.Message) {
 				n.phi.SubInPlace(ed.f[p])
 				n.phi.SubInPlace(peerF[p])
 			}
-			ed.f[p].Set(peerF[p].Neg())
+			ed.f[p].SetNeg(peerF[p])
 		}
 	}
 }
@@ -296,6 +357,12 @@ func (n *Node) cancel(ed *edge, s uint8) {
 
 // Estimate implements gossip.Protocol.
 func (n *Node) Estimate() []float64 { return n.local().Estimate() }
+
+// EstimateInto implements gossip.Estimator.
+func (n *Node) EstimateInto(dst []float64) []float64 {
+	n.localInto(&n.scratch)
+	return n.scratch.EstimateInto(dst)
+}
 
 // LocalValue implements gossip.Protocol.
 func (n *Node) LocalValue() gossip.Value { return n.local() }
@@ -324,8 +391,8 @@ func (n *Node) LocalValue() gossip.Value { return n.local() }
 // dead node, converging to the surviving-mass aggregate rather than the
 // survivors' initial-data aggregate — the two differ by O(ε(t_crash)/n).
 func (n *Node) OnLinkFailure(neighbor int) {
-	ed, ok := n.edges[neighbor]
-	if ok {
+	ed := n.edgeFor(neighbor)
+	if ed != nil {
 		// Freeze the edge state first: if the "failure" turns out to be a
 		// false suspicion or a transient outage, OnLinkRecover reinstates
 		// it and the eviction becomes a no-op in retrospect.
@@ -363,8 +430,8 @@ func (n *Node) OnLinkFailure(neighbor int) {
 // message. The estimate does not move at reintegration time in either
 // variant, mirroring the zero-cost eviction.
 func (n *Node) OnLinkRecover(neighbor int) {
-	ed, ok := n.edges[neighbor]
-	if !ok || contains(n.live, neighbor) {
+	ed := n.edgeFor(neighbor)
+	if ed == nil || contains(n.live, neighbor) {
 		return
 	}
 	if s := ed.saved; s != nil {
@@ -395,8 +462,8 @@ func (n *Node) LiveNeighbors() []int { return n.live }
 // (sum of both slots). After cancellation cycles this converges toward
 // values on the order of the aggregate, the central claim of the paper.
 func (n *Node) Flow(neighbor int) gossip.Value {
-	ed, ok := n.edges[neighbor]
-	if !ok {
+	ed := n.edgeFor(neighbor)
+	if ed == nil {
 		return gossip.NewValue(n.width)
 	}
 	return ed.f[0].Add(ed.f[1])
@@ -406,8 +473,8 @@ func (n *Node) Flow(neighbor int) gossip.Value {
 // given neighbor, exposed for tests of the cancellation handshake. The
 // active slot is reported in wire format (1 or 2).
 func (n *Node) RoleState(neighbor int) (c uint8, r uint64) {
-	ed, ok := n.edges[neighbor]
-	if !ok {
+	ed := n.edgeFor(neighbor)
+	if ed == nil {
 		return 0, 0
 	}
 	return ed.c + 1, ed.r
@@ -416,6 +483,18 @@ func (n *Node) RoleState(neighbor int) (c uint8, r uint64) {
 // Phi returns a copy of the node's accumulated flow mass ϕ, exposed for
 // tests.
 func (n *Node) Phi() gossip.Value { return n.phi.Clone() }
+
+// Slots returns copies of the two flow slots for the given neighbor,
+// exposed for tests of the per-slot flow antisymmetry invariant (after
+// a drain, each slot either mirrors the peer's bitwise or has been
+// cancelled to zero on at least one side).
+func (n *Node) Slots(neighbor int) (f [2]gossip.Value, ok bool) {
+	ed := n.edgeFor(neighbor)
+	if ed == nil {
+		return f, false
+	}
+	return [2]gossip.Value{ed.f[0].Clone(), ed.f[1].Clone()}, true
+}
 
 func remove(list []int, x int) []int {
 	out := list[:0]
@@ -434,6 +513,18 @@ func contains(list []int, x int) bool {
 		}
 	}
 	return false
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // SetInput implements gossip.DynamicInput: live-monitoring input change

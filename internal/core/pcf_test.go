@@ -281,7 +281,7 @@ func TestCorruptedPassiveWithPeerAheadIgnored(t *testing.T) {
 // passiveSlot returns node n's passive flow slot toward the neighbor.
 func passiveSlot(n *Node, neighbor int) gossip.Value {
 	c, _ := n.RoleState(neighbor)
-	ed := n.edges[neighbor]
+	ed := n.edgeFor(neighbor)
 	return ed.f[1-(c-1)].Clone()
 }
 

@@ -1,0 +1,113 @@
+package detect_test
+
+import (
+	"sort"
+	"testing"
+
+	"pcfreduce/internal/detect"
+)
+
+// FuzzDetector replays a byte-driven schedule of Heard/Check/Remove
+// calls with a monotonically advancing clock against a shadow model and
+// checks the detector's state-machine invariants: no panic on any
+// schedule, no suspicion before the fixed timeout expires, removal is
+// permanent, reintegration fires exactly on traffic from a suspected
+// neighbor, and Suspects is always sorted and removal-free.
+//
+// Under the φ-accrual policy the exact suspicion instant depends on the
+// observed inter-arrival model, so only the structural invariants (not
+// the timing bound) are asserted there.
+func FuzzDetector(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x03, 0xff, 0x01, 0x00, 0x02, 0x02}, false)
+	f.Add([]byte{0x03, 0x20, 0x01, 0x00, 0x00, 0x03, 0x03, 0x10, 0x01, 0x01}, true)
+	f.Add([]byte{0x02, 0x00, 0x00, 0x00, 0x03, 0x7f, 0x01, 0x05}, false)
+	f.Fuzz(func(t *testing.T, data []byte, phi bool) {
+		neighbors := []int{1, 3, 7, 9}
+		cfg := detect.Config{Policy: detect.FixedTimeout, Timeout: 10}
+		if phi {
+			cfg.Policy = detect.PhiAccrual
+		}
+		now := 0.0
+		d := detect.New(cfg, neighbors, now)
+
+		lastHeard := map[int]float64{}
+		removed := map[int]bool{}
+		suspected := map[int]bool{}
+		for _, j := range neighbors {
+			lastHeard[j] = now
+		}
+		inSet := func(j int) bool { _, ok := lastHeard[j]; return ok }
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%4, data[i+1]
+			j := neighbors[int(arg)%len(neighbors)]
+			if arg%7 == 6 {
+				j = 1000 + int(arg) // unknown neighbor: must be ignored
+			}
+			switch op {
+			case 0: // Heard
+				re := d.Heard(j, now)
+				if !inSet(j) || removed[j] {
+					if re {
+						t.Fatalf("Heard(%d) reintegrated an unknown/removed neighbor", j)
+					}
+					break
+				}
+				if re != suspected[j] {
+					t.Fatalf("Heard(%d) reintegrated=%v, model suspected=%v", j, re, suspected[j])
+				}
+				suspected[j] = false
+				lastHeard[j] = now
+				if d.Suspected(j) {
+					t.Fatalf("neighbor %d suspected immediately after Heard", j)
+				}
+			case 1: // Check
+				newly := d.Check(now)
+				if !sort.IntsAreSorted(newly) {
+					t.Fatalf("Check returned unsorted %v", newly)
+				}
+				for _, k := range newly {
+					if !inSet(k) || removed[k] || suspected[k] {
+						t.Fatalf("Check suspected %d (known=%v removed=%v already=%v)",
+							k, inSet(k), removed[k], suspected[k])
+					}
+					if !phi && now-lastHeard[k] <= cfg.Timeout {
+						t.Fatalf("fixed-timeout suspicion of %d after only %g < %g silence",
+							k, now-lastHeard[k], cfg.Timeout)
+					}
+					suspected[k] = true
+				}
+			case 2: // Remove
+				d.Remove(j)
+				if inSet(j) {
+					removed[j] = true
+					suspected[j] = false
+				}
+				if d.Suspected(j) {
+					t.Fatalf("neighbor %d still suspected after Remove", j)
+				}
+			case 3: // advance the clock
+				now += float64(arg) * 0.25
+			}
+
+			sus := d.Suspects()
+			if !sort.IntsAreSorted(sus) {
+				t.Fatalf("Suspects unsorted: %v", sus)
+			}
+			for _, k := range sus {
+				if !suspected[k] || removed[k] {
+					t.Fatalf("Suspects contains %d (model suspected=%v removed=%v)",
+						k, suspected[k], removed[k])
+				}
+			}
+			for k, s := range suspected {
+				if s && !d.Suspected(k) {
+					t.Fatalf("model says %d suspected, detector disagrees", k)
+				}
+				if removed[k] && !d.Removed(k) {
+					t.Fatalf("model says %d removed, detector disagrees", k)
+				}
+			}
+		}
+	})
+}

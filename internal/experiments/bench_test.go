@@ -1,0 +1,18 @@
+package experiments
+
+import "testing"
+
+// benchSweep runs the small test grid end to end at the given worker
+// count — the macro-benchmark for the parallel experiment engine
+// (engine-cache reuse, per-trial Reset, deterministic sharding).
+func benchSweep(b *testing.B, workers int) {
+	cfg := smallSweep(workers, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sweep(cfg)
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pcfreduce/internal/fault"
+	"pcfreduce/internal/topology"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenSweep is the pinned regression grid: the paper's three topology
+// families at n = 64, every algorithm, fault-free and one notified link
+// failure, with the full per-round error series recorded. Everything is
+// derived from RootSeed, so the JSON is bit-stable across runs, worker
+// counts and machines.
+func goldenSweep() SweepConfig {
+	return SweepConfig{
+		Topologies: []SweepTopology{
+			{Name: "bus64", Graph: topology.Path(64)},
+			{Name: "torus3d-4x4x4", Graph: topology.Torus3D(4, 4, 4)},
+			{Name: "hypercube6", Graph: topology.Hypercube(6)},
+		},
+		Algorithms: []Algorithm{PushSum, PushFlow, PCF, PCFRobust, FlowUpdating},
+		Plans: []SweepPlan{
+			{Name: "none"},
+			{Name: "linkfail@30", Events: []fault.Event{fault.LinkFailure(30, 0, 1)}},
+		},
+		Trials:    1,
+		RootSeed:  2012, // the paper's year, pinned forever
+		MaxRounds: 60,
+		Record:    true,
+	}
+}
+
+// TestGoldenSweep compares the full recorded sweep output byte-for-byte
+// against the checked-in golden file. Any change to protocol numerics,
+// engine scheduling, seed derivation or JSON layout shows up as a diff
+// here; run `go test ./internal/experiments -run TestGoldenSweep -update`
+// to re-bless intentional changes.
+func TestGoldenSweep(t *testing.T) {
+	got := Sweep(goldenSweep()).JSON()
+	path := filepath.Join("testdata", "golden_sweep.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		line := 1
+		for i := 0; i < len(got) && i < len(want); i++ {
+			if got[i] != want[i] {
+				break
+			}
+			if got[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("sweep output diverges from %s at line %d; run with -update if intentional",
+			path, line)
+	}
+}

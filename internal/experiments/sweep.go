@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pcfreduce/internal/fault"
+	"pcfreduce/internal/sim"
+	"pcfreduce/internal/stats"
+	"pcfreduce/internal/topology"
+)
+
+// SweepTopology names one topology of a sweep grid.
+type SweepTopology struct {
+	Name  string
+	Graph *topology.Graph
+}
+
+// SweepPlan names one fault schedule of a sweep grid. An empty event list
+// is the fault-free baseline. Plans are applied read-only, so one plan
+// may be shared by concurrent trials.
+type SweepPlan struct {
+	Name   string
+	Events []fault.Event
+}
+
+// SweepConfig parameterizes a (topology × algorithm × fault-plan × seed)
+// experiment grid executed by Sweep.
+//
+// Determinism contract: every trial's schedule seed is derived purely
+// from RootSeed and the trial's position in the grid (splitmix64 over the
+// flattened trial index), and each node's initial inputs depend only on
+// RootSeed and the topology — never on which worker runs the trial or in
+// what order. Results are written into a slice indexed by the same
+// flattened position. A sweep with Workers=8 is therefore bit-identical
+// to the same sweep with Workers=1.
+type SweepConfig struct {
+	// Topologies, Algorithms and Plans span the grid (all required
+	// non-empty except Plans, which defaults to a single fault-free plan).
+	Topologies []SweepTopology
+	Algorithms []Algorithm
+	Plans      []SweepPlan
+	// Trials is the number of schedule seeds per grid cell (default 1).
+	Trials int
+	// RootSeed is the single seed from which all per-trial seeds and all
+	// per-topology inputs are derived.
+	RootSeed int64
+	// MaxRounds bounds each trial (default 200); Eps, when > 0, stops a
+	// trial early at the oracle error target.
+	MaxRounds int
+	Eps       float64
+	// Record stores the full per-round error series of every trial
+	// instead of only the final point.
+	Record bool
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (c SweepConfig) normalized() SweepConfig {
+	if len(c.Topologies) == 0 || len(c.Algorithms) == 0 {
+		panic("experiments: Sweep needs at least one topology and one algorithm")
+	}
+	if len(c.Plans) == 0 {
+		c.Plans = []SweepPlan{{Name: "none"}}
+	}
+	if c.Trials <= 0 {
+		c.Trials = 1
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 200
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// TrialResult is the outcome of one grid trial.
+type TrialResult struct {
+	Topology  string `json:"topology"`
+	N         int    `json:"n"`
+	Algorithm string `json:"algorithm"`
+	Plan      string `json:"plan"`
+	Trial     int    `json:"trial"`
+	Seed      int64  `json:"seed"`
+
+	Rounds      int     `json:"rounds"`
+	Converged   bool    `json:"converged"`
+	FinalMax    float64 `json:"final_max"`
+	FinalMedian float64 `json:"final_median"`
+
+	// Series is present only under SweepConfig.Record.
+	Series stats.Series `json:"series,omitempty"`
+}
+
+// SweepResult is the full grid outcome, in flattened grid order
+// (topology-major, then algorithm, plan, trial).
+type SweepResult struct {
+	RootSeed int64         `json:"root_seed"`
+	Trials   []TrialResult `json:"trials"`
+}
+
+// JSON renders the result deterministically (stable field and trial
+// order) for golden files and cross-worker-count comparisons.
+func (r SweepResult) JSON() []byte {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("experiments: sweep result not serializable: %v", err))
+	}
+	return append(out, '\n')
+}
+
+// deriveSeed is splitmix64 over (root, stream): independent,
+// well-distributed 64-bit seeds for each flattened trial index, so that
+// neighboring trial indices (and the input streams, which use a disjoint
+// stream tag) never share RNG state.
+func deriveSeed(root int64, stream uint64) int64 {
+	z := uint64(root) + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// inputStreamTag separates the per-topology input seeds from the
+// per-trial schedule seeds in the deriveSeed stream space.
+const inputStreamTag = uint64(1) << 63
+
+// Sweep runs the full grid on a pool of Workers goroutines and returns
+// the per-trial results in deterministic grid order.
+//
+// Each worker keeps one engine per (topology, algorithm) cell and rewinds
+// it with Engine.Reset between trials, so the steady-state sweep does not
+// reconstruct engines; Engine.Reset's bit-identical-to-fresh guarantee
+// (see TestResetReproducesFresh) is what makes this reuse invisible in
+// the results.
+func Sweep(cfg SweepConfig) SweepResult {
+	cfg = cfg.normalized()
+
+	inputs := make([][]float64, len(cfg.Topologies))
+	for ti, tp := range cfg.Topologies {
+		inputs[ti] = UniformInputs(tp.Graph.N(), deriveSeed(cfg.RootSeed, inputStreamTag|uint64(ti)))
+	}
+	plans := make([]*fault.Plan, len(cfg.Plans))
+	for pi, p := range cfg.Plans {
+		plans[pi] = fault.NewPlan(p.Events...)
+	}
+
+	type job struct{ ti, ai, pi, trial, idx int }
+	total := len(cfg.Topologies) * len(cfg.Algorithms) * len(cfg.Plans) * cfg.Trials
+	results := make([]TrialResult, total)
+
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			engines := make(map[int]*sim.Engine) // worker-local cell cache
+			for jb := range jobs {
+				seed := deriveSeed(cfg.RootSeed, uint64(jb.idx))
+				cell := jb.ti*len(cfg.Algorithms) + jb.ai
+				e, ok := engines[cell]
+				if ok {
+					e.Reset(seed)
+				} else {
+					tp := cfg.Topologies[jb.ti]
+					e = sim0(tp.Graph, cfg.Algorithms[jb.ai].Protos(tp.Graph.N()), inputs[jb.ti], seed)
+					engines[cell] = e
+				}
+				res := e.Run(sim.RunConfig{
+					MaxRounds: cfg.MaxRounds,
+					Eps:       cfg.Eps,
+					Record:    cfg.Record,
+					OnRound:   plans[jb.pi].OnRound,
+				})
+				tr := TrialResult{
+					Topology:  cfg.Topologies[jb.ti].Name,
+					N:         cfg.Topologies[jb.ti].Graph.N(),
+					Algorithm: cfg.Algorithms[jb.ai].Name,
+					Plan:      cfg.Plans[jb.pi].Name,
+					Trial:     jb.trial,
+					Seed:      seed,
+					Rounds:    res.Rounds,
+					Converged: res.Converged,
+				}
+				if len(res.Series) > 0 {
+					last := res.Series[len(res.Series)-1]
+					tr.FinalMax, tr.FinalMedian = last.Max, last.Median
+				}
+				if cfg.Record {
+					tr.Series = res.Series
+				}
+				results[jb.idx] = tr
+			}
+		}()
+	}
+
+	idx := 0
+	for ti := range cfg.Topologies {
+		for ai := range cfg.Algorithms {
+			for pi := range cfg.Plans {
+				for trial := 0; trial < cfg.Trials; trial++ {
+					jobs <- job{ti, ai, pi, trial, idx}
+					idx++
+				}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return SweepResult{RootSeed: cfg.RootSeed, Trials: results}
+}
+
+// DefaultSweep is the standard small grid: the paper's three topology
+// families at n = 64, all algorithms, fault-free plus one notified link
+// failure, three schedule seeds per cell.
+func DefaultSweep() SweepConfig {
+	return SweepConfig{
+		Topologies: []SweepTopology{
+			{Name: "bus64", Graph: topology.Path(64)},
+			{Name: "torus3d-4x4x4", Graph: topology.Torus3D(4, 4, 4)},
+			{Name: "hypercube6", Graph: topology.Hypercube(6)},
+		},
+		Algorithms: []Algorithm{PushSum, PushFlow, PCF, PCFRobust, FlowUpdating},
+		Plans: []SweepPlan{
+			{Name: "none"},
+			{Name: "linkfail@40", Events: []fault.Event{fault.LinkFailure(40, 0, 1)}},
+		},
+		Trials:    3,
+		RootSeed:  1,
+		MaxRounds: 150,
+	}
+}

@@ -29,104 +29,178 @@ import (
 )
 
 // Node is the Flow-Updating state machine for a single node.
+//
+// Per-neighbor state lives in dense slices parallel to the neighbor
+// list; the map only translates sender ids to slice positions on the
+// receive path. This keeps the averaging pass (over all flows and known
+// neighbor estimates per send) free of hashing.
 type Node struct {
 	id        int
 	neighbors []int
 	live      []int
 	init      gossip.Value
-	flows     map[int]*gossip.Value
-	lastEst   map[int]*gossip.Value // last estimate reported by each neighbor
-	known     map[int]bool          // whether we have heard from the neighbor yet
+	flowList  []gossip.Value // flow per neighbor, parallel to neighbors
+	lastEst   []gossip.Value // last estimate reported by each neighbor
+	known     []bool         // whether we have heard from the neighbor yet
+	idx       map[int]int    // neighbor id → position in the parallel slices
 	width     int
+	scrAvg    gossip.Value // reused by FillMessage (averaging target)
+	scrDelta  gossip.Value // reused by FillMessage (flow adjustment)
+	scrLocal  gossip.Value // reused by EstimateInto
 }
 
 // New returns an uninitialized Flow-Updating node; callers must Reset it.
 func New() *Node { return &Node{} }
 
-// Reset implements gossip.Protocol.
+// denseScanMax bounds the neighborhood size up to which indexOf uses a
+// linear scan of the neighbor list instead of the id map. For typical
+// gossip degrees the scan is faster than hashing; complete-like graphs
+// fall back to the map.
+const denseScanMax = 32
+
+// indexOf translates a neighbor id to its dense-slice position, or -1
+// when the id is not a neighbor.
+func (n *Node) indexOf(neighbor int) int {
+	if len(n.neighbors) <= denseScanMax {
+		for k, j := range n.neighbors {
+			if j == neighbor {
+				return k
+			}
+		}
+		return -1
+	}
+	if k, ok := n.idx[neighbor]; ok {
+		return k
+	}
+	return -1
+}
+
+// Reset implements gossip.Protocol. A repeated Reset over the same
+// neighborhood and value width zeroes the existing per-edge state in
+// place instead of reallocating it, so restarting a trial on a reused
+// engine does not allocate.
 func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
+	reuse := n.idx != nil && n.width == init.Width() && sameInts(n.neighbors, neighbors)
 	n.id = node
 	n.neighbors = append(n.neighbors[:0], neighbors...)
 	n.live = append(n.live[:0], neighbors...)
-	n.init = init.Clone()
+	n.init.Set(init)
 	n.width = init.Width()
-	n.flows = make(map[int]*gossip.Value, len(neighbors))
-	n.lastEst = make(map[int]*gossip.Value, len(neighbors))
-	n.known = make(map[int]bool, len(neighbors))
-	for _, j := range neighbors {
-		f := gossip.NewValue(n.width)
-		e := gossip.NewValue(n.width)
-		n.flows[j] = &f
-		n.lastEst[j] = &e
+	if reuse {
+		for k := range n.flowList {
+			n.flowList[k].Zero()
+			n.lastEst[k].Zero()
+			n.known[k] = false
+		}
+		return
+	}
+	n.flowList = make([]gossip.Value, len(neighbors))
+	n.lastEst = make([]gossip.Value, len(neighbors))
+	n.known = make([]bool, len(neighbors))
+	n.idx = make(map[int]int, len(neighbors))
+	for k, j := range neighbors {
+		n.flowList[k] = gossip.NewValue(n.width)
+		n.lastEst[k] = gossip.NewValue(n.width)
+		n.idx[j] = k
 	}
 }
 
 // local returns eᵢ = vᵢ − Σ_j f(i,j).
 func (n *Node) local() gossip.Value {
-	e := n.init.Clone()
-	for _, j := range n.neighbors {
-		e.SubInPlace(*n.flows[j])
-	}
+	var e gossip.Value
+	n.localInto(&e)
 	return e
 }
 
-// averaged returns the FU averaging target A: the mean of the local
-// estimate and the last known estimates of live neighbors we have heard
-// from.
-func (n *Node) averaged() gossip.Value {
-	a := n.local()
+// localInto computes eᵢ = vᵢ − Σ_j f(i,j) into dst without allocating
+// (beyond growing dst once to the value width).
+func (n *Node) localInto(dst *gossip.Value) {
+	dst.Set(n.init)
+	for k := range n.flowList {
+		dst.SubInPlace(n.flowList[k])
+	}
+}
+
+// averagedInto computes the FU averaging target A into dst: the mean of
+// the local estimate and the last known estimates of live neighbors we
+// have heard from. The sum runs in live-list order (not neighbor-index
+// order): the two diverge once a reintegrated neighbor has been
+// re-appended, and the floating-point result must not depend on the
+// internal storage layout.
+func (n *Node) averagedInto(dst *gossip.Value) {
+	n.localInto(dst)
 	count := 1.0
 	for _, j := range n.live {
-		if !n.known[j] {
+		k := n.indexOf(j)
+		if !n.known[k] {
 			continue
 		}
-		a.AddInPlace(*n.lastEst[j])
+		dst.AddInPlace(n.lastEst[k])
 		count++
 	}
 	scale := 1 / count
-	for k := range a.X {
-		a.X[k] *= scale
+	for k := range dst.X {
+		dst.X[k] *= scale
 	}
-	a.W *= scale
-	return a
+	dst.W *= scale
 }
 
 // MakeMessage implements gossip.Protocol: move the target's estimate
 // toward the local average by adjusting the edge flow, then ship the
 // flow and the average.
 func (n *Node) MakeMessage(target int) gossip.Message {
-	f, ok := n.flows[target]
-	if !ok {
+	msg := gossip.Message{From: n.id, To: target}
+	n.FillMessage(target, &msg)
+	return msg
+}
+
+// FillMessage implements gossip.MessageFiller: the allocation-free form
+// of MakeMessage (identical state transition, bit-identical wire
+// contents).
+func (n *Node) FillMessage(target int, msg *gossip.Message) {
+	k := n.indexOf(target)
+	if k < 0 {
 		panic("flowupdate: send to non-neighbor")
 	}
-	a := n.averaged()
+	f := &n.flowList[k]
+	n.averagedInto(&n.scrAvg)
 	// Before first contact the neighbor's estimate is unknown; ship the
 	// current flow unchanged so the neighbor learns ours without a mass
 	// transfer.
-	if n.known[target] {
-		delta := a.Sub(*n.lastEst[target])
-		f.AddInPlace(delta)
+	if n.known[k] {
+		n.scrDelta.Set(n.scrAvg)
+		n.scrDelta.SubInPlace(n.lastEst[k])
+		f.AddInPlace(n.scrDelta)
 	}
-	return gossip.Message{From: n.id, To: target, Flow1: f.Clone(), Flow2: a}
+	msg.From, msg.To, msg.Kind = n.id, target, gossip.KindData
+	msg.C, msg.R = 0, 0
+	msg.Flow1.Set(*f)
+	msg.Flow2.Set(n.scrAvg)
 }
 
 // Receive implements gossip.Protocol: adopt the sender's flow (negated)
 // and remember its estimate.
 func (n *Node) Receive(msg gossip.Message) {
-	f, ok := n.flows[msg.From]
-	if !ok || msg.Flow1.Width() != n.width || msg.Flow2.Width() != n.width {
+	k := n.indexOf(msg.From)
+	if k < 0 || msg.Flow1.Width() != n.width || msg.Flow2.Width() != n.width {
 		return
 	}
 	if !msg.Flow1.Finite() || !msg.Flow2.Finite() {
 		return // detectably corrupted payload: discard, as in push-flow
 	}
-	f.Set(msg.Flow1.Neg())
-	n.lastEst[msg.From].Set(msg.Flow2)
-	n.known[msg.From] = true
+	n.flowList[k].SetNeg(msg.Flow1)
+	n.lastEst[k].Set(msg.Flow2)
+	n.known[k] = true
 }
 
 // Estimate implements gossip.Protocol.
 func (n *Node) Estimate() []float64 { return n.local().Estimate() }
+
+// EstimateInto implements gossip.Estimator.
+func (n *Node) EstimateInto(dst []float64) []float64 {
+	n.localInto(&n.scrLocal)
+	return n.scrLocal.EstimateInto(dst)
+}
 
 // LocalValue implements gossip.Protocol.
 func (n *Node) LocalValue() gossip.Value { return n.local() }
@@ -134,10 +208,10 @@ func (n *Node) LocalValue() gossip.Value { return n.local() }
 // OnLinkFailure implements gossip.Protocol: zero the edge flow, forget
 // the neighbor's estimate and stop using the link.
 func (n *Node) OnLinkFailure(neighbor int) {
-	if f, ok := n.flows[neighbor]; ok {
-		f.Zero()
-		n.lastEst[neighbor].Zero()
-		n.known[neighbor] = false
+	if k, ok := n.idx[neighbor]; ok {
+		n.flowList[k].Zero()
+		n.lastEst[k].Zero()
+		n.known[k] = false
 	}
 	n.live = remove(n.live, neighbor)
 }
@@ -147,13 +221,13 @@ func (n *Node) OnLinkFailure(neighbor int) {
 // remembered estimate, exactly as after Reset; the averaging dynamics
 // re-learn the neighbor's state from its next message.
 func (n *Node) OnLinkRecover(neighbor int) {
-	f, ok := n.flows[neighbor]
+	k, ok := n.idx[neighbor]
 	if !ok || contains(n.live, neighbor) {
 		return
 	}
-	f.Zero()
-	n.lastEst[neighbor].Zero()
-	n.known[neighbor] = false
+	n.flowList[k].Zero()
+	n.lastEst[k].Zero()
+	n.known[k] = false
 	n.live = append(n.live, neighbor)
 }
 
@@ -162,8 +236,8 @@ func (n *Node) LiveNeighbors() []int { return n.live }
 
 // Flow implements gossip.Flows.
 func (n *Node) Flow(neighbor int) gossip.Value {
-	if f, ok := n.flows[neighbor]; ok {
-		return f.Clone()
+	if k, ok := n.idx[neighbor]; ok {
+		return n.flowList[k].Clone()
 	}
 	return gossip.NewValue(n.width)
 }
@@ -185,6 +259,18 @@ func contains(list []int, x int) bool {
 		}
 	}
 	return false
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // SetInput implements gossip.DynamicInput: live-monitoring input change.

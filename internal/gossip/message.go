@@ -143,6 +143,29 @@ type Reintegrator interface {
 	OnLinkRecover(neighbor int)
 }
 
+// MessageFiller is an optional Protocol extension for allocation-free
+// engines: instead of returning a freshly allocated Message, the
+// protocol fills an engine-pooled one in place. The engine pre-sets
+// From, To, Kind (KindData) and zeroes C and R; the protocol overwrites
+// the payload fields it uses. FillMessage must be numerically identical
+// to MakeMessage — same state transition, bit-identical wire contents —
+// and must leave any unused flow truncated to zero width
+// (msg.FlowN.X = msg.FlowN.X[:0], W = 0) so that width checks and
+// bit-flip injectors observe exactly the shape MakeMessage produces.
+// The pooled message's flow backing arrays have the engine's value
+// width; protocols reuse them via Value.Set / Value.CopyFrom.
+type MessageFiller interface {
+	FillMessage(target int, msg *Message)
+}
+
+// Estimator is an optional Protocol extension for allocation-free
+// engines: EstimateInto writes the node's current estimate into dst
+// (reusing its backing array when capacity suffices) and returns the
+// slice, avoiding Estimate's per-call allocation on oracle error scans.
+type Estimator interface {
+	EstimateInto(dst []float64) []float64
+}
+
 // Flows is an optional interface exposing a protocol's per-neighbor flow
 // state, used by tests and by the bus-network worked example (paper
 // Fig. 2) to assert equilibrium flow values.

@@ -84,6 +84,22 @@ func (v Value) Equal(u Value) bool {
 	return true
 }
 
+// EqualNeg reports exact (bit-for-bit up to -0 == 0) equality of v and
+// −u without materializing the negation — the allocation-free form of
+// v.Equal(u.Neg()), used on the PCF receive path to test passive-slot
+// flow conservation.
+func (v Value) EqualNeg(u Value) bool {
+	if v.W != -u.W || len(v.X) != len(u.X) {
+		return false
+	}
+	for i, x := range v.X {
+		if x != -u.X[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // AddInPlace sets v ← v + u. The widths must match.
 func (v *Value) AddInPlace(u Value) {
 	checkWidth(len(v.X), len(u.X))
@@ -150,6 +166,15 @@ func (v Value) Add(u Value) Value {
 	return out
 }
 
+// HalfInPlace sets v ← v/2. Like Half, the division is exact in binary
+// floating point (absent underflow).
+func (v *Value) HalfInPlace() {
+	for i := range v.X {
+		v.X[i] /= 2
+	}
+	v.W /= 2
+}
+
 // Zero sets every component of v (including the weight) to zero,
 // preserving the width.
 func (v *Value) Zero() {
@@ -168,16 +193,56 @@ func (v *Value) Set(u Value) {
 	v.W = u.W
 }
 
+// SetNeg sets v ← −u, reusing v's backing slice when the widths match.
+// It is the allocation-free form of v.Set(u.Neg()) used on protocol
+// receive paths, and produces bit-identical results.
+func (v *Value) SetNeg(u Value) {
+	if len(v.X) != len(u.X) {
+		v.X = make([]float64, len(u.X))
+	}
+	for i, x := range u.X {
+		v.X[i] = -x
+	}
+	v.W = -u.W
+}
+
+// CopyFrom copies u into v like Set, but adapts to width changes by
+// reslicing v's backing array whenever its capacity suffices — only
+// growing allocates. Engine message pools use it so that copying a
+// zero-width flow does not discard the pooled full-width backing array
+// the way Set's exact-length reallocation would.
+func (v *Value) CopyFrom(u Value) {
+	if cap(v.X) >= len(u.X) {
+		v.X = v.X[:len(u.X)]
+	} else {
+		v.X = make([]float64, len(u.X))
+	}
+	copy(v.X, u.X)
+	v.W = u.W
+}
+
 // Estimate returns the component-wise ratio X/W, the node-local estimate
 // of the global aggregate. If W is exactly zero the result components are
 // NaN (the node has not yet accumulated any weight mass); callers that
 // need a guarded version should use EstimateOr.
 func (v Value) Estimate() []float64 {
-	out := make([]float64, len(v.X))
-	for i, x := range v.X {
-		out[i] = x / v.W
+	return v.EstimateInto(nil)
+}
+
+// EstimateInto writes the component-wise ratio X/W into dst, reusing its
+// backing array when the capacity suffices, and returns the (possibly
+// grown) slice — the allocation-free form of Estimate for per-round
+// error scans.
+func (v Value) EstimateInto(dst []float64) []float64 {
+	if cap(dst) >= len(v.X) {
+		dst = dst[:len(v.X)]
+	} else {
+		dst = make([]float64, len(v.X))
 	}
-	return out
+	for i, x := range v.X {
+		dst[i] = x / v.W
+	}
+	return dst
 }
 
 // EstimateOr is like Estimate but substitutes fallback for components

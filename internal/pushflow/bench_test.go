@@ -1,0 +1,45 @@
+package pushflow_test
+
+import (
+	"testing"
+
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/pushflow"
+)
+
+// BenchmarkPairExchange ping-pongs one message buffer between two
+// connected PF nodes over the allocation-free FillMessage/Receive path.
+func BenchmarkPairExchange(b *testing.B) {
+	a, c := pushflow.New(), pushflow.New()
+	a.Reset(0, []int{1}, gossip.Scalar(1, 1))
+	c.Reset(1, []int{0}, gossip.Scalar(5, 1))
+	var msg gossip.Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.FillMessage(1, &msg)
+		c.Receive(msg)
+		c.FillMessage(0, &msg)
+		a.Receive(msg)
+	}
+}
+
+// BenchmarkFanDegree exercises the flow lookup at a linear-scan degree
+// and at a map-fallback degree.
+func benchFan(b *testing.B, degree int) {
+	n := pushflow.New()
+	nbrs := make([]int, degree)
+	for k := range nbrs {
+		nbrs[k] = k + 1
+	}
+	n.Reset(0, nbrs, gossip.Scalar(2, 1))
+	var msg gossip.Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.FillMessage(nbrs[i%degree], &msg)
+	}
+}
+
+func BenchmarkFanDegree8(b *testing.B)  { benchFan(b, 8) }
+func BenchmarkFanDegree64(b *testing.B) { benchFan(b, 64) }

@@ -31,60 +31,124 @@ import (
 )
 
 // Node is the push-flow state machine for a single node.
+//
+// Per-neighbor flow variables live in a dense slice parallel to the
+// neighbor list; the map only translates sender ids to slice positions
+// on the receive path. This keeps the hot local-mass computation (one
+// pass over all flows per send) free of hashing.
 type Node struct {
 	id        int
 	neighbors []int
 	live      []int
 	init      gossip.Value
-	flows     map[int]*gossip.Value // flow variable per neighbor
+	flowList  []gossip.Value // flow variable per neighbor, parallel to neighbors
+	idx       map[int]int    // neighbor id → position in neighbors/flowList
 	width     int
+	scratch   gossip.Value // reused by FillMessage/EstimateInto
 }
 
 // New returns an uninitialized push-flow node; callers must Reset it.
 func New() *Node { return &Node{} }
 
-// Reset implements gossip.Protocol.
+// denseScanMax bounds the neighborhood size up to which indexOf uses a
+// linear scan of the neighbor list instead of the id map. For typical
+// gossip degrees the scan is faster than hashing; complete-like graphs
+// fall back to the map.
+const denseScanMax = 32
+
+// indexOf translates a neighbor id to its dense-slice position, or -1
+// when the id is not a neighbor.
+func (n *Node) indexOf(neighbor int) int {
+	if len(n.neighbors) <= denseScanMax {
+		for k, j := range n.neighbors {
+			if j == neighbor {
+				return k
+			}
+		}
+		return -1
+	}
+	if k, ok := n.idx[neighbor]; ok {
+		return k
+	}
+	return -1
+}
+
+// Reset implements gossip.Protocol. A repeated Reset over the same
+// neighborhood and value width zeroes the existing flow variables in
+// place instead of reallocating them, so restarting a trial on a reused
+// engine does not allocate.
 func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
+	reuse := n.idx != nil && n.width == init.Width() && sameInts(n.neighbors, neighbors)
 	n.id = node
 	n.neighbors = append(n.neighbors[:0], neighbors...)
 	n.live = append(n.live[:0], neighbors...)
-	n.init = init.Clone()
+	n.init.Set(init)
 	n.width = init.Width()
-	n.flows = make(map[int]*gossip.Value, len(neighbors))
-	for _, j := range neighbors {
-		v := gossip.NewValue(n.width)
-		n.flows[j] = &v
+	if reuse {
+		for k := range n.flowList {
+			n.flowList[k].Zero()
+		}
+		return
+	}
+	n.flowList = make([]gossip.Value, len(neighbors))
+	n.idx = make(map[int]int, len(neighbors))
+	for k, j := range neighbors {
+		n.flowList[k] = gossip.NewValue(n.width)
+		n.idx[j] = k
 	}
 }
 
 // local returns the node's current mass vᵢ − Σ_j f(i,j).
 func (n *Node) local() gossip.Value {
-	e := n.init.Clone()
-	for _, j := range n.neighbors {
-		e.SubInPlace(*n.flows[j])
-	}
+	var e gossip.Value
+	n.localInto(&e)
 	return e
+}
+
+// localInto computes the node's current mass into dst without allocating
+// (beyond growing dst once to the value width).
+func (n *Node) localInto(dst *gossip.Value) {
+	dst.Set(n.init)
+	for k := range n.flowList {
+		dst.SubInPlace(n.flowList[k])
+	}
 }
 
 // MakeMessage implements gossip.Protocol: virtual-send half the local
 // mass into f(i,k), then physically send the whole flow variable.
 func (n *Node) MakeMessage(target int) gossip.Message {
-	f, ok := n.flows[target]
-	if !ok {
+	msg := gossip.Message{From: n.id, To: target}
+	n.FillMessage(target, &msg)
+	return msg
+}
+
+// FillMessage implements gossip.MessageFiller: the allocation-free form
+// of MakeMessage, performing the identical state transition and
+// producing bit-identical wire contents into a pooled message.
+func (n *Node) FillMessage(target int, msg *gossip.Message) {
+	k := n.indexOf(target)
+	if k < 0 {
 		panic("pushflow: send to non-neighbor")
 	}
-	e := n.local()
-	f.AddInPlace(e.Half())
-	return gossip.Message{From: n.id, To: target, Flow1: f.Clone()}
+	f := &n.flowList[k]
+	n.localInto(&n.scratch)
+	n.scratch.HalfInPlace()
+	f.AddInPlace(n.scratch)
+	msg.From, msg.To, msg.Kind = n.id, target, gossip.KindData
+	msg.C, msg.R = 0, 0
+	msg.Flow1.Set(*f)
+	msg.Flow2.X = msg.Flow2.X[:0]
+	msg.Flow2.W = 0
 }
 
 // Receive implements gossip.Protocol: overwrite the mirror flow with the
 // negation of the received one, f(i,j) ← −f(j,i).
 func (n *Node) Receive(msg gossip.Message) {
-	f, ok := n.flows[msg.From]
-	if !ok || msg.Flow1.Width() != n.width {
+	k := n.indexOf(msg.From)
+	if k < 0 || msg.Flow1.Width() != n.width {
 		return // unknown sender or malformed message
 	}
+	f := &n.flowList[k]
 	if !msg.Flow1.Finite() {
 		// Detectably corrupted payload (NaN/Inf, e.g. from an exponent
 		// bit flip): discard. A discarded message is equivalent to a
@@ -93,11 +157,17 @@ func (n *Node) Receive(msg gossip.Message) {
 		// both endpoints irrecoverably.
 		return
 	}
-	f.Set(msg.Flow1.Neg())
+	f.SetNeg(msg.Flow1)
 }
 
 // Estimate implements gossip.Protocol.
 func (n *Node) Estimate() []float64 { return n.local().Estimate() }
+
+// EstimateInto implements gossip.Estimator.
+func (n *Node) EstimateInto(dst []float64) []float64 {
+	n.localInto(&n.scratch)
+	return n.scratch.EstimateInto(dst)
+}
 
 // LocalValue implements gossip.Protocol.
 func (n *Node) LocalValue() gossip.Value { return n.local() }
@@ -107,8 +177,8 @@ func (n *Node) LocalValue() gossip.Value { return n.local() }
 // precisely the operation whose uncontrolled impact on the local estimate
 // causes PF's restart problem (Sec. II-C).
 func (n *Node) OnLinkFailure(neighbor int) {
-	if f, ok := n.flows[neighbor]; ok {
-		f.Zero()
+	if k, ok := n.idx[neighbor]; ok {
+		n.flowList[k].Zero()
 	}
 	n.live = remove(n.live, neighbor)
 }
@@ -119,11 +189,11 @@ func (n *Node) OnLinkFailure(neighbor int) {
 // too, and the first exchange overwrites both halves anyway, so the edge
 // resumes plain push-flow immediately.
 func (n *Node) OnLinkRecover(neighbor int) {
-	f, ok := n.flows[neighbor]
+	k, ok := n.idx[neighbor]
 	if !ok || contains(n.live, neighbor) {
 		return
 	}
-	f.Zero()
+	n.flowList[k].Zero()
 	n.live = append(n.live, neighbor)
 }
 
@@ -133,8 +203,8 @@ func (n *Node) LiveNeighbors() []int { return n.live }
 // Flow implements gossip.Flows, exposing f(i,j) for tests and the bus
 // worked example (paper Fig. 2).
 func (n *Node) Flow(neighbor int) gossip.Value {
-	if f, ok := n.flows[neighbor]; ok {
-		return f.Clone()
+	if k, ok := n.idx[neighbor]; ok {
+		return n.flowList[k].Clone()
 	}
 	return gossip.NewValue(n.width)
 }
@@ -156,6 +226,18 @@ func contains(list []int, x int) bool {
 		}
 	}
 	return false
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // SetInput implements gossip.DynamicInput: live-monitoring input change.

@@ -31,21 +31,36 @@ type Node struct {
 // (engines do this automatically).
 func New() *Node { return &Node{} }
 
-// Reset implements gossip.Protocol.
+// Reset implements gossip.Protocol. Repeated Resets reuse the node's
+// buffers, so restarting a trial on a pooled protocol instance does not
+// allocate.
 func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
 	n.id = node
 	n.neighbors = append(n.neighbors[:0], neighbors...)
 	n.live = append(n.live[:0], neighbors...)
-	n.mass = init.Clone()
-	n.lastInput = init.Clone()
+	n.mass.Set(init)
+	n.lastInput.Set(init)
 }
 
 // MakeMessage implements gossip.Protocol: halve the local mass and ship
 // the other half.
 func (n *Node) MakeMessage(target int) gossip.Message {
-	half := n.mass.Half()
-	n.mass.SubInPlace(half)
-	return gossip.Message{From: n.id, To: target, Flow1: half}
+	msg := gossip.Message{From: n.id, To: target}
+	n.FillMessage(target, &msg)
+	return msg
+}
+
+// FillMessage implements gossip.MessageFiller: the allocation-free form
+// of MakeMessage (identical state transition, bit-identical wire
+// contents).
+func (n *Node) FillMessage(target int, msg *gossip.Message) {
+	msg.From, msg.To, msg.Kind = n.id, target, gossip.KindData
+	msg.C, msg.R = 0, 0
+	msg.Flow1.CopyFrom(n.mass)
+	msg.Flow1.HalfInPlace()
+	n.mass.SubInPlace(msg.Flow1)
+	msg.Flow2.X = msg.Flow2.X[:0]
+	msg.Flow2.W = 0
 }
 
 // Receive implements gossip.Protocol: fold the received mass in.
@@ -62,6 +77,9 @@ func (n *Node) Receive(msg gossip.Message) {
 
 // Estimate implements gossip.Protocol.
 func (n *Node) Estimate() []float64 { return n.mass.Estimate() }
+
+// EstimateInto implements gossip.Estimator.
+func (n *Node) EstimateInto(dst []float64) []float64 { return n.mass.EstimateInto(dst) }
 
 // LocalValue implements gossip.Protocol.
 func (n *Node) LocalValue() gossip.Value { return n.mass.Clone() }

@@ -1,0 +1,81 @@
+package sim_test
+
+import (
+	"testing"
+
+	"pcfreduce/internal/core"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/pushflow"
+	"pcfreduce/internal/pushsum"
+	"pcfreduce/internal/sim"
+	"pcfreduce/internal/topology"
+)
+
+// The simulator hot-path benchmarks behind BENCH_sim.json: one op is one
+// full round (Step + the per-round Errors scan the Run loop performs) on
+// an n=1024 hypercube — the steady-state cost of every figure sweep.
+// Run with -benchmem; the steady-state path is expected to be
+// allocation-free (0 allocs/op up to the rare inbox-growth round).
+
+func benchStep(b *testing.B, mk func() gossip.Protocol) {
+	g := topology.Hypercube(10) // 1024 nodes
+	n := g.N()
+	protos := make([]gossip.Protocol, n)
+	for i := range protos {
+		protos[i] = mk()
+	}
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = float64(i%97) + 0.5
+	}
+	e := sim.NewScalar(g, protos, inputs, gossip.Average, 1)
+	// Warm up: let inboxes and internal buffers reach steady-state size.
+	for r := 0; r < 32; r++ {
+		e.Step()
+		e.Errors()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+		e.Errors()
+	}
+}
+
+func BenchmarkRoundPCFHypercube1024(b *testing.B) {
+	benchStep(b, func() gossip.Protocol { return core.NewEfficient() })
+}
+
+func BenchmarkRoundPCFRobustHypercube1024(b *testing.B) {
+	benchStep(b, func() gossip.Protocol { return core.NewRobust() })
+}
+
+func BenchmarkRoundPushFlowHypercube1024(b *testing.B) {
+	benchStep(b, func() gossip.Protocol { return pushflow.New() })
+}
+
+func BenchmarkRoundPushSumHypercube1024(b *testing.B) {
+	benchStep(b, func() gossip.Protocol { return pushsum.New() })
+}
+
+// BenchmarkTrialReuse measures one full short trial (40 rounds) per op on
+// a reused engine — the per-trial cost of the parallel sweep runner.
+func BenchmarkTrialReuse(b *testing.B) {
+	g := topology.Hypercube(6)
+	n := g.N()
+	protos := make([]gossip.Protocol, n)
+	for i := range protos {
+		protos[i] = core.NewEfficient()
+	}
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = float64(i%13) + 0.25
+	}
+	e := sim.NewScalar(g, protos, inputs, gossip.Average, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset(int64(i))
+		e.Run(sim.RunConfig{MaxRounds: 40})
+	}
+}

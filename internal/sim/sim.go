@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"pcfreduce/internal/detect"
 	"pcfreduce/internal/gossip"
@@ -95,14 +96,23 @@ const (
 )
 
 // Engine drives a set of protocol instances over a topology in rounds.
+//
+// The steady-state round loop (Step + Errors) is allocation-free:
+// messages live in an engine-owned free list and are recycled at
+// dispatch/drop time, protocols that implement gossip.MessageFiller and
+// gossip.Estimator fill pooled buffers instead of allocating, and all
+// per-round scratch (activation permutation, error/median buffers,
+// oracle accumulators) is preallocated. Reset rewinds the engine for
+// the next trial without reconstructing any of it.
 type Engine struct {
 	graph  *topology.Graph
 	protos []gossip.Protocol
 	init   []gossip.Value
+	width  int // shared value width of all initial values
 	rng    *rand.Rand
 	order  Order
 
-	inbox    [][]gossip.Message
+	inbox    [][]*gossip.Message // pooled; recycled after dispatch
 	alive    []bool
 	dead     map[[2]int]bool // failed links, ordered pairs i<j
 	silenced map[[2]int]bool // silently dropping links (no notification)
@@ -121,8 +131,12 @@ type Engine struct {
 
 	interceptor Interceptor
 
-	perm   []int     // activation-order scratch
-	errBuf []float64 // Errors scratch
+	msgPool []*gossip.Message // free list of width-sized messages
+	perm    []int             // activation-order scratch
+	errBuf  []float64         // Errors scratch
+	estBuf  []float64         // per-node estimate scratch (Errors)
+	medBuf  []float64         // sorted-error scratch (recordPoint)
+	sumBuf  []stats.Sum2      // recomputeTargets scratch
 }
 
 // EngineOption configures an Engine at construction time.
@@ -202,14 +216,18 @@ func New(g *topology.Graph, protos []gossip.Protocol, init []gossip.Value, seed 
 		graph:    g,
 		protos:   protos,
 		init:     make([]gossip.Value, n),
+		width:    width,
 		rng:      rand.New(rand.NewSource(seed)),
-		inbox:    make([][]gossip.Message, n),
+		inbox:    make([][]*gossip.Message, n),
 		alive:    make([]bool, n),
 		hung:     make([]bool, n),
 		dead:     make(map[[2]int]bool),
 		silenced: make(map[[2]int]bool),
 		perm:     make([]int, n),
 		errBuf:   make([]float64, 0, n),
+		medBuf:   make([]float64, 0, n),
+		estBuf:   make([]float64, width),
+		sumBuf:   make([]stats.Sum2, width),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -253,6 +271,51 @@ func NewScalar(g *topology.Graph, protos []gossip.Protocol, inputs []float64, ag
 // SetInterceptor installs the message interceptor (nil disables).
 func (e *Engine) SetInterceptor(ic Interceptor) { e.interceptor = ic }
 
+// Reset rewinds the engine to round zero under a new schedule seed,
+// reusing every internal buffer (inboxes, message pool, scratch slices)
+// instead of reconstructing the engine — the per-trial reuse API of the
+// parallel sweep runner. After Reset(s) the engine behaves exactly like
+// a freshly constructed engine with seed s over the same graph,
+// protocols and current inputs: the RNG stream, activation permutation
+// state and protocol state are all restored, so reused and fresh
+// engines produce bit-identical runs (enforced by TestResetReproducesFresh).
+//
+// Inputs changed via UpdateInput are kept (Reset restarts the
+// computation from the engine's current inputs); the interceptor is
+// cleared, since fault injectors are per-trial state.
+func (e *Engine) Reset(seed int64) {
+	e.rng = rand.New(rand.NewSource(seed))
+	e.round = 0
+	e.keepalives = 0
+	e.interceptor = nil
+	for i := range e.inbox {
+		e.clearInbox(i)
+		e.alive[i] = true
+		e.hung[i] = false
+	}
+	clear(e.dead)
+	clear(e.silenced)
+	// New leaves perm as the identity permutation; shufflePerm mutates it
+	// in place every round, so restoring the identity is what makes the
+	// reused RNG stream reproduce a fresh engine's schedule.
+	for i := range e.perm {
+		e.perm[i] = i
+	}
+	for i, p := range e.protos {
+		p.Reset(i, e.graph.Neighbors(i), e.init[i].Clone())
+	}
+	if e.detCfg != nil {
+		for i := range e.protos {
+			e.det[i] = detect.New(e.detCfg.Detect, e.graph.Neighbors(i), 0)
+			ls := e.lastSent[i]
+			for j := range ls {
+				ls[j] = 0
+			}
+		}
+	}
+	e.recomputeTargets()
+}
+
 // Round returns the number of completed rounds.
 func (e *Engine) Round() int { return e.round }
 
@@ -270,10 +333,14 @@ func (e *Engine) Protocol(i int) gossip.Protocol { return e.protos[i] }
 func (e *Engine) Targets() []float64 { return e.targets }
 
 func (e *Engine) recomputeTargets() {
-	width := e.init[0].Width()
-	e.targets = make([]float64, width)
+	if e.targets == nil {
+		e.targets = make([]float64, e.width)
+	}
 	var wsum stats.Sum2
-	sums := make([]stats.Sum2, width)
+	sums := e.sumBuf
+	for k := range sums {
+		sums[k].Reset()
+	}
 	for i, v := range e.init {
 		if !e.alive[i] {
 			continue
@@ -292,6 +359,59 @@ func (e *Engine) recomputeTargets() {
 			e.targetScale = a
 		}
 	}
+}
+
+// getMsg takes a message off the free list (or allocates a fresh one
+// with width-sized flow backing). Callers must fully overwrite its
+// header fields; the flow slices arrive reset to the engine width.
+func (e *Engine) getMsg() *gossip.Message {
+	if n := len(e.msgPool); n > 0 {
+		m := e.msgPool[n-1]
+		e.msgPool = e.msgPool[:n-1]
+		return m
+	}
+	return &gossip.Message{Flow1: gossip.NewValue(e.width), Flow2: gossip.NewValue(e.width)}
+}
+
+// putMsg returns a message to the free list, restoring its flow slices
+// to the engine width from their capacity. Messages whose backing
+// arrays cannot hold a full-width value (e.g. injector-fabricated ones)
+// are left to the garbage collector instead of poisoning the pool.
+func (e *Engine) putMsg(m *gossip.Message) {
+	if cap(m.Flow1.X) < e.width || cap(m.Flow2.X) < e.width {
+		return
+	}
+	m.Flow1.X = m.Flow1.X[:e.width]
+	m.Flow2.X = m.Flow2.X[:e.width]
+	e.msgPool = append(e.msgPool, m)
+}
+
+// makeMessage produces node i's push to target as a pooled message,
+// through the protocol's FillMessage when available (allocation-free)
+// and MakeMessage otherwise.
+func (e *Engine) makeMessage(p gossip.Protocol, target int) *gossip.Message {
+	m := e.getMsg()
+	if f, ok := p.(gossip.MessageFiller); ok {
+		f.FillMessage(target, m)
+		return m
+	}
+	*m = p.MakeMessage(target)
+	return m
+}
+
+// makeControl produces a pooled payload-free control message (keepalive
+// or link-down notice): zero-width flows, exactly the wire shape a
+// literal gossip.Message{Kind: ...} has, so interceptors that enumerate
+// payload slots observe the same message shape either way.
+func (e *Engine) makeControl(from, to int, kind gossip.Kind) *gossip.Message {
+	m := e.getMsg()
+	m.From, m.To, m.Kind = from, to, kind
+	m.C, m.R = 0, 0
+	m.Flow1.X = m.Flow1.X[:0]
+	m.Flow1.W = 0
+	m.Flow2.X = m.Flow2.X[:0]
+	m.Flow2.W = 0
+	return m
 }
 
 // Step executes one round: every live node, in activation order, first
@@ -318,7 +438,7 @@ func (e *Engine) Step() {
 		if live := p.LiveNeighbors(); len(live) > 0 {
 			target := live[e.rng.Intn(len(live))]
 			e.noteSent(i, target)
-			e.send(p.MakeMessage(target))
+			e.send(e.makeMessage(p, target))
 		}
 		if e.det != nil {
 			e.sendKeepalives(i)
@@ -345,14 +465,14 @@ func (e *Engine) sendKeepalives(i int) {
 		if e.round-e.lastSent[i][j] >= e.detCfg.KeepaliveInterval {
 			e.noteSent(i, j)
 			e.keepalives++
-			e.send(gossip.Message{From: i, To: j, Kind: gossip.KindKeepalive})
+			e.send(e.makeControl(i, j, gossip.KindKeepalive))
 		}
 	}
 	for _, j := range e.det[i].Suspects() {
 		if e.round-e.lastSent[i][j] >= e.detCfg.ProbeInterval {
 			e.noteSent(i, j)
 			e.keepalives++
-			e.send(gossip.Message{From: i, To: j, Kind: gossip.KindKeepalive})
+			e.send(e.makeControl(i, j, gossip.KindKeepalive))
 		}
 	}
 }
@@ -362,12 +482,13 @@ func (e *Engine) shufflePerm() {
 }
 
 func (e *Engine) drainInbox(i int) {
-	// Process a snapshot: receives never enqueue messages in this model,
-	// but keep the loop index-based so appends during processing (not
-	// expected) would still be seen.
-	msgs := e.inbox[i]
-	for k := 0; k < len(msgs); k++ {
-		e.dispatch(i, msgs[k])
+	// Process in index order (per-link FIFO); dispatched messages go
+	// straight back to the free list — receivers never retain message
+	// backing (protocols copy payloads into their own state).
+	for k := 0; k < len(e.inbox[i]); k++ {
+		m := e.inbox[i][k]
+		e.dispatch(i, m)
+		e.putMsg(m)
 	}
 	e.inbox[i] = e.inbox[i][:0]
 }
@@ -376,8 +497,8 @@ func (e *Engine) drainInbox(i int) {
 // detector, data messages additionally reach the protocol. Traffic from
 // a suspected neighbor reintegrates it before the protocol sees the
 // payload, so a protocol never processes data on an edge it considers
-// failed.
-func (e *Engine) dispatch(i int, m gossip.Message) {
+// failed. The caller recycles m afterwards.
+func (e *Engine) dispatch(i int, m *gossip.Message) {
 	switch m.Kind {
 	case gossip.KindLinkDown:
 		e.protos[i].OnLinkFailure(m.From)
@@ -391,7 +512,7 @@ func (e *Engine) dispatch(i int, m gossip.Message) {
 			return // late traffic from an authoritatively failed neighbor
 		}
 		e.heard(i, m.From)
-		e.protos[i].Receive(m)
+		e.protos[i].Receive(*m)
 	}
 }
 
@@ -409,28 +530,35 @@ func (e *Engine) heard(i, from int) {
 }
 
 // send routes msg through the link-failure table and the interceptor into
-// the destination inbox.
-func (e *Engine) send(msg gossip.Message) {
+// the destination inbox. The engine owns msg (pooled): dropped messages
+// are recycled immediately, delivered ones after dispatch.
+func (e *Engine) send(msg *gossip.Message) {
 	key := linkKey(msg.From, msg.To)
 	if e.dead[key] || e.silenced[key] || !e.alive[msg.To] {
+		e.putMsg(msg)
 		return // sent into a broken, silenced or dead destination: lost
 	}
 	if e.interceptor == nil {
 		e.inbox[msg.To] = append(e.inbox[msg.To], msg)
 		return
 	}
-	if e.interceptor.Intercept(e.round, &msg) {
+	if e.interceptor.Intercept(e.round, msg) {
 		copies := 1
 		if r, ok := e.interceptor.(Replicator); ok {
-			copies = r.Copies(e.round, &msg)
+			copies = r.Copies(e.round, msg)
+		}
+		if copies == 0 {
+			e.putMsg(msg)
 		}
 		for k := 0; k < copies; k++ {
 			if k == 0 {
 				e.inbox[msg.To] = append(e.inbox[msg.To], msg)
 			} else {
-				e.inbox[msg.To] = append(e.inbox[msg.To], msg.Clone())
+				e.inbox[msg.To] = append(e.inbox[msg.To], e.cloneMsg(msg))
 			}
 		}
+	} else {
+		e.putMsg(msg)
 	}
 	if inj, ok := e.interceptor.(Injector); ok {
 		for _, extra := range inj.Extra(e.round) {
@@ -438,9 +566,19 @@ func (e *Engine) send(msg gossip.Message) {
 			if e.dead[k] || e.silenced[k] || !e.alive[extra.To] {
 				continue
 			}
-			e.inbox[extra.To] = append(e.inbox[extra.To], extra)
+			e.inbox[extra.To] = append(e.inbox[extra.To], e.cloneMsg(&extra))
 		}
 	}
+}
+
+// cloneMsg deep-copies m into a pooled message.
+func (e *Engine) cloneMsg(m *gossip.Message) *gossip.Message {
+	c := e.getMsg()
+	c.From, c.To, c.Kind = m.From, m.To, m.Kind
+	c.C, c.R = m.C, m.R
+	c.Flow1.CopyFrom(m.Flow1)
+	c.Flow2.CopyFrom(m.Flow2)
+	return c
 }
 
 // Drain delivers all pending messages without generating new sends.
@@ -450,11 +588,19 @@ func (e *Engine) send(msg gossip.Message) {
 func (e *Engine) Drain() {
 	for i := range e.inbox {
 		if !e.alive[i] {
-			e.inbox[i] = e.inbox[i][:0]
+			e.clearInbox(i)
 			continue
 		}
 		e.drainInbox(i)
 	}
+}
+
+// clearInbox discards node i's queued messages back into the free list.
+func (e *Engine) clearInbox(i int) {
+	for _, m := range e.inbox[i] {
+		e.putMsg(m)
+	}
+	e.inbox[i] = e.inbox[i][:0]
 }
 
 // FailLink permanently fails the undirected link between i and j at a
@@ -516,13 +662,14 @@ func (e *Engine) failLink(i, j int, abrupt bool) {
 func (e *Engine) flushLink(i, j int) {
 	for _, v := range [2]int{i, j} {
 		if !e.alive[v] {
-			e.inbox[v] = e.inbox[v][:0]
+			e.clearInbox(v)
 			continue
 		}
 		out := e.inbox[v][:0]
 		for _, m := range e.inbox[v] {
 			if (m.From == i && m.To == j) || (m.From == j && m.To == i) {
 				e.dispatch(v, m)
+				e.putMsg(m)
 				continue
 			}
 			out = append(out, m)
@@ -555,7 +702,7 @@ func (e *Engine) CrashNode(i int) {
 			}
 		}
 	}
-	e.inbox[i] = e.inbox[i][:0]
+	e.clearInbox(i)
 	e.recomputeTargets()
 }
 
@@ -566,6 +713,7 @@ func (e *Engine) purgeLink(i, j int) {
 		out := e.inbox[v][:0]
 		for _, m := range e.inbox[v] {
 			if (m.From == i && m.To == j) || (m.From == j && m.To == i) {
+				e.putMsg(m)
 				continue
 			}
 			out = append(out, m)
@@ -601,7 +749,7 @@ func (e *Engine) CrashNodeSilent(i int) {
 		return
 	}
 	e.alive[i] = false
-	e.inbox[i] = e.inbox[i][:0]
+	e.clearInbox(i)
 	e.recomputeTargets()
 }
 
@@ -692,7 +840,13 @@ func (e *Engine) Errors() []float64 {
 		if !e.alive[i] {
 			continue
 		}
-		est := p.Estimate()
+		var est []float64
+		if ip, ok := p.(gossip.Estimator); ok {
+			e.estBuf = ip.EstimateInto(e.estBuf)
+			est = e.estBuf
+		} else {
+			est = p.Estimate()
+		}
 		worst := 0.0
 		for k, t := range e.targets {
 			var err float64
@@ -798,7 +952,7 @@ func (e *Engine) Run(cfg RunConfig) Result {
 		errs := e.Errors()
 		maxErr := stats.Max(errs)
 		if cfg.Record {
-			res.Series.Record(e.round, errs)
+			e.recordPoint(&res.Series, errs)
 		}
 		if cfg.AfterRound != nil {
 			cfg.AfterRound(e.round, maxErr)
@@ -813,7 +967,7 @@ func (e *Engine) Run(cfg RunConfig) Result {
 		if cfg.Eps > 0 && maxErr <= cfg.Eps {
 			res.Converged = true
 			if !cfg.Record {
-				res.Series.Record(e.round, errs)
+				e.recordPoint(&res.Series, errs)
 			}
 			return res
 		}
@@ -823,9 +977,24 @@ func (e *Engine) Run(cfg RunConfig) Result {
 	}
 	errs := e.Errors()
 	if !cfg.Record {
-		res.Series.Record(e.round, errs)
+		e.recordPoint(&res.Series, errs)
 	}
 	return res
+}
+
+// recordPoint appends one ErrorPoint to s without the per-call
+// copy-and-sort allocation of stats.Series.Record: the engine keeps one
+// median scratch buffer and re-sorts it in place. The recorded values
+// are bit-identical to Series.Record's (same max scan, same sort, same
+// interpolation).
+func (e *Engine) recordPoint(s *stats.Series, errs []float64) {
+	e.medBuf = append(e.medBuf[:0], errs...)
+	sort.Float64s(e.medBuf)
+	*s = append(*s, stats.ErrorPoint{
+		Iteration: e.round,
+		Max:       stats.Max(errs),
+		Median:    stats.QuantileSorted(e.medBuf, 0.5),
+	})
 }
 
 func linkKey(i, j int) [2]int {

@@ -127,17 +127,28 @@ func Quantile(xs []float64, q float64) float64 {
 	cp := make([]float64, len(xs))
 	copy(cp, xs)
 	sort.Float64s(cp)
-	if len(cp) == 1 {
-		return cp[0]
+	return QuantileSorted(cp, q)
+}
+
+// QuantileSorted is Quantile over an already ascending-sorted slice. It
+// performs no allocation, which makes it the right primitive for
+// per-round recording on the simulator hot path (the caller keeps one
+// scratch slice and re-sorts it in place each round).
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
 	}
-	pos := q * float64(len(cp)-1)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return cp[lo]
+		return sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return cp[lo]*(1-frac) + cp[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // ErrorPoint is one iteration of a convergence trace: the maximal and

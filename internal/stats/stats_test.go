@@ -115,6 +115,27 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+// QuantileSorted over a pre-sorted copy must agree bitwise with Quantile
+// over the unsorted input, for all q — the engine's per-round median
+// recording relies on this equivalence.
+func TestQuantileSortedMatchesQuantile(t *testing.T) {
+	xs := []float64{40, 0, 30, 10, 20}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0, 0.125, 0.25, 0.5, 0.9, 1} {
+		a, b := Quantile(xs, q), QuantileSorted(sorted, q)
+		if a != b {
+			t.Fatalf("q=%g: Quantile=%g QuantileSorted=%g", q, a, b)
+		}
+	}
+	if !math.IsNaN(QuantileSorted(sorted, -0.1)) || !math.IsNaN(QuantileSorted(nil, 0.5)) {
+		t.Fatal("out-of-range q and empty input must be NaN")
+	}
+	if QuantileSorted([]float64{7}, 0.3) != 7 {
+		t.Fatal("single element must be its own quantile")
+	}
+}
+
 func TestSeries(t *testing.T) {
 	var s Series
 	s.Record(1, []float64{0.5, 0.1})

@@ -1,0 +1,113 @@
+package topology_test
+
+import (
+	"math"
+	"testing"
+
+	"pcfreduce/internal/topology"
+)
+
+// clamp maps an arbitrary fuzzed int into [lo, hi].
+func clamp(v, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	span := hi - lo + 1
+	m := v % span
+	if m < 0 {
+		m += span
+	}
+	return lo + m
+}
+
+// FuzzConstructors drives every topology constructor with fuzzed (but
+// range-clamped) parameters and checks the structural invariants all
+// engines rely on: Validate passes, adjacency is symmetric and
+// irreflexive, the handshake sum matches the edge count, and the
+// deterministic families are connected.
+func FuzzConstructors(f *testing.F) {
+	f.Add(uint8(0), 8, 3, 4, int64(1), 0.3)
+	f.Add(uint8(1), 5, 2, 2, int64(7), 0.0)
+	f.Add(uint8(2), 16, 4, 4, int64(42), 1.0)
+	f.Add(uint8(3), 3, 3, 3, int64(-9), 0.5)
+	f.Add(uint8(9), 20, 2, 6, int64(123), 0.25)
+	f.Add(uint8(11), 24, 4, 3, int64(0), 0.9)
+	f.Fuzz(func(t *testing.T, kind uint8, a, b, c int, seed int64, p float64) {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			p = 0.5
+		}
+		p = math.Abs(math.Mod(p, 1))
+		var g *topology.Graph
+		deterministic := true
+		switch kind % 12 {
+		case 0:
+			g = topology.Path(clamp(a, 1, 64))
+		case 1:
+			g = topology.Ring(clamp(a, 3, 64))
+		case 2:
+			g = topology.Complete(clamp(a, 1, 24))
+		case 3:
+			g = topology.Star(clamp(a, 2, 64))
+		case 4:
+			g = topology.Hypercube(clamp(a, 0, 7))
+		case 5:
+			g = topology.Grid2D(clamp(a, 1, 10), clamp(b, 1, 10))
+		case 6:
+			g = topology.Torus2D(clamp(a, 2, 8), clamp(b, 3, 8))
+		case 7:
+			g = topology.Torus3D(clamp(a, 2, 5), clamp(b, 2, 5), clamp(c, 2, 5))
+		case 8:
+			g = topology.BinaryTree(clamp(a, 1, 80))
+		case 9:
+			// Degree ≤ 4: the pairing-model sampler's rejection rate grows
+			// as exp(d²/4), and its attempt cap panics at higher degrees.
+			g = topology.RandomRegular(2*clamp(a, 4, 16), 2*clamp(b, 1, 2), seed)
+			deterministic = false
+		case 10:
+			// 2k < n is a constructor precondition; n ≥ 8 keeps k ≤ 3 valid.
+			g = topology.WattsStrogatz(2*clamp(a, 4, 16), clamp(b, 1, 3), p, seed)
+			deterministic = false
+		default:
+			g = topology.Grid2D(clamp(a, 1, 6), 1) // degenerate column grid
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: Validate: %v", g.Name(), err)
+		}
+		n := g.N()
+		if n <= 0 {
+			t.Fatalf("%s: empty graph", g.Name())
+		}
+		degSum := 0
+		for i := 0; i < n; i++ {
+			seen := map[int]bool{}
+			for _, j := range g.Neighbors(i) {
+				if j == i {
+					t.Fatalf("%s: self-loop at %d", g.Name(), i)
+				}
+				if j < 0 || j >= n {
+					t.Fatalf("%s: neighbor %d of %d out of range", g.Name(), j, i)
+				}
+				if seen[j] {
+					t.Fatalf("%s: duplicate neighbor %d of %d", g.Name(), j, i)
+				}
+				seen[j] = true
+				if !g.HasEdge(j, i) {
+					t.Fatalf("%s: asymmetric edge (%d,%d)", g.Name(), i, j)
+				}
+			}
+			if d := g.Degree(i); d != len(g.Neighbors(i)) {
+				t.Fatalf("%s: Degree(%d)=%d but %d neighbors", g.Name(), i, d, len(g.Neighbors(i)))
+			}
+			degSum += g.Degree(i)
+		}
+		if degSum != 2*g.NumEdges() {
+			t.Fatalf("%s: degree sum %d != 2×%d edges", g.Name(), degSum, g.NumEdges())
+		}
+		if deterministic && !g.IsConnected() {
+			t.Fatalf("%s: deterministic family must be connected", g.Name())
+		}
+		if g.IsConnected() && n > 1 && g.Diameter() < 1 {
+			t.Fatalf("%s: connected graph with diameter %d", g.Name(), g.Diameter())
+		}
+	})
+}
