@@ -188,8 +188,8 @@ func benchRounds(b *testing.B, mk func() gossip.Protocol) {
 
 func benchExchange(b *testing.B, mk func() gossip.Protocol) {
 	a, c := mk(), mk()
-	a.Reset(0, []int{1}, gossip.Scalar(8, 1))
-	c.Reset(1, []int{0}, gossip.Scalar(2, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(8, 1))
+	c.Reset(1, []int32{0}, gossip.Scalar(2, 1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Receive(a.MakeMessage(1))
@@ -220,8 +220,8 @@ func BenchmarkExchangePCFVector16(b *testing.B) {
 	for i := range xs {
 		xs[i] = float64(i)
 	}
-	a.Reset(0, []int{1}, gossip.Vector(xs, 1))
-	c.Reset(1, []int{0}, gossip.Vector(xs, 1))
+	a.Reset(0, []int32{1}, gossip.Vector(xs, 1))
+	c.Reset(1, []int32{0}, gossip.Vector(xs, 1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Receive(a.MakeMessage(1))
@@ -260,10 +260,10 @@ func BenchmarkEstimateRobust(b *testing.B) {
 }
 
 func benchEstimate(b *testing.B, n *core.Node) {
-	neighbors := []int{1, 2, 3, 4, 5, 6}
+	neighbors := []int32{1, 2, 3, 4, 5, 6}
 	n.Reset(0, neighbors, gossip.Scalar(8, 1))
 	for _, j := range neighbors {
-		n.MakeMessage(j)
+		n.MakeMessage(int(j))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"pcfreduce/internal/experiments"
+	"pcfreduce/internal/profiling"
 	"pcfreduce/internal/trace"
 )
 
@@ -36,8 +37,18 @@ func main() {
 		seed  = flag.Int64("seed", 1, "base random seed")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		bench = flag.String("bench-json", "", "measure the simulator hot path and write results to this JSON file (e.g. benches/BENCH_sim.json)")
+
+		shards     = flag.Int("shards", 8, "shard count for the sharded-executor series of -bench-json")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	emit := func(t *trace.Table) {
 		if *csv {
@@ -122,7 +133,7 @@ func main() {
 		ran = true
 	}
 	if *bench != "" {
-		writeBenchJSON(*bench, *seed)
+		writeBenchJSON(*bench, *seed, *shards)
 		ran = true
 	}
 	if !ran {

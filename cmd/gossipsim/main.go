@@ -37,6 +37,7 @@ import (
 	"pcfreduce/internal/experiments"
 	"pcfreduce/internal/fault"
 	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/profiling"
 	"pcfreduce/internal/sim"
 	"pcfreduce/internal/topology"
 )
@@ -70,13 +71,23 @@ func main() {
 		trials        = flag.Int("trials", 5, "seeds per sweep point for -detect-exp")
 
 		sweepMode = flag.Bool("sweep", false, "run the standard experiment grid on the parallel sweep engine and exit")
-		workers   = flag.Int("workers", 0, "worker-pool size for -sweep (0 = GOMAXPROCS); any value yields bit-identical results")
+		workers   = flag.Int("workers", 0, "worker-pool size for -sweep (0 = auto); any value yields bit-identical results")
 		sweepJSON = flag.String("sweep-json", "", "write the -sweep result JSON to this file instead of a summary to stdout")
+
+		shards     = flag.Int("shards", 0, "run round-simulator reductions on the sharded executor with this many shards (0 = sequential); results are byte-identical for any shards ≥ 1")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
+
 	if *sweepMode {
-		runSweep(*workers, *seed, *rounds, *sweepJSON)
+		runSweep(*workers, *shards, *seed, *rounds, *sweepJSON)
 		return
 	}
 
@@ -142,7 +153,7 @@ func main() {
 		} else {
 			fmt.Println("note: silent faults without -detect — nobody will ever evict the failed components")
 		}
-		runDetect(g, algo, agg, inputs, *eps, *seed, *rounds, plan, dc, *traceEvery)
+		runDetect(g, algo, agg, inputs, *eps, *seed, *rounds, *shards, plan, dc, *traceEvery)
 		return
 	}
 
@@ -178,6 +189,7 @@ func main() {
 		MaxRounds: *rounds,
 		Seed:      *seed,
 		LossRate:  *loss,
+		Shards:    *shards,
 	}
 	if *failLink != "" {
 		for _, spec := range strings.Split(*failLink, ",") {
@@ -219,19 +231,26 @@ func main() {
 }
 
 // runSweep executes the standard experiment grid (experiments.DefaultSweep)
-// on the parallel sweep engine. The worker count never changes the
-// numbers — every trial's seed is derived from the root seed and its
-// grid position — so -workers only trades wall-clock time.
-func runSweep(workers int, seed int64, rounds int, jsonPath string) {
+// on the parallel sweep engine. Neither the worker count nor the shard
+// count changes the numbers — every trial's seed is derived from the
+// root seed and its grid position, and the sharded executor is
+// byte-identical across shard counts — so -workers and -shards only
+// trade wall-clock time (shards > 0 does select the sharded executor's
+// own deterministic schedule, a different experiment from shards = 0).
+func runSweep(workers, shards int, seed int64, rounds int, jsonPath string) {
 	cfg := experiments.DefaultSweep()
 	cfg.Workers = workers
+	cfg.Shards = shards
 	cfg.RootSeed = seed
 	if rounds > 0 {
 		cfg.MaxRounds = rounds
 	}
 	cfg.Record = jsonPath != ""
 	start := time.Now()
-	res := experiments.Sweep(cfg)
+	res, err := experiments.Sweep(cfg)
+	if err != nil {
+		fatal(err)
+	}
 	elapsed := time.Since(start)
 	if jsonPath != "" {
 		if err := os.WriteFile(jsonPath, res.JSON(), 0o644); err != nil {
@@ -275,7 +294,7 @@ func runEvent(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggreg
 // runDetect drives the round simulator directly (below the public
 // facade, like runEvent) with a failure plan of silent faults and,
 // optionally, the oracle-free detector.
-func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggregate, inputs []float64, eps float64, seed int64, rounds int, plan *fault.Plan, dc *sim.DetectorConfig, traceEvery int) {
+func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggregate, inputs []float64, eps float64, seed int64, rounds, shards int, plan *fault.Plan, dc *sim.DetectorConfig, traceEvery int) {
 	protos := make([]pcfreduce.Protocol, g.N())
 	for i := range protos {
 		protos[i] = algo.NewNode()
@@ -287,6 +306,9 @@ func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggre
 	var opts []sim.EngineOption
 	if dc != nil {
 		opts = append(opts, sim.WithDetector(*dc))
+	}
+	if shards > 0 {
+		opts = append(opts, sim.WithShards(shards))
 	}
 	e := sim.New(g, protos, init, seed, opts...)
 	if rounds == 0 {

@@ -12,8 +12,8 @@ import (
 // every engine's hot path, isolated from engine bookkeeping.
 func benchPair(b *testing.B, mk func() *core.Node) {
 	a, c := mk(), mk()
-	a.Reset(0, []int{1}, gossip.Scalar(1, 1))
-	c.Reset(1, []int{0}, gossip.Scalar(5, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(1, 1))
+	c.Reset(1, []int32{0}, gossip.Scalar(5, 1))
 	var msg gossip.Message
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -33,16 +33,16 @@ func BenchmarkPairRobust(b *testing.B)    { benchPair(b, core.NewRobust) }
 // map fallback.
 func benchFan(b *testing.B, degree int) {
 	n := core.NewEfficient()
-	nbrs := make([]int, degree)
+	nbrs := make([]int32, degree)
 	for k := range nbrs {
-		nbrs[k] = k + 1
+		nbrs[k] = int32(k + 1)
 	}
 	n.Reset(0, nbrs, gossip.Scalar(2, 1))
 	var msg gossip.Message
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n.FillMessage(nbrs[i%degree], &msg)
+		n.FillMessage(int(nbrs[i%degree]), &msg)
 	}
 }
 

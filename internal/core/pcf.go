@@ -83,21 +83,9 @@ func (v Variant) String() string {
 	}
 }
 
-// edge is the per-neighbor state: two flow slots, the active slot index
-// and the role-change counter.
-type edge struct {
-	f [2]gossip.Value
-	c uint8 // active slot: 0 or 1 (wire format uses 1 or 2)
-	r uint64
-
-	// saved holds the edge state frozen by OnLinkFailure so that
-	// OnLinkRecover can reinstate it (see there for why restoring beats
-	// restarting clean). nil when the edge has never been evicted or has
-	// been reintegrated.
-	saved *edgeSnapshot
-}
-
-// edgeSnapshot is the pre-eviction state of an edge.
+// edgeSnapshot is the pre-eviction state of an edge, frozen by
+// OnLinkFailure so that OnLinkRecover can reinstate it (see there for
+// why restoring beats restarting clean).
 type edgeSnapshot struct {
 	f [2]gossip.Value
 	c uint8
@@ -106,44 +94,54 @@ type edgeSnapshot struct {
 
 // Node is the push-cancel-flow state machine for a single node.
 //
-// Per-neighbor edge state lives in a dense slice parallel to the
-// neighbor list; the map only translates sender ids to slice positions
-// on the receive path. This keeps the robust variant's local-mass
-// computation (one pass over all slots per send) free of hashing.
+// Per-neighbor edge state lives in struct-of-arrays form, parallel to
+// the neighbor list: edge k's two flow slots are slots[2k] and
+// slots[2k+1], and every slot's X vector is a view into one shared
+// backing array, so the robust variant's local-mass computation (one
+// pass over all slots per send) streams through contiguous memory. The
+// map only translates sender ids to edge indices on the receive path of
+// high-degree nodes.
 type Node struct {
 	variant   Variant
 	id        int
-	neighbors []int
-	live      []int
+	neighbors []int32
+	live      []int32
 	init      gossip.Value
 	phi       gossip.Value // ϕ: accumulated flow mass
-	edgeList  []edge       // per-neighbor state, parallel to neighbors
-	idx       map[int]int  // neighbor id → position in neighbors/edgeList
-	width     int
-	scratch   gossip.Value // reused by FillMessage/EstimateInto
+
+	slots   []gossip.Value // 2 per edge; X views into backing
+	backing []float64      // flat slot payloads: 2·deg·width floats
+	c       []uint8        // active slot per edge: 0 or 1 (wire: 1 or 2)
+	r       []uint64       // role-change counter per edge
+	saved   []*edgeSnapshot
+
+	idx     map[int32]int // neighbor id → edge index
+	width   int
+	scratch gossip.Value // reused by FillMessage/EstimateInto
 }
 
-// denseScanMax bounds the neighborhood size up to which edgeFor uses a
+// denseScanMax bounds the neighborhood size up to which edgeIndex uses a
 // linear scan of the neighbor list instead of the id map. For typical
 // gossip degrees (ring, torus, hypercube) the scan is faster than
 // hashing; complete-like graphs fall back to the map.
 const denseScanMax = 32
 
-// edgeFor returns the edge state for the given neighbor id, or nil when
+// edgeIndex returns the edge index for the given neighbor id, or -1 when
 // the id is not a neighbor.
-func (n *Node) edgeFor(neighbor int) *edge {
+func (n *Node) edgeIndex(neighbor int) int {
+	t := int32(neighbor)
 	if len(n.neighbors) <= denseScanMax {
 		for k, j := range n.neighbors {
-			if j == neighbor {
-				return &n.edgeList[k]
+			if j == t {
+				return k
 			}
 		}
-		return nil
+		return -1
 	}
-	if k, ok := n.idx[neighbor]; ok {
-		return &n.edgeList[k]
+	if k, ok := n.idx[t]; ok {
+		return k
 	}
-	return nil
+	return -1
 }
 
 // New returns an uninitialized PCF node with the given variant; callers
@@ -163,8 +161,8 @@ func (n *Node) Variant() Variant { return n.variant }
 // neighborhood and value width zeroes the existing edge state in place
 // instead of reallocating it, so restarting a trial on a reused engine
 // does not allocate.
-func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
-	reuse := n.idx != nil && n.width == init.Width() && sameInts(n.neighbors, neighbors)
+func (n *Node) Reset(node int, neighbors []int32, init gossip.Value) {
+	reuse := n.idx != nil && n.width == init.Width() && sameInt32s(n.neighbors, neighbors)
 	n.id = node
 	n.neighbors = append(n.neighbors[:0], neighbors...)
 	n.live = append(n.live[:0], neighbors...)
@@ -172,25 +170,29 @@ func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
 	n.width = init.Width()
 	if reuse {
 		n.phi.Zero()
-		for k := range n.edgeList {
-			ed := &n.edgeList[k]
-			ed.f[0].Zero()
-			ed.f[1].Zero()
-			ed.c = 0
-			ed.r = 1
-			ed.saved = nil
+		for s := range n.slots {
+			n.slots[s].Zero()
+		}
+		for k := range n.c {
+			n.c[k] = 0
+			n.r[k] = 1
+			n.saved[k] = nil
 		}
 		return
 	}
+	deg := len(neighbors)
 	n.phi = gossip.NewValue(n.width)
-	n.edgeList = make([]edge, len(neighbors))
-	n.idx = make(map[int]int, len(neighbors))
+	n.backing = make([]float64, 2*deg*n.width)
+	n.slots = make([]gossip.Value, 2*deg)
+	for s := range n.slots {
+		n.slots[s].X = n.backing[s*n.width : (s+1)*n.width]
+	}
+	n.c = make([]uint8, deg)
+	n.r = make([]uint64, deg)
+	n.saved = make([]*edgeSnapshot, deg)
+	n.idx = make(map[int32]int, deg)
 	for k, j := range neighbors {
-		n.edgeList[k] = edge{
-			f: [2]gossip.Value{gossip.NewValue(n.width), gossip.NewValue(n.width)},
-			c: 0,
-			r: 1,
-		}
+		n.r[k] = 1
 		n.idx[j] = k
 	}
 }
@@ -209,9 +211,8 @@ func (n *Node) localInto(dst *gossip.Value) {
 	dst.Set(n.init)
 	dst.SubInPlace(n.phi)
 	if n.variant == VariantRobust {
-		for k := range n.edgeList {
-			dst.SubInPlace(n.edgeList[k].f[0])
-			dst.SubInPlace(n.edgeList[k].f[1])
+		for s := range n.slots {
+			dst.SubInPlace(n.slots[s])
 		}
 	}
 }
@@ -229,27 +230,27 @@ func (n *Node) MakeMessage(target int) gossip.Message {
 // of MakeMessage (identical state transition, bit-identical wire
 // contents).
 func (n *Node) FillMessage(target int, msg *gossip.Message) {
-	ed := n.edgeFor(target)
-	if ed == nil {
+	k := n.edgeIndex(target)
+	if k < 0 {
 		panic("core: send to non-neighbor")
 	}
 	n.localInto(&n.scratch)
 	n.scratch.HalfInPlace()
-	ed.f[ed.c].AddInPlace(n.scratch)
+	n.slots[2*k+int(n.c[k])].AddInPlace(n.scratch)
 	if n.variant == VariantEfficient {
 		n.phi.AddInPlace(n.scratch) // line 32: ϕ ← ϕ + e/2
 	}
 	msg.From, msg.To, msg.Kind = n.id, target, gossip.KindData
-	msg.Flow1.Set(ed.f[0])
-	msg.Flow2.Set(ed.f[1])
-	msg.C = ed.c + 1 // wire format counts slots from 1, as the paper does
-	msg.R = ed.r
+	msg.Flow1.Set(n.slots[2*k])
+	msg.Flow2.Set(n.slots[2*k+1])
+	msg.C = n.c[k] + 1 // wire format counts slots from 1, as the paper does
+	msg.R = n.r[k]
 }
 
 // Receive implements gossip.Protocol (paper Fig. 5 lines 6–29).
 func (n *Node) Receive(msg gossip.Message) {
-	ed := n.edgeFor(msg.From)
-	if ed == nil {
+	k := n.edgeIndex(msg.From)
+	if k < 0 {
 		return // unknown sender
 	}
 	if msg.Flow1.Width() != n.width || msg.Flow2.Width() != n.width {
@@ -269,11 +270,11 @@ func (n *Node) Receive(msg gossip.Message) {
 	peerF := [2]gossip.Value{msg.Flow1, msg.Flow2}
 
 	// Lines 7–9: the peer completed a role change at equal r — adopt it.
-	if ed.c != peerC && ed.r == msg.R {
-		ed.c = peerC
+	if n.c[k] != peerC && n.r[k] == msg.R {
+		n.c[k] = peerC
 	}
-	if ed.c != peerC || msg.R > ed.r+1 {
-		if msg.R > ed.r {
+	if n.c[k] != peerC || msg.R > n.r[k]+1 {
+		if msg.R > n.r[k] {
 			// Hard resync: the peer's handshake state is ahead of ours
 			// in a way the paper's cases never produce on FIFO links
 			// (there, r differences beyond ±1 and role mismatches at
@@ -284,43 +285,45 @@ func (n *Node) Receive(msg gossip.Message) {
 			// the node's local mass to zero. Recover by adopting the
 			// peer's view and running a plain PF exchange on both
 			// slots; cancellation resumes on the next regular message.
-			ed.c = peerC
-			ed.r = msg.R
+			n.c[k] = peerC
+			n.r[k] = msg.R
 			for s := 0; s < 2; s++ {
 				if n.variant == VariantEfficient {
-					n.phi.SubInPlace(ed.f[s])
+					n.phi.SubInPlace(n.slots[2*k+s])
 					n.phi.SubInPlace(peerF[s])
 				}
-				ed.f[s].SetNeg(peerF[s])
+				n.slots[2*k+s].SetNeg(peerF[s])
 			}
 		}
 		return // otherwise stale: wait for a current message
 	}
 
-	a := ed.c     // active slot
-	p := 1 - ed.c // passive slot
+	a := int(n.c[k]) // active slot
+	p := 1 - a       // passive slot
+	fa := &n.slots[2*k+a]
+	fp := &n.slots[2*k+p]
 
 	// Lines 10–12: the active slot runs plain push-flow.
 	if n.variant == VariantEfficient {
 		// ϕ ← ϕ − (f(i,j,a) + f(j,i,a)); the flow then becomes −f(j,i,a),
 		// keeping ϕ equal to the node's net outflow.
-		n.phi.SubInPlace(ed.f[a])
+		n.phi.SubInPlace(*fa)
 		n.phi.SubInPlace(peerF[a])
 	}
-	ed.f[a].SetNeg(peerF[a])
+	fa.SetNeg(peerF[a])
 
 	switch {
-	case peerF[p].EqualNeg(ed.f[p]) && ed.r == msg.R:
+	case peerF[p].EqualNeg(*fp) && n.r[k] == msg.R:
 		// Lines 13–16, case (i): flow conservation achieved on the
 		// passive slot — cancel our half.
-		n.cancel(ed, p)
-		ed.r++
-	case peerF[p].IsZero() && ed.r+1 == msg.R:
+		n.cancel(k, p)
+		n.r[k]++
+	case peerF[p].IsZero() && n.r[k]+1 == msg.R:
 		// Lines 17–21, case (ii): the peer already cancelled its half —
 		// cancel ours and swap the roles.
-		ed.c = p
-		n.cancel(ed, p)
-		ed.r++
+		n.c[k] = uint8(p)
+		n.cancel(k, p)
+		n.r[k]++
 	default:
 		// Lines 22–25, case (iii): conservation does not (yet) hold on
 		// the passive slot; treat it like an active flow so it keeps
@@ -335,24 +338,24 @@ func (n *Node) Receive(msg gossip.Message) {
 		// mass conservation. With the equality guard the corrupted
 		// message is simply ignored and the peer's retransmission
 		// completes the cancellation against our unmodified half.
-		if ed.r == msg.R {
+		if n.r[k] == msg.R {
 			if n.variant == VariantEfficient {
-				n.phi.SubInPlace(ed.f[p])
+				n.phi.SubInPlace(*fp)
 				n.phi.SubInPlace(peerF[p])
 			}
-			ed.f[p].SetNeg(peerF[p])
+			fp.SetNeg(peerF[p])
 		}
 	}
 }
 
-// cancel folds slot s of the edge into ϕ (robust variant) or into the
+// cancel folds slot s of edge k into ϕ (robust variant) or into the
 // implicit cancelled mass (efficient variant, where ϕ already accounts
 // for it) and zeroes the slot.
-func (n *Node) cancel(ed *edge, s uint8) {
+func (n *Node) cancel(k, s int) {
 	if n.variant == VariantRobust {
-		n.phi.AddInPlace(ed.f[s])
+		n.phi.AddInPlace(n.slots[2*k+s])
 	}
-	ed.f[s].Zero()
+	n.slots[2*k+s].Zero()
 }
 
 // Estimate implements gossip.Protocol.
@@ -391,28 +394,28 @@ func (n *Node) LocalValue() gossip.Value { return n.local() }
 // dead node, converging to the surviving-mass aggregate rather than the
 // survivors' initial-data aggregate — the two differ by O(ε(t_crash)/n).
 func (n *Node) OnLinkFailure(neighbor int) {
-	ed := n.edgeFor(neighbor)
-	if ed != nil {
+	if k := n.edgeIndex(neighbor); k >= 0 {
+		f0, f1 := &n.slots[2*k], &n.slots[2*k+1]
 		// Freeze the edge state first: if the "failure" turns out to be a
 		// false suspicion or a transient outage, OnLinkRecover reinstates
 		// it and the eviction becomes a no-op in retrospect.
-		ed.saved = &edgeSnapshot{
-			f: [2]gossip.Value{ed.f[0].Clone(), ed.f[1].Clone()},
-			c: ed.c,
-			r: ed.r,
+		n.saved[k] = &edgeSnapshot{
+			f: [2]gossip.Value{f0.Clone(), f1.Clone()},
+			c: n.c[k],
+			r: n.r[k],
 		}
 		if n.variant == VariantRobust {
 			// Fold the slots into ϕ so the estimate v − ϕ − Σf is
 			// unchanged by the zeroing below.
-			n.phi.AddInPlace(ed.f[0])
-			n.phi.AddInPlace(ed.f[1])
+			n.phi.AddInPlace(*f0)
+			n.phi.AddInPlace(*f1)
 		}
-		ed.f[0].Zero()
-		ed.f[1].Zero()
-		ed.c = 0
-		ed.r = 1
+		f0.Zero()
+		f1.Zero()
+		n.c[k] = 0
+		n.r[k] = 1
 	}
-	n.live = remove(n.live, neighbor)
+	n.live = remove(n.live, int32(neighbor))
 }
 
 // OnLinkRecover implements gossip.Reintegrator: re-admit a neighbor
@@ -430,54 +433,55 @@ func (n *Node) OnLinkFailure(neighbor int) {
 // message. The estimate does not move at reintegration time in either
 // variant, mirroring the zero-cost eviction.
 func (n *Node) OnLinkRecover(neighbor int) {
-	ed := n.edgeFor(neighbor)
-	if ed == nil || contains(n.live, neighbor) {
+	k := n.edgeIndex(neighbor)
+	if k < 0 || contains(n.live, int32(neighbor)) {
 		return
 	}
-	if s := ed.saved; s != nil {
+	f0, f1 := &n.slots[2*k], &n.slots[2*k+1]
+	if s := n.saved[k]; s != nil {
 		if n.variant == VariantRobust {
 			// Take the slots back out of ϕ; with the slots reinstated
 			// below, v − ϕ − Σf is unchanged.
 			n.phi.SubInPlace(s.f[0])
 			n.phi.SubInPlace(s.f[1])
 		}
-		ed.f[0].Set(s.f[0])
-		ed.f[1].Set(s.f[1])
-		ed.c = s.c
-		ed.r = s.r
-		ed.saved = nil
+		f0.Set(s.f[0])
+		f1.Set(s.f[1])
+		n.c[k] = s.c
+		n.r[k] = s.r
+		n.saved[k] = nil
 	} else {
-		ed.f[0].Zero()
-		ed.f[1].Zero()
-		ed.c = 0
-		ed.r = 1
+		f0.Zero()
+		f1.Zero()
+		n.c[k] = 0
+		n.r[k] = 1
 	}
-	n.live = append(n.live, neighbor)
+	n.live = append(n.live, int32(neighbor))
 }
 
 // LiveNeighbors implements gossip.Protocol.
-func (n *Node) LiveNeighbors() []int { return n.live }
+func (n *Node) LiveNeighbors() []int32 { return n.live }
 
 // Flow implements gossip.Flows: the net live flow toward the neighbor
 // (sum of both slots). After cancellation cycles this converges toward
 // values on the order of the aggregate, the central claim of the paper.
 func (n *Node) Flow(neighbor int) gossip.Value {
-	ed := n.edgeFor(neighbor)
-	if ed == nil {
+	k := n.edgeIndex(neighbor)
+	if k < 0 {
 		return gossip.NewValue(n.width)
 	}
-	return ed.f[0].Add(ed.f[1])
+	return n.slots[2*k].Add(n.slots[2*k+1])
 }
 
 // RoleState returns the (active slot, role counter) control state for the
 // given neighbor, exposed for tests of the cancellation handshake. The
 // active slot is reported in wire format (1 or 2).
 func (n *Node) RoleState(neighbor int) (c uint8, r uint64) {
-	ed := n.edgeFor(neighbor)
-	if ed == nil {
+	k := n.edgeIndex(neighbor)
+	if k < 0 {
 		return 0, 0
 	}
-	return ed.c + 1, ed.r
+	return n.c[k] + 1, n.r[k]
 }
 
 // Phi returns a copy of the node's accumulated flow mass ϕ, exposed for
@@ -489,14 +493,14 @@ func (n *Node) Phi() gossip.Value { return n.phi.Clone() }
 // a drain, each slot either mirrors the peer's bitwise or has been
 // cancelled to zero on at least one side).
 func (n *Node) Slots(neighbor int) (f [2]gossip.Value, ok bool) {
-	ed := n.edgeFor(neighbor)
-	if ed == nil {
+	k := n.edgeIndex(neighbor)
+	if k < 0 {
 		return f, false
 	}
-	return [2]gossip.Value{ed.f[0].Clone(), ed.f[1].Clone()}, true
+	return [2]gossip.Value{n.slots[2*k].Clone(), n.slots[2*k+1].Clone()}, true
 }
 
-func remove(list []int, x int) []int {
+func remove(list []int32, x int32) []int32 {
 	out := list[:0]
 	for _, v := range list {
 		if v != x {
@@ -506,7 +510,7 @@ func remove(list []int, x int) []int {
 	return out
 }
 
-func contains(list []int, x int) bool {
+func contains(list []int32, x int32) bool {
 	for _, v := range list {
 		if v == x {
 			return true
@@ -515,7 +519,7 @@ func contains(list []int, x int) bool {
 	return false
 }
 
-func sameInts(a, b []int) bool {
+func sameInt32s(a, b []int32) bool {
 	if len(a) != len(b) {
 		return false
 	}

@@ -43,8 +43,8 @@ func TestVariantString(t *testing.T) {
 func TestCancellationHandshake(t *testing.T) {
 	for _, variant := range []Variant{VariantEfficient, VariantRobust} {
 		a, b := New(variant), New(variant)
-		a.Reset(0, []int{1}, gossip.Scalar(8, 1))
-		b.Reset(1, []int{0}, gossip.Scalar(0, 1))
+		a.Reset(0, []int32{1}, gossip.Scalar(8, 1))
+		b.Reset(1, []int32{0}, gossip.Scalar(0, 1))
 
 		// Initially both sides agree on slot 1 (wire format) and r = 1.
 		if c, r := a.RoleState(1); c != 1 || r != 1 {
@@ -168,8 +168,8 @@ func TestFlowsStaySmall(t *testing.T) {
 func TestOnLinkFailureKeepsEstimate(t *testing.T) {
 	for _, variant := range []Variant{VariantEfficient, VariantRobust} {
 		a, b := New(variant), New(variant)
-		a.Reset(0, []int{1, 2}, gossip.Scalar(8, 1))
-		b.Reset(1, []int{0}, gossip.Scalar(2, 1))
+		a.Reset(0, []int32{1, 2}, gossip.Scalar(8, 1))
+		b.Reset(1, []int32{0}, gossip.Scalar(2, 1))
 		for k := 0; k < 7; k++ {
 			b.Receive(a.MakeMessage(1))
 			a.Receive(b.MakeMessage(0))
@@ -223,7 +223,7 @@ func TestMassConservedThroughLinkFailure(t *testing.T) {
 
 func TestReceiveScreensCorruption(t *testing.T) {
 	a := New(VariantEfficient)
-	a.Reset(0, []int{1}, gossip.Scalar(8, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(8, 1))
 	before := a.LocalValue()
 	phi := a.Phi()
 	// NaN payload.
@@ -252,8 +252,8 @@ func TestReceiveScreensCorruption(t *testing.T) {
 // model (integer header fields are checksum-protected in practice).
 func TestCorruptedPassiveWithPeerAheadIgnored(t *testing.T) {
 	a, b := New(VariantEfficient), New(VariantEfficient)
-	a.Reset(0, []int{1}, gossip.Scalar(8, 1))
-	b.Reset(1, []int{0}, gossip.Scalar(0, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(8, 1))
+	b.Reset(1, []int32{0}, gossip.Scalar(0, 1))
 	for k := 0; k < 4; k++ {
 		b.Receive(a.MakeMessage(1))
 		a.Receive(b.MakeMessage(0))
@@ -281,8 +281,8 @@ func TestCorruptedPassiveWithPeerAheadIgnored(t *testing.T) {
 // passiveSlot returns node n's passive flow slot toward the neighbor.
 func passiveSlot(n *Node, neighbor int) gossip.Value {
 	c, _ := n.RoleState(neighbor)
-	ed := n.edgeFor(neighbor)
-	return ed.f[1-(c-1)].Clone()
+	f, _ := n.Slots(neighbor)
+	return f[1-(c-1)]
 }
 
 func TestConvergesEverywhere(t *testing.T) {
@@ -394,7 +394,7 @@ func TestAccuracyBeatsPushFlowAtScale(t *testing.T) {
 
 func TestSendToNonNeighborPanics(t *testing.T) {
 	a := New(VariantEfficient)
-	a.Reset(0, []int{1}, gossip.Scalar(1, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(1, 1))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("must panic")
@@ -405,7 +405,7 @@ func TestSendToNonNeighborPanics(t *testing.T) {
 
 func TestAccessors(t *testing.T) {
 	a := New(VariantEfficient)
-	a.Reset(0, []int{1}, gossip.Scalar(8, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(8, 1))
 	if !a.Phi().IsZero() {
 		t.Fatal("initial ϕ must be zero")
 	}
@@ -423,10 +423,10 @@ func TestAccessors(t *testing.T) {
 
 func TestResetReuse(t *testing.T) {
 	a := New(VariantRobust)
-	a.Reset(0, []int{1}, gossip.Scalar(8, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(8, 1))
 	a.MakeMessage(1)
 	a.OnLinkFailure(1)
-	a.Reset(5, []int{6, 7}, gossip.Scalar(3, 1))
+	a.Reset(5, []int32{6, 7}, gossip.Scalar(3, 1))
 	if lv := a.LocalValue(); lv.X[0] != 3 || lv.W != 1 {
 		t.Fatalf("after Reset: %v", lv)
 	}
@@ -445,8 +445,8 @@ func TestResetReuse(t *testing.T) {
 func TestEvictReintegrateConservesMass(t *testing.T) {
 	for _, variant := range []Variant{VariantEfficient, VariantRobust} {
 		a, b := New(variant), New(variant)
-		a.Reset(0, []int{1}, gossip.Scalar(8, 1))
-		b.Reset(1, []int{0}, gossip.Scalar(0, 1))
+		a.Reset(0, []int32{1}, gossip.Scalar(8, 1))
+		b.Reset(1, []int32{0}, gossip.Scalar(0, 1))
 		for k := 0; k < 6; k++ {
 			b.Receive(a.MakeMessage(1))
 			a.Receive(b.MakeMessage(0))
@@ -491,8 +491,8 @@ func TestEvictReintegrateConservesMass(t *testing.T) {
 func TestSymmetricEvictReintegrate(t *testing.T) {
 	for _, variant := range []Variant{VariantEfficient, VariantRobust} {
 		a, b := New(variant), New(variant)
-		a.Reset(0, []int{1}, gossip.Scalar(8, 1))
-		b.Reset(1, []int{0}, gossip.Scalar(0, 1))
+		a.Reset(0, []int32{1}, gossip.Scalar(8, 1))
+		b.Reset(1, []int32{0}, gossip.Scalar(0, 1))
 		for k := 0; k < 6; k++ {
 			b.Receive(a.MakeMessage(1))
 			a.Receive(b.MakeMessage(0))

@@ -183,14 +183,14 @@ type Detector struct {
 // New returns a detector monitoring the given neighbors, treating now as
 // the moment everyone was last heard from (the start of monitoring).
 // The configuration must Validate.
-func New(cfg Config, neighbors []int, now float64) *Detector {
+func New(cfg Config, neighbors []int32, now float64) *Detector {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	d := &Detector{cfg: cfg, nbrs: make(map[int]*neighborState, len(neighbors))}
 	for _, j := range neighbors {
-		d.nbrs[j] = &neighborState{lastHeard: now}
+		d.nbrs[int(j)] = &neighborState{lastHeard: now}
 	}
 	return d
 }

@@ -6,7 +6,7 @@ import (
 )
 
 func TestFixedTimeoutSuspectsAfterSilence(t *testing.T) {
-	d := New(Config{Timeout: 10}, []int{1, 2, 3}, 0)
+	d := New(Config{Timeout: 10}, []int32{1, 2, 3}, 0)
 	if got := d.Check(5); len(got) != 0 {
 		t.Fatalf("suspected %v before the timeout", got)
 	}
@@ -28,7 +28,7 @@ func TestFixedTimeoutSuspectsAfterSilence(t *testing.T) {
 }
 
 func TestReintegrationOnResumedTraffic(t *testing.T) {
-	d := New(Config{Timeout: 10}, []int{7}, 0)
+	d := New(Config{Timeout: 10}, []int32{7}, 0)
 	if d.Heard(7, 5) {
 		t.Fatal("reintegration reported for a live neighbor")
 	}
@@ -53,7 +53,7 @@ func TestReintegrationOnResumedTraffic(t *testing.T) {
 }
 
 func TestRemoveIsPermanent(t *testing.T) {
-	d := New(Config{Timeout: 10}, []int{1, 2}, 0)
+	d := New(Config{Timeout: 10}, []int32{1, 2}, 0)
 	d.Remove(1)
 	if got := d.Check(100); len(got) != 1 || got[0] != 2 {
 		t.Fatalf("suspects = %v, want [2]", got)
@@ -70,7 +70,7 @@ func TestRemoveIsPermanent(t *testing.T) {
 }
 
 func TestUnknownNeighborIgnored(t *testing.T) {
-	d := New(Config{Timeout: 10}, []int{1}, 0)
+	d := New(Config{Timeout: 10}, []int32{1}, 0)
 	if d.Heard(99, 5) {
 		t.Fatal("unknown neighbor reintegrated")
 	}
@@ -80,7 +80,7 @@ func TestUnknownNeighborIgnored(t *testing.T) {
 }
 
 func TestPhiGrowsWithSilence(t *testing.T) {
-	d := New(Config{Policy: PhiAccrual, Timeout: 50, PhiThreshold: 6}, []int{1}, 0)
+	d := New(Config{Policy: PhiAccrual, Timeout: 50, PhiThreshold: 6}, []int32{1}, 0)
 	// Regular heartbeats every 1 time unit.
 	for now := 1.0; now <= 20; now++ {
 		d.Heard(1, now)
@@ -103,7 +103,7 @@ func TestPhiAdaptsToCadence(t *testing.T) {
 	// A slow link (heartbeats every 10 units) must tolerate silences
 	// that would damn a fast link (heartbeats every 1 unit).
 	mk := func(period float64) *Detector {
-		d := New(Config{Policy: PhiAccrual, Timeout: 1000, PhiThreshold: 8, MinStdDev: period / 10}, []int{1}, 0)
+		d := New(Config{Policy: PhiAccrual, Timeout: 1000, PhiThreshold: 8, MinStdDev: period / 10}, []int32{1}, 0)
 		for k := 1; k <= 20; k++ {
 			d.Heard(1, float64(k)*period)
 		}
@@ -122,7 +122,7 @@ func TestPhiAdaptsToCadence(t *testing.T) {
 
 func TestPhiBootstrapUsesTimeout(t *testing.T) {
 	// With fewer than MinSamples observations the fixed timeout applies.
-	d := New(Config{Policy: PhiAccrual, Timeout: 10, MinSamples: 5}, []int{1}, 0)
+	d := New(Config{Policy: PhiAccrual, Timeout: 10, MinSamples: 5}, []int32{1}, 0)
 	d.Heard(1, 1)
 	d.Heard(1, 2)
 	if got := d.Check(9); len(got) != 0 {
@@ -137,7 +137,7 @@ func TestOutageIntervalNotLearned(t *testing.T) {
 	// The silence spanning a suspicion must not enter the φ window —
 	// otherwise one outage would teach the detector to tolerate
 	// arbitrarily long silences.
-	d := New(Config{Policy: PhiAccrual, Timeout: 5, PhiThreshold: 4, MinSamples: 3, MinStdDev: 0.2}, []int{1}, 0)
+	d := New(Config{Policy: PhiAccrual, Timeout: 5, PhiThreshold: 4, MinSamples: 3, MinStdDev: 0.2}, []int32{1}, 0)
 	for now := 1.0; now <= 10; now++ {
 		d.Heard(1, now)
 	}
@@ -150,7 +150,7 @@ func TestOutageIntervalNotLearned(t *testing.T) {
 }
 
 func TestWindowSlides(t *testing.T) {
-	d := New(Config{Policy: PhiAccrual, Timeout: 100, WindowSize: 4}, []int{1}, 0)
+	d := New(Config{Policy: PhiAccrual, Timeout: 100, WindowSize: 4}, []int32{1}, 0)
 	for now := 1.0; now <= 100; now++ {
 		d.Heard(1, now)
 	}

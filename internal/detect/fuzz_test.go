@@ -22,7 +22,7 @@ func FuzzDetector(f *testing.F) {
 	f.Add([]byte{0x03, 0x20, 0x01, 0x00, 0x00, 0x03, 0x03, 0x10, 0x01, 0x01}, true)
 	f.Add([]byte{0x02, 0x00, 0x00, 0x00, 0x03, 0x7f, 0x01, 0x05}, false)
 	f.Fuzz(func(t *testing.T, data []byte, phi bool) {
-		neighbors := []int{1, 3, 7, 9}
+		neighbors := []int32{1, 3, 7, 9}
 		cfg := detect.Config{Policy: detect.FixedTimeout, Timeout: 10}
 		if phi {
 			cfg.Policy = detect.PhiAccrual
@@ -34,13 +34,13 @@ func FuzzDetector(f *testing.F) {
 		removed := map[int]bool{}
 		suspected := map[int]bool{}
 		for _, j := range neighbors {
-			lastHeard[j] = now
+			lastHeard[int(j)] = now
 		}
 		inSet := func(j int) bool { _, ok := lastHeard[j]; return ok }
 
 		for i := 0; i+1 < len(data); i += 2 {
 			op, arg := data[i]%4, data[i+1]
-			j := neighbors[int(arg)%len(neighbors)]
+			j := int(neighbors[int(arg)%len(neighbors)])
 			if arg%7 == 6 {
 				j = 1000 + int(arg) // unknown neighbor: must be ignored
 			}

@@ -10,7 +10,9 @@ func benchSweep(b *testing.B, workers int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Sweep(cfg)
+		if _, err := Sweep(cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -139,7 +139,8 @@ func DetectionTradeoff(cfg DetectionConfig) ([]DetectionPoint, error) {
 					if round <= cfg.CrashRound {
 						return
 					}
-					for _, j := range neighbors {
+					for _, j32 := range neighbors {
+						j := int(j32)
 						if _, seen := detectedAt[j]; seen {
 							continue
 						}
@@ -154,7 +155,7 @@ func DetectionTradeoff(cfg DetectionConfig) ([]DetectionPoint, error) {
 			})
 			worst := 0
 			for _, j := range neighbors {
-				r, ok := detectedAt[j]
+				r, ok := detectedAt[int(j)]
 				if !ok {
 					pt.Missed++
 					worst = cfg.ObserveRounds

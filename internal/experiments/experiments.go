@@ -125,8 +125,8 @@ var errNoFlows = errors.New("experiments: algorithm does not implement gossip.Fl
 
 // sim0 builds an averaging engine over scalar inputs with pre-built
 // protocol instances (so callers can inspect them afterwards).
-func sim0(g *topology.Graph, protos []gossip.Protocol, inputs []float64, seed int64) *sim.Engine {
-	return sim.NewScalar(g, protos, inputs, gossip.Average, seed)
+func sim0(g *topology.Graph, protos []gossip.Protocol, inputs []float64, seed int64, opts ...sim.EngineOption) *sim.Engine {
+	return sim.NewScalar(g, protos, inputs, gossip.Average, seed, opts...)
 }
 
 // simRunToEps is the standard run-to-target configuration.

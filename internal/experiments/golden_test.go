@@ -43,7 +43,11 @@ func goldenSweep() SweepConfig {
 // here; run `go test ./internal/experiments -run TestGoldenSweep -update`
 // to re-bless intentional changes.
 func TestGoldenSweep(t *testing.T) {
-	got := Sweep(goldenSweep()).JSON()
+	res, err := Sweep(goldenSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.JSON()
 	path := filepath.Join("testdata", "golden_sweep.json")
 	if *update {
 		if err := os.WriteFile(path, got, 0o644); err != nil {

@@ -54,8 +54,37 @@ type SweepConfig struct {
 	// Record stores the full per-round error series of every trial
 	// instead of only the final point.
 	Record bool
-	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	// Workers is the worker-pool size; 0 picks a budget automatically:
+	// GOMAXPROCS without shards, max(1, GOMAXPROCS/Shards) with them, so
+	// nested parallelism never oversubscribes by default.
 	Workers int
+	// Shards, when > 0, runs every trial on the sharded executor
+	// (sim.WithShards) with that many shards. The sharded executor has
+	// its own deterministic schedule — byte-identical across shard
+	// counts but distinct from the default sequential model — so golden
+	// files recorded with Shards=0 stay valid only at Shards=0.
+	Shards int
+}
+
+// Validate checks the nested-parallelism budget the same way
+// runtime.Config is validated at construction: an explicit Workers ×
+// Shards product must not exceed GOMAXPROCS, because each sweep worker
+// would fan out into Shards goroutines of its own and the grid would
+// oversubscribe the machine. Leave Workers at 0 to have Sweep budget
+// the pool automatically.
+func (c SweepConfig) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("experiments: SweepConfig.Workers is %d, want ≥ 0", c.Workers)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("experiments: SweepConfig.Shards is %d, want ≥ 0", c.Shards)
+	}
+	if procs := runtime.GOMAXPROCS(0); c.Workers > 0 && c.Shards > 0 && c.Workers*c.Shards > procs {
+		return fmt.Errorf(
+			"experiments: SweepConfig runs %d workers × %d shards = %d goroutines, more than GOMAXPROCS=%d; lower one of them or leave Workers at 0 to budget automatically",
+			c.Workers, c.Shards, c.Workers*c.Shards, procs)
+	}
+	return nil
 }
 
 func (c SweepConfig) normalized() SweepConfig {
@@ -73,6 +102,9 @@ func (c SweepConfig) normalized() SweepConfig {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Shards > 0 {
+			c.Workers = max(1, runtime.GOMAXPROCS(0)/c.Shards)
+		}
 	}
 	return c
 }
@@ -128,14 +160,18 @@ func deriveSeed(root int64, stream uint64) int64 {
 const inputStreamTag = uint64(1) << 63
 
 // Sweep runs the full grid on a pool of Workers goroutines and returns
-// the per-trial results in deterministic grid order.
+// the per-trial results in deterministic grid order. It fails only on
+// an invalid configuration (see SweepConfig.Validate).
 //
 // Each worker keeps one engine per (topology, algorithm) cell and rewinds
 // it with Engine.Reset between trials, so the steady-state sweep does not
 // reconstruct engines; Engine.Reset's bit-identical-to-fresh guarantee
 // (see TestResetReproducesFresh) is what makes this reuse invisible in
 // the results.
-func Sweep(cfg SweepConfig) SweepResult {
+func Sweep(cfg SweepConfig) (SweepResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SweepResult{}, err
+	}
 	cfg = cfg.normalized()
 
 	inputs := make([][]float64, len(cfg.Topologies))
@@ -166,7 +202,11 @@ func Sweep(cfg SweepConfig) SweepResult {
 					e.Reset(seed)
 				} else {
 					tp := cfg.Topologies[jb.ti]
-					e = sim0(tp.Graph, cfg.Algorithms[jb.ai].Protos(tp.Graph.N()), inputs[jb.ti], seed)
+					var opts []sim.EngineOption
+					if cfg.Shards > 0 {
+						opts = append(opts, sim.WithShards(cfg.Shards))
+					}
+					e = sim0(tp.Graph, cfg.Algorithms[jb.ai].Protos(tp.Graph.N()), inputs[jb.ti], seed, opts...)
 					engines[cell] = e
 				}
 				res := e.Run(sim.RunConfig{
@@ -210,7 +250,7 @@ func Sweep(cfg SweepConfig) SweepResult {
 	}
 	close(jobs)
 	wg.Wait()
-	return SweepResult{RootSeed: cfg.RootSeed, Trials: results}
+	return SweepResult{RootSeed: cfg.RootSeed, Trials: results}, nil
 }
 
 // DefaultSweep is the standard small grid: the paper's three topology

@@ -2,11 +2,23 @@ package experiments
 
 import (
 	"bytes"
+	"runtime"
+	"strings"
 	"testing"
 
 	"pcfreduce/internal/fault"
 	"pcfreduce/internal/topology"
 )
+
+// mustSweep runs a sweep that the test expects to be validly configured.
+func mustSweep(t *testing.T, cfg SweepConfig) SweepResult {
+	t.Helper()
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	return res
+}
 
 func smallSweep(workers int, record bool) SweepConfig {
 	return SweepConfig{
@@ -30,9 +42,9 @@ func smallSweep(workers int, record bool) SweepConfig {
 // The tentpole determinism guarantee: a sweep's JSON output is byte
 // identical no matter how many workers execute it.
 func TestSweepParallelMatchesSerial(t *testing.T) {
-	serial := Sweep(smallSweep(1, true)).JSON()
+	serial := mustSweep(t, smallSweep(1, true)).JSON()
 	for _, workers := range []int{2, 8} {
-		parallel := Sweep(smallSweep(workers, true)).JSON()
+		parallel := mustSweep(t, smallSweep(workers, true)).JSON()
 		if !bytes.Equal(serial, parallel) {
 			t.Fatalf("workers=%d sweep output differs from serial output", workers)
 		}
@@ -43,14 +55,14 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 // reuse across trials leaks no state), and different root seeds change
 // the results.
 func TestSweepReproducibleAndSeeded(t *testing.T) {
-	a := Sweep(smallSweep(4, false))
-	b := Sweep(smallSweep(4, false))
+	a := mustSweep(t, smallSweep(4, false))
+	b := mustSweep(t, smallSweep(4, false))
 	if !bytes.Equal(a.JSON(), b.JSON()) {
 		t.Fatal("identical configs produced different sweeps")
 	}
 	cfg := smallSweep(4, false)
 	cfg.RootSeed = 99
-	c := Sweep(cfg)
+	c := mustSweep(t, cfg)
 	same := true
 	for i := range a.Trials {
 		if a.Trials[i].FinalMax != c.Trials[i].FinalMax {
@@ -67,7 +79,7 @@ func TestSweepReproducibleAndSeeded(t *testing.T) {
 // is labeled with the cell that produced it.
 func TestSweepGridOrder(t *testing.T) {
 	cfg := smallSweep(3, false)
-	res := Sweep(cfg)
+	res := mustSweep(t, cfg)
 	want := len(cfg.Topologies) * len(cfg.Algorithms) * len(cfg.Plans) * cfg.Trials
 	if len(res.Trials) != want {
 		t.Fatalf("got %d trials, want %d", len(res.Trials), want)
@@ -90,5 +102,50 @@ func TestSweepGridOrder(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// A sharded sweep is byte-identical across both worker counts and shard
+// counts — shards only change how a round executes, never what it
+// computes — but differs from the Shards=0 sequential schedule.
+func TestSweepShardedDeterministic(t *testing.T) {
+	base := smallSweep(1, true)
+	base.Shards = 1
+	ref := mustSweep(t, base).JSON()
+	for _, shards := range []int{2, 3} {
+		cfg := smallSweep(0, true)
+		cfg.Shards = shards
+		if got := mustSweep(t, cfg).JSON(); !bytes.Equal(ref, got) {
+			t.Fatalf("shards=%d sweep output differs from shards=1 output", shards)
+		}
+	}
+	legacy := mustSweep(t, smallSweep(1, true)).JSON()
+	if bytes.Equal(ref, legacy) {
+		t.Fatal("sharded and sequential schedules unexpectedly coincide")
+	}
+}
+
+// Explicitly oversubscribed nested parallelism is rejected with a
+// descriptive error instead of silently thrashing the scheduler.
+func TestSweepOversubscriptionRejected(t *testing.T) {
+	cfg := smallSweep(runtime.GOMAXPROCS(0), false)
+	cfg.Shards = 2
+	_, err := Sweep(cfg)
+	if err == nil {
+		t.Fatal("oversubscribed workers×shards sweep did not error")
+	}
+	if !strings.Contains(err.Error(), "GOMAXPROCS") {
+		t.Fatalf("error does not explain the budget: %v", err)
+	}
+	cfg.Workers = 0 // automatic budget: never errors
+	if _, err := Sweep(cfg); err != nil {
+		t.Fatalf("auto-budgeted sweep rejected: %v", err)
+	}
+	if _, err := Sweep(SweepConfig{
+		Topologies: []SweepTopology{{Name: "ring8", Graph: topology.Ring(8)}},
+		Algorithms: []Algorithm{PCF},
+		Shards:     -1,
+	}); err == nil {
+		t.Fatal("negative Shards accepted")
 	}
 }

@@ -30,19 +30,22 @@ import (
 
 // Node is the Flow-Updating state machine for a single node.
 //
-// Per-neighbor state lives in dense slices parallel to the neighbor
-// list; the map only translates sender ids to slice positions on the
-// receive path. This keeps the averaging pass (over all flows and known
-// neighbor estimates per send) free of hashing.
+// Per-neighbor state lives in struct-of-arrays form, parallel to the
+// neighbor list: the flow and last-estimate X vectors are views into one
+// shared backing array, so the averaging pass (over all flows and known
+// neighbor estimates per send) streams through contiguous memory without
+// hashing. The map only translates sender ids to slice positions on the
+// receive path of high-degree nodes.
 type Node struct {
 	id        int
-	neighbors []int
-	live      []int
+	neighbors []int32
+	live      []int32
 	init      gossip.Value
-	flowList  []gossip.Value // flow per neighbor, parallel to neighbors
-	lastEst   []gossip.Value // last estimate reported by each neighbor
+	flowList  []gossip.Value // flow per neighbor; X views into backing
+	lastEst   []gossip.Value // last estimate reported by each neighbor; views too
 	known     []bool         // whether we have heard from the neighbor yet
-	idx       map[int]int    // neighbor id → position in the parallel slices
+	backing   []float64      // flat payloads: 2·deg·width floats (flows, then estimates)
+	idx       map[int32]int  // neighbor id → position in the parallel slices
 	width     int
 	scrAvg    gossip.Value // reused by FillMessage (averaging target)
 	scrDelta  gossip.Value // reused by FillMessage (flow adjustment)
@@ -61,15 +64,16 @@ const denseScanMax = 32
 // indexOf translates a neighbor id to its dense-slice position, or -1
 // when the id is not a neighbor.
 func (n *Node) indexOf(neighbor int) int {
+	t := int32(neighbor)
 	if len(n.neighbors) <= denseScanMax {
 		for k, j := range n.neighbors {
-			if j == neighbor {
+			if j == t {
 				return k
 			}
 		}
 		return -1
 	}
-	if k, ok := n.idx[neighbor]; ok {
+	if k, ok := n.idx[t]; ok {
 		return k
 	}
 	return -1
@@ -79,8 +83,8 @@ func (n *Node) indexOf(neighbor int) int {
 // neighborhood and value width zeroes the existing per-edge state in
 // place instead of reallocating it, so restarting a trial on a reused
 // engine does not allocate.
-func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
-	reuse := n.idx != nil && n.width == init.Width() && sameInts(n.neighbors, neighbors)
+func (n *Node) Reset(node int, neighbors []int32, init gossip.Value) {
+	reuse := n.idx != nil && n.width == init.Width() && sameInt32s(n.neighbors, neighbors)
 	n.id = node
 	n.neighbors = append(n.neighbors[:0], neighbors...)
 	n.live = append(n.live[:0], neighbors...)
@@ -94,13 +98,15 @@ func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
 		}
 		return
 	}
-	n.flowList = make([]gossip.Value, len(neighbors))
-	n.lastEst = make([]gossip.Value, len(neighbors))
-	n.known = make([]bool, len(neighbors))
-	n.idx = make(map[int]int, len(neighbors))
+	deg := len(neighbors)
+	n.backing = make([]float64, 2*deg*n.width)
+	n.flowList = make([]gossip.Value, deg)
+	n.lastEst = make([]gossip.Value, deg)
+	n.known = make([]bool, deg)
+	n.idx = make(map[int32]int, deg)
 	for k, j := range neighbors {
-		n.flowList[k] = gossip.NewValue(n.width)
-		n.lastEst[k] = gossip.NewValue(n.width)
+		n.flowList[k].X = n.backing[k*n.width : (k+1)*n.width]
+		n.lastEst[k].X = n.backing[(deg+k)*n.width : (deg+k+1)*n.width]
 		n.idx[j] = k
 	}
 }
@@ -131,7 +137,7 @@ func (n *Node) averagedInto(dst *gossip.Value) {
 	n.localInto(dst)
 	count := 1.0
 	for _, j := range n.live {
-		k := n.indexOf(j)
+		k := n.indexOf(int(j))
 		if !n.known[k] {
 			continue
 		}
@@ -208,12 +214,12 @@ func (n *Node) LocalValue() gossip.Value { return n.local() }
 // OnLinkFailure implements gossip.Protocol: zero the edge flow, forget
 // the neighbor's estimate and stop using the link.
 func (n *Node) OnLinkFailure(neighbor int) {
-	if k, ok := n.idx[neighbor]; ok {
+	if k := n.indexOf(neighbor); k >= 0 {
 		n.flowList[k].Zero()
 		n.lastEst[k].Zero()
 		n.known[k] = false
 	}
-	n.live = remove(n.live, neighbor)
+	n.live = remove(n.live, int32(neighbor))
 }
 
 // OnLinkRecover implements gossip.Reintegrator: re-admit a neighbor
@@ -221,28 +227,28 @@ func (n *Node) OnLinkFailure(neighbor int) {
 // remembered estimate, exactly as after Reset; the averaging dynamics
 // re-learn the neighbor's state from its next message.
 func (n *Node) OnLinkRecover(neighbor int) {
-	k, ok := n.idx[neighbor]
-	if !ok || contains(n.live, neighbor) {
+	k := n.indexOf(neighbor)
+	if k < 0 || contains(n.live, int32(neighbor)) {
 		return
 	}
 	n.flowList[k].Zero()
 	n.lastEst[k].Zero()
 	n.known[k] = false
-	n.live = append(n.live, neighbor)
+	n.live = append(n.live, int32(neighbor))
 }
 
 // LiveNeighbors implements gossip.Protocol.
-func (n *Node) LiveNeighbors() []int { return n.live }
+func (n *Node) LiveNeighbors() []int32 { return n.live }
 
 // Flow implements gossip.Flows.
 func (n *Node) Flow(neighbor int) gossip.Value {
-	if k, ok := n.idx[neighbor]; ok {
+	if k := n.indexOf(neighbor); k >= 0 {
 		return n.flowList[k].Clone()
 	}
 	return gossip.NewValue(n.width)
 }
 
-func remove(list []int, x int) []int {
+func remove(list []int32, x int32) []int32 {
 	out := list[:0]
 	for _, v := range list {
 		if v != x {
@@ -252,7 +258,7 @@ func remove(list []int, x int) []int {
 	return out
 }
 
-func contains(list []int, x int) bool {
+func contains(list []int32, x int32) bool {
 	for _, v := range list {
 		if v == x {
 			return true
@@ -261,7 +267,7 @@ func contains(list []int, x int) bool {
 	return false
 }
 
-func sameInts(a, b []int) bool {
+func sameInt32s(a, b []int32) bool {
 	if len(a) != len(b) {
 		return false
 	}

@@ -28,7 +28,7 @@ func inputs(n int) []float64 {
 
 func TestFirstContactSharesEstimateWithoutMass(t *testing.T) {
 	a := New()
-	a.Reset(0, []int{1}, gossip.Scalar(6, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(6, 1))
 	msg := a.MakeMessage(1)
 	// Before hearing from the neighbor, no flow mass moves; the message
 	// carries the current (zero) flow and the local estimate.
@@ -45,8 +45,8 @@ func TestFirstContactSharesEstimateWithoutMass(t *testing.T) {
 
 func TestFlowAdjustsTowardAverage(t *testing.T) {
 	a, b := New(), New()
-	a.Reset(0, []int{1}, gossip.Scalar(6, 1))
-	b.Reset(1, []int{0}, gossip.Scalar(0, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(6, 1))
+	b.Reset(1, []int32{0}, gossip.Scalar(0, 1))
 	b.Receive(a.MakeMessage(1)) // b learns a's estimate (6)
 	msgBA := b.MakeMessage(0)   // b averages {0, 6} → 3, flow moves a to 3
 	a.Receive(msgBA)
@@ -97,7 +97,7 @@ func TestLinkFailureRecovery(t *testing.T) {
 
 func TestReceiveScreensCorruption(t *testing.T) {
 	a := New()
-	a.Reset(0, []int{1}, gossip.Scalar(6, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(6, 1))
 	before := a.LocalValue()
 	a.Receive(gossip.Message{From: 1, To: 0,
 		Flow1: gossip.Scalar(math.NaN(), 0), Flow2: gossip.Scalar(0, 0)})
@@ -112,7 +112,7 @@ func TestReceiveScreensCorruption(t *testing.T) {
 
 func TestOnLinkFailureForgets(t *testing.T) {
 	a := New()
-	a.Reset(0, []int{1, 2}, gossip.Scalar(6, 1))
+	a.Reset(0, []int32{1, 2}, gossip.Scalar(6, 1))
 	a.Receive(gossip.Message{From: 1, To: 0,
 		Flow1: gossip.Scalar(-1, 0), Flow2: gossip.Scalar(4, 1)})
 	a.OnLinkFailure(1)
@@ -133,10 +133,10 @@ func TestOnLinkFailureForgets(t *testing.T) {
 
 func TestResetReuse(t *testing.T) {
 	a := New()
-	a.Reset(0, []int{1}, gossip.Scalar(6, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(6, 1))
 	a.Receive(gossip.Message{From: 1, To: 0,
 		Flow1: gossip.Scalar(-1, 0), Flow2: gossip.Scalar(4, 1)})
-	a.Reset(2, []int{3}, gossip.Scalar(9, 1))
+	a.Reset(2, []int32{3}, gossip.Scalar(9, 1))
 	if lv := a.LocalValue(); lv.X[0] != 9 {
 		t.Fatalf("after Reset: %v", lv)
 	}

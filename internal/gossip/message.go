@@ -92,9 +92,12 @@ func (m Message) String() string {
 // and 7 "initially used exactly the same random seed").
 type Protocol interface {
 	// Reset (re)initializes the node with its id, immutable neighbor
-	// list and initial (value, weight) pair. It must be callable
-	// repeatedly to support restarting experiments on reused instances.
-	Reset(node int, neighbors []int, init Value)
+	// list and initial (value, weight) pair. The neighbor list uses the
+	// topology package's int32 node ids (a zero-copy CSR row may be
+	// passed directly); the protocol must copy it if it retains it. It
+	// must be callable repeatedly to support restarting experiments on
+	// reused instances.
+	Reset(node int, neighbors []int32, init Value)
 
 	// MakeMessage produces the message this node would push to the given
 	// neighbor now, applying any local state updates the protocol's send
@@ -125,7 +128,7 @@ type Protocol interface {
 
 	// LiveNeighbors returns the neighbors not excluded by OnLinkFailure,
 	// in stable order. The engine draws push targets from this set.
-	LiveNeighbors() []int
+	LiveNeighbors() []int32
 }
 
 // Reintegrator is an optional Protocol extension for self-healing

@@ -1,0 +1,50 @@
+// Package profiling starts and stops pprof CPU and heap profiles for
+// the command-line drivers, so perf work can measure instead of guess:
+//
+//	gossipsim -cpuprofile cpu.out -topo hypercube:17 -shards 8
+//	go tool pprof cpu.out
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile at cpuPath and schedules a heap profile at
+// memPath; either path may be empty to skip that profile. The returned
+// stop function flushes and closes both and must be called exactly once
+// (typically deferred from main).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		memFile, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+			return
+		}
+		defer memFile.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			fmt.Fprintln(os.Stderr, "profiling: write heap profile:", err)
+		}
+	}, nil
+}

@@ -11,8 +11,8 @@ import (
 // connected PF nodes over the allocation-free FillMessage/Receive path.
 func BenchmarkPairExchange(b *testing.B) {
 	a, c := pushflow.New(), pushflow.New()
-	a.Reset(0, []int{1}, gossip.Scalar(1, 1))
-	c.Reset(1, []int{0}, gossip.Scalar(5, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(1, 1))
+	c.Reset(1, []int32{0}, gossip.Scalar(5, 1))
 	var msg gossip.Message
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -28,16 +28,16 @@ func BenchmarkPairExchange(b *testing.B) {
 // and at a map-fallback degree.
 func benchFan(b *testing.B, degree int) {
 	n := pushflow.New()
-	nbrs := make([]int, degree)
+	nbrs := make([]int32, degree)
 	for k := range nbrs {
-		nbrs[k] = k + 1
+		nbrs[k] = int32(k + 1)
 	}
 	n.Reset(0, nbrs, gossip.Scalar(2, 1))
 	var msg gossip.Message
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n.FillMessage(nbrs[i%degree], &msg)
+		n.FillMessage(int(nbrs[i%degree]), &msg)
 	}
 }
 

@@ -32,17 +32,20 @@ import (
 
 // Node is the push-flow state machine for a single node.
 //
-// Per-neighbor flow variables live in a dense slice parallel to the
-// neighbor list; the map only translates sender ids to slice positions
-// on the receive path. This keeps the hot local-mass computation (one
-// pass over all flows per send) free of hashing.
+// Per-neighbor flow variables live in struct-of-arrays form, parallel
+// to the neighbor list: each flow's X vector is a view into one shared
+// backing array, so the hot local-mass computation (one pass over all
+// flows per send) streams through contiguous memory without hashing.
+// The map only translates sender ids to slice positions on the receive
+// path of high-degree nodes.
 type Node struct {
 	id        int
-	neighbors []int
-	live      []int
+	neighbors []int32
+	live      []int32
 	init      gossip.Value
-	flowList  []gossip.Value // flow variable per neighbor, parallel to neighbors
-	idx       map[int]int    // neighbor id → position in neighbors/flowList
+	flowList  []gossip.Value // flow variable per neighbor; X views into backing
+	backing   []float64      // flat flow payloads: deg·width floats
+	idx       map[int32]int  // neighbor id → position in neighbors/flowList
 	width     int
 	scratch   gossip.Value // reused by FillMessage/EstimateInto
 }
@@ -59,15 +62,16 @@ const denseScanMax = 32
 // indexOf translates a neighbor id to its dense-slice position, or -1
 // when the id is not a neighbor.
 func (n *Node) indexOf(neighbor int) int {
+	t := int32(neighbor)
 	if len(n.neighbors) <= denseScanMax {
 		for k, j := range n.neighbors {
-			if j == neighbor {
+			if j == t {
 				return k
 			}
 		}
 		return -1
 	}
-	if k, ok := n.idx[neighbor]; ok {
+	if k, ok := n.idx[t]; ok {
 		return k
 	}
 	return -1
@@ -77,8 +81,8 @@ func (n *Node) indexOf(neighbor int) int {
 // neighborhood and value width zeroes the existing flow variables in
 // place instead of reallocating them, so restarting a trial on a reused
 // engine does not allocate.
-func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
-	reuse := n.idx != nil && n.width == init.Width() && sameInts(n.neighbors, neighbors)
+func (n *Node) Reset(node int, neighbors []int32, init gossip.Value) {
+	reuse := n.idx != nil && n.width == init.Width() && sameInt32s(n.neighbors, neighbors)
 	n.id = node
 	n.neighbors = append(n.neighbors[:0], neighbors...)
 	n.live = append(n.live[:0], neighbors...)
@@ -90,10 +94,12 @@ func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
 		}
 		return
 	}
-	n.flowList = make([]gossip.Value, len(neighbors))
-	n.idx = make(map[int]int, len(neighbors))
+	deg := len(neighbors)
+	n.backing = make([]float64, deg*n.width)
+	n.flowList = make([]gossip.Value, deg)
+	n.idx = make(map[int32]int, deg)
 	for k, j := range neighbors {
-		n.flowList[k] = gossip.NewValue(n.width)
+		n.flowList[k].X = n.backing[k*n.width : (k+1)*n.width]
 		n.idx[j] = k
 	}
 }
@@ -177,10 +183,10 @@ func (n *Node) LocalValue() gossip.Value { return n.local() }
 // precisely the operation whose uncontrolled impact on the local estimate
 // causes PF's restart problem (Sec. II-C).
 func (n *Node) OnLinkFailure(neighbor int) {
-	if k, ok := n.idx[neighbor]; ok {
+	if k := n.indexOf(neighbor); k >= 0 {
 		n.flowList[k].Zero()
 	}
-	n.live = remove(n.live, neighbor)
+	n.live = remove(n.live, int32(neighbor))
 }
 
 // OnLinkRecover implements gossip.Reintegrator: re-admit a neighbor
@@ -189,27 +195,27 @@ func (n *Node) OnLinkFailure(neighbor int) {
 // too, and the first exchange overwrites both halves anyway, so the edge
 // resumes plain push-flow immediately.
 func (n *Node) OnLinkRecover(neighbor int) {
-	k, ok := n.idx[neighbor]
-	if !ok || contains(n.live, neighbor) {
+	k := n.indexOf(neighbor)
+	if k < 0 || contains(n.live, int32(neighbor)) {
 		return
 	}
 	n.flowList[k].Zero()
-	n.live = append(n.live, neighbor)
+	n.live = append(n.live, int32(neighbor))
 }
 
 // LiveNeighbors implements gossip.Protocol.
-func (n *Node) LiveNeighbors() []int { return n.live }
+func (n *Node) LiveNeighbors() []int32 { return n.live }
 
 // Flow implements gossip.Flows, exposing f(i,j) for tests and the bus
 // worked example (paper Fig. 2).
 func (n *Node) Flow(neighbor int) gossip.Value {
-	if k, ok := n.idx[neighbor]; ok {
+	if k := n.indexOf(neighbor); k >= 0 {
 		return n.flowList[k].Clone()
 	}
 	return gossip.NewValue(n.width)
 }
 
-func remove(list []int, x int) []int {
+func remove(list []int32, x int32) []int32 {
 	out := list[:0]
 	for _, v := range list {
 		if v != x {
@@ -219,7 +225,7 @@ func remove(list []int, x int) []int {
 	return out
 }
 
-func contains(list []int, x int) bool {
+func contains(list []int32, x int32) bool {
 	for _, v := range list {
 		if v == x {
 			return true
@@ -228,7 +234,7 @@ func contains(list []int, x int) bool {
 	return false
 }
 
-func sameInts(a, b []int) bool {
+func sameInt32s(a, b []int32) bool {
 	if len(a) != len(b) {
 		return false
 	}

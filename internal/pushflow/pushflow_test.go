@@ -19,7 +19,7 @@ func protos(n int) []gossip.Protocol {
 
 func TestVirtualThenPhysicalSend(t *testing.T) {
 	n := New()
-	n.Reset(0, []int{1}, gossip.Scalar(8, 1))
+	n.Reset(0, []int32{1}, gossip.Scalar(8, 1))
 	msg := n.MakeMessage(1)
 	// Virtual send: f(0,1) = e/2 = (4, 0.5); the message carries it.
 	if msg.Flow1.X[0] != 4 || msg.Flow1.W != 0.5 {
@@ -39,8 +39,8 @@ func TestVirtualThenPhysicalSend(t *testing.T) {
 
 func TestReceiveNegates(t *testing.T) {
 	a, b := New(), New()
-	a.Reset(0, []int{1}, gossip.Scalar(8, 1))
-	b.Reset(1, []int{0}, gossip.Scalar(0, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(8, 1))
+	b.Reset(1, []int32{0}, gossip.Scalar(0, 1))
 	msg := a.MakeMessage(1)
 	b.Receive(msg)
 	// Flow conservation: f(1,0) = −f(0,1).
@@ -58,8 +58,8 @@ func TestReceiveNegates(t *testing.T) {
 // the core of PF's tolerance to duplication.
 func TestReceiveIdempotent(t *testing.T) {
 	a, b := New(), New()
-	a.Reset(0, []int{1}, gossip.Scalar(8, 1))
-	b.Reset(1, []int{0}, gossip.Scalar(2, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(8, 1))
+	b.Reset(1, []int32{0}, gossip.Scalar(2, 1))
 	msg := a.MakeMessage(1)
 	b.Receive(msg)
 	before := b.LocalValue()
@@ -72,7 +72,7 @@ func TestReceiveIdempotent(t *testing.T) {
 
 func TestReceiveScreensCorruption(t *testing.T) {
 	b := New()
-	b.Reset(1, []int{0}, gossip.Scalar(2, 1))
+	b.Reset(1, []int32{0}, gossip.Scalar(2, 1))
 	before := b.LocalValue()
 	// NaN payload must be discarded.
 	b.Receive(gossip.Message{From: 0, To: 1, Flow1: gossip.Scalar(math.NaN(), 1)})
@@ -93,7 +93,7 @@ func TestReceiveScreensCorruption(t *testing.T) {
 
 func TestOnLinkFailureReclaimsFlow(t *testing.T) {
 	a := New()
-	a.Reset(0, []int{1, 2}, gossip.Scalar(8, 1))
+	a.Reset(0, []int32{1, 2}, gossip.Scalar(8, 1))
 	a.MakeMessage(1) // f(0,1) = (4, 0.5)
 	if a.LocalValue().X[0] != 4 {
 		t.Fatal("setup failed")
@@ -114,7 +114,7 @@ func TestOnLinkFailureReclaimsFlow(t *testing.T) {
 
 func TestSendToNonNeighborPanics(t *testing.T) {
 	a := New()
-	a.Reset(0, []int{1}, gossip.Scalar(1, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(1, 1))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("must panic")
@@ -125,10 +125,10 @@ func TestSendToNonNeighborPanics(t *testing.T) {
 
 func TestResetReusesInstance(t *testing.T) {
 	a := New()
-	a.Reset(0, []int{1, 2}, gossip.Scalar(5, 1))
+	a.Reset(0, []int32{1, 2}, gossip.Scalar(5, 1))
 	a.MakeMessage(1)
 	a.OnLinkFailure(2)
-	a.Reset(3, []int{4}, gossip.Scalar(7, 1))
+	a.Reset(3, []int32{4}, gossip.Scalar(7, 1))
 	if got := a.LiveNeighbors(); len(got) != 1 || got[0] != 4 {
 		t.Fatalf("live neighbors after Reset = %v", got)
 	}

@@ -21,8 +21,8 @@ import (
 // Node is the push-sum state machine for a single node.
 type Node struct {
 	id        int
-	neighbors []int
-	live      []int
+	neighbors []int32
+	live      []int32
 	mass      gossip.Value
 	lastInput gossip.Value // for SetInput deltas (live monitoring)
 }
@@ -34,7 +34,7 @@ func New() *Node { return &Node{} }
 // Reset implements gossip.Protocol. Repeated Resets reuse the node's
 // buffers, so restarting a trial on a pooled protocol instance does not
 // allocate.
-func (n *Node) Reset(node int, neighbors []int, init gossip.Value) {
+func (n *Node) Reset(node int, neighbors []int32, init gossip.Value) {
 	n.id = node
 	n.neighbors = append(n.neighbors[:0], neighbors...)
 	n.live = append(n.live[:0], neighbors...)
@@ -89,7 +89,7 @@ func (n *Node) LocalValue() gossip.Value { return n.mass.Clone() }
 // flight on the link is irrecoverably lost — the fragility the flow
 // algorithms fix.
 func (n *Node) OnLinkFailure(neighbor int) {
-	n.live = remove(n.live, neighbor)
+	n.live = remove(n.live, int32(neighbor))
 }
 
 // OnLinkRecover implements gossip.Reintegrator: resume using the link.
@@ -97,23 +97,24 @@ func (n *Node) OnLinkFailure(neighbor int) {
 // mass lost to messages dropped during the outage stays lost (the same
 // fragility OnLinkFailure documents).
 func (n *Node) OnLinkRecover(neighbor int) {
+	t := int32(neighbor)
 	for _, v := range n.neighbors {
-		if v == neighbor {
+		if v == t {
 			for _, l := range n.live {
-				if l == neighbor {
+				if l == t {
 					return
 				}
 			}
-			n.live = append(n.live, neighbor)
+			n.live = append(n.live, t)
 			return
 		}
 	}
 }
 
 // LiveNeighbors implements gossip.Protocol.
-func (n *Node) LiveNeighbors() []int { return n.live }
+func (n *Node) LiveNeighbors() []int32 { return n.live }
 
-func remove(list []int, x int) []int {
+func remove(list []int32, x int32) []int32 {
 	out := list[:0]
 	for _, v := range list {
 		if v != x {

@@ -19,7 +19,7 @@ func protos(n int) []gossip.Protocol {
 
 func TestHalvingSemantics(t *testing.T) {
 	n := New()
-	n.Reset(0, []int{1}, gossip.Scalar(8, 2))
+	n.Reset(0, []int32{1}, gossip.Scalar(8, 2))
 	msg := n.MakeMessage(1)
 	if msg.Flow1.X[0] != 4 || msg.Flow1.W != 1 {
 		t.Fatalf("sent share = %v", msg.Flow1)
@@ -36,7 +36,7 @@ func TestHalvingSemantics(t *testing.T) {
 
 func TestReceiveAccumulates(t *testing.T) {
 	n := New()
-	n.Reset(1, []int{0}, gossip.Scalar(2, 1))
+	n.Reset(1, []int32{0}, gossip.Scalar(2, 1))
 	n.Receive(gossip.Message{From: 0, To: 1, Flow1: gossip.Scalar(4, 1)})
 	lv := n.LocalValue()
 	if lv.X[0] != 6 || lv.W != 2 {
@@ -46,7 +46,7 @@ func TestReceiveAccumulates(t *testing.T) {
 
 func TestReceiveScreensMalformed(t *testing.T) {
 	n := New()
-	n.Reset(1, []int{0}, gossip.Scalar(2, 1))
+	n.Reset(1, []int32{0}, gossip.Scalar(2, 1))
 	before := n.LocalValue()
 	n.Receive(gossip.Message{From: 0, To: 1, Flow1: gossip.Scalar(math.Inf(1), 1)})
 	n.Receive(gossip.Message{From: 0, To: 1, Flow1: gossip.NewValue(4)})
@@ -57,7 +57,7 @@ func TestReceiveScreensMalformed(t *testing.T) {
 
 func TestOnLinkFailureDropsNeighbor(t *testing.T) {
 	n := New()
-	n.Reset(0, []int{1, 2, 3}, gossip.Scalar(1, 1))
+	n.Reset(0, []int32{1, 2, 3}, gossip.Scalar(1, 1))
 	n.OnLinkFailure(2)
 	live := n.LiveNeighbors()
 	if len(live) != 2 || live[0] != 1 || live[1] != 3 {
@@ -109,9 +109,9 @@ func TestSingleLossPermanentlyBiases(t *testing.T) {
 
 func TestResetReuse(t *testing.T) {
 	n := New()
-	n.Reset(0, []int{1}, gossip.Scalar(8, 1))
+	n.Reset(0, []int32{1}, gossip.Scalar(8, 1))
 	n.MakeMessage(1)
-	n.Reset(2, []int{3, 4}, gossip.Scalar(3, 1))
+	n.Reset(2, []int32{3, 4}, gossip.Scalar(3, 1))
 	if lv := n.LocalValue(); lv.X[0] != 3 || lv.W != 1 {
 		t.Fatalf("mass after Reset = %v", lv)
 	}
@@ -124,7 +124,7 @@ func TestResetReuse(t *testing.T) {
 // the estimate tracks input changes on a reliable transport.
 func TestSetInputDelta(t *testing.T) {
 	n := New()
-	n.Reset(0, []int{1}, gossip.Scalar(8, 1))
+	n.Reset(0, []int32{1}, gossip.Scalar(8, 1))
 	n.MakeMessage(1) // mass now (4, 0.5)
 	n.SetInput(gossip.Scalar(10, 1))
 	lv := n.LocalValue()

@@ -80,7 +80,8 @@ func TestSilentCrashDetectedByNeighbors(t *testing.T) {
 	if !res.Converged {
 		t.Fatalf("survivors did not converge after silent crash: spread %.3e", res.FinalMaxError)
 	}
-	for _, j := range g.Neighbors(crash) {
+	for _, j32 := range g.Neighbors(crash) {
+		j := int(j32)
 		if !containsInt(net.Suspects(j), crash) {
 			t.Errorf("neighbor %d does not suspect the silently crashed node (suspects %v)", j, net.Suspects(j))
 		}
@@ -171,7 +172,7 @@ func TestHangResumeReintegrates(t *testing.T) {
 	}()
 	waitUntil(t, 10*time.Second, "all neighbors to suspect the hung node", func() bool {
 		for _, j := range g.Neighbors(hung) {
-			if !containsInt(net.Suspects(j), hung) {
+			if !containsInt(net.Suspects(int(j)), hung) {
 				return false
 			}
 		}
@@ -279,7 +280,7 @@ func TestPhiAccrualPolicyInRuntime(t *testing.T) {
 	// Convergence is impossible while neighbors keep pushing mass into
 	// the dead node's edges, so by now every neighbor must suspect it.
 	for _, j := range g.Neighbors(crash) {
-		if !containsInt(net.Suspects(j), crash) {
+		if !containsInt(net.Suspects(int(j)), crash) {
 			t.Errorf("neighbor %d does not suspect the crashed node under φ-accrual", j)
 		}
 	}
@@ -347,7 +348,7 @@ func TestFaultPlanDrivesNetwork(t *testing.T) {
 		t.Fatalf("survivors did not converge under the fault plan: %.3e", res.FinalMaxError)
 	}
 	for _, j := range g.Neighbors(crash) {
-		if !containsInt(net.Suspects(j), crash) {
+		if !containsInt(net.Suspects(int(j)), crash) {
 			t.Errorf("neighbor %d does not suspect the plan-crashed node", j)
 		}
 	}

@@ -416,7 +416,8 @@ func (net *Network) CrashNode(i int) {
 	if !net.markCrashed(i, false) {
 		return
 	}
-	for _, j := range net.cfg.Graph.Neighbors(i) {
+	for _, j32 := range net.cfg.Graph.Neighbors(i) {
+		j := int(j32)
 		key := linkKey(i, j)
 		net.failedMu.Lock()
 		already := net.failed[key]
@@ -766,7 +767,7 @@ func (net *Network) nodeLoop(ctx context.Context, nd *node) {
 			// Push to one random live neighbor (crashed nodes fall silent
 			// but keep draining their inbox so notifications don't block).
 			if live := nd.proto.LiveNeighbors(); len(live) > 0 {
-				msg := nd.proto.MakeMessage(live[nd.rng.Intn(len(live))])
+				msg := nd.proto.MakeMessage(int(live[nd.rng.Intn(len(live))]))
 				if nd.lastSent != nil {
 					nd.lastSent[msg.To] = now
 				}
@@ -794,7 +795,8 @@ func (net *Network) nodeLoop(ctx context.Context, nd *node) {
 // for suspected neighbors. Caller holds nd.mu.
 func (nd *node) appendKeepalives(out []gossip.Message, now float64, dc *DetectorConfig) []gossip.Message {
 	keepalive := dc.KeepaliveInterval.Seconds()
-	for _, j := range nd.proto.LiveNeighbors() {
+	for _, j32 := range nd.proto.LiveNeighbors() {
+		j := int(j32)
 		if now-nd.lastSent[j] >= keepalive {
 			out = append(out, gossip.Message{From: nd.id, To: j, Kind: gossip.KindKeepalive})
 			nd.lastSent[j] = now

@@ -79,3 +79,36 @@ func BenchmarkTrialReuse(b *testing.B) {
 		e.Run(sim.RunConfig{MaxRounds: 40})
 	}
 }
+
+// benchStepSharded is benchStep on the sharded executor: same round
+// semantics for any shard count, so ns/op differences are pure executor
+// cost (and, with GOMAXPROCS > shards, parallel speedup).
+func benchStepSharded(b *testing.B, dim, shards int) {
+	g := topology.Hypercube(dim)
+	n := g.N()
+	protos := make([]gossip.Protocol, n)
+	for i := range protos {
+		protos[i] = core.NewEfficient()
+	}
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = float64(i%97) + 0.5
+	}
+	e := sim.NewScalar(g, protos, inputs, gossip.Average, 1, sim.WithShards(shards))
+	for r := 0; r < 32; r++ {
+		e.Step()
+		e.Errors()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+		e.Errors()
+	}
+}
+
+func BenchmarkRoundPCFHypercube1024Shards1(b *testing.B) { benchStepSharded(b, 10, 1) }
+func BenchmarkRoundPCFHypercube1024Shards8(b *testing.B) { benchStepSharded(b, 10, 8) }
+
+// The tentpole scale target: one PCF round on the n=2^17 hypercube.
+func BenchmarkRoundPCFHypercube128kShards8(b *testing.B) { benchStepSharded(b, 17, 8) }

@@ -134,7 +134,7 @@ func TestCrossEngineSilentCrash(t *testing.T) {
 		t.Fatalf("sim survivor estimate %.6g, want %.6g ± 5e-2", simLo, want)
 	}
 	for _, j := range g.Neighbors(crash) {
-		if !crossContains(eng.Suspects(j), crash) {
+		if !crossContains(eng.Suspects(int(j)), crash) {
 			t.Errorf("sim: neighbor %d does not suspect the crashed node", j)
 		}
 	}
@@ -185,7 +185,7 @@ func TestCrossEngineSilentCrash(t *testing.T) {
 		t.Fatalf("runtime survivor estimate %.6g, want %.6g ± 5e-2", rtLo, want)
 	}
 	for _, j := range g.Neighbors(crash) {
-		if !crossContains(net.Suspects(j), crash) {
+		if !crossContains(net.Suspects(int(j)), crash) {
 			t.Errorf("runtime: neighbor %d does not suspect the crashed node", j)
 		}
 	}

@@ -72,7 +72,8 @@ func TestSimSilentCrashDetected(t *testing.T) {
 		},
 		StallRounds: 600,
 	})
-	for _, j := range g.Neighbors(crash) {
+	for _, j32 := range g.Neighbors(crash) {
+		j := int(j32)
 		if !simContainsInt(e.Suspects(j), crash) {
 			t.Errorf("neighbor %d does not suspect the silently crashed node (suspects %v)", j, e.Suspects(j))
 		}
@@ -183,7 +184,7 @@ func TestSimPhiAccrualPolicy(t *testing.T) {
 		StallRounds: 600,
 	})
 	for _, j := range g.Neighbors(crash) {
-		if !simContainsInt(e.Suspects(j), crash) {
+		if !simContainsInt(e.Suspects(int(j)), crash) {
 			t.Errorf("neighbor %d does not suspect the crashed node under φ-accrual", j)
 		}
 	}

@@ -94,9 +94,9 @@ func TestUpdateInputCrashedNodeIgnored(t *testing.T) {
 // estimate shifts, by exactly the delta.
 func TestSetInputShiftsEstimateExactly(t *testing.T) {
 	a := core.NewEfficient()
-	a.Reset(0, []int{1}, gossip.Scalar(8, 1))
+	a.Reset(0, []int32{1}, gossip.Scalar(8, 1))
 	b := core.NewEfficient()
-	b.Reset(1, []int{0}, gossip.Scalar(2, 1))
+	b.Reset(1, []int32{0}, gossip.Scalar(2, 1))
 	for k := 0; k < 6; k++ {
 		b.Receive(a.MakeMessage(1))
 		a.Receive(b.MakeMessage(0))

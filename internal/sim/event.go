@@ -145,7 +145,7 @@ func (e *EventEngine) step() bool {
 	e.Activations++
 	p := e.protos[ev.node]
 	if live := p.LiveNeighbors(); len(live) > 0 {
-		target := live[e.rng.Intn(len(live))]
+		target := int(live[e.rng.Intn(len(live))])
 		msg := p.MakeMessage(target)
 		e.Sends++
 		lat := e.cfg.LatencyMin + (e.cfg.LatencyMax-e.cfg.LatencyMin)*e.rng.Float64()

@@ -1,0 +1,461 @@
+package sim
+
+// Sharded deterministic round execution.
+//
+// WithShards(P) switches the engine from the legacy sequential-activation
+// round model to a *phase-split* model designed to parallelize across P
+// contiguous node shards while producing byte-identical results for every
+// shard count (including P=1):
+//
+//	Phase 1 (parallel, one worker per shard): every live node, in
+//	ascending id order within its shard, drains the inbox it was left
+//	with at the end of the previous round, runs its failure detector,
+//	and pushes one message toward a random live neighbor drawn from the
+//	node's own splitmix64 stream. Outgoing messages are appended to the
+//	shard's ordered outbox; nothing is delivered yet.
+//
+//	Phase 2 (serial): the shard outboxes are merged in ascending shard
+//	order — hence ascending source id order — and each message is routed
+//	through the usual dead/silenced/alive checks and the interceptor
+//	into its destination inbox, to be processed next round.
+//
+// Why this is P-invariant: during phase 1 a node reads and writes only
+// its own state (protocol, detector, RNG stream, frozen inbox), so the
+// activation interleaving across shards is unobservable; and because the
+// merge runs in a fixed order that equals the single-shard order, inbox
+// contents, interceptor call sequences and message pooling are identical
+// no matter how phase 1 was scheduled. The per-node RNG streams are
+// derived from (seed, node id) alone, so the communication schedule
+// itself is P-independent.
+//
+// The phase-split model is deliberately NOT schedule-compatible with the
+// legacy engine: sequential activation delivers a message sent earlier
+// in a round to a node activated later in the *same* round, a dependency
+// chain through the activation permutation (plus a single global RNG
+// stream) that cannot be parallelized bit-exactly. Engines without
+// WithShards keep the legacy model unchanged — golden files recorded
+// against it stay valid — while sharded engines trade same-round
+// delivery for next-round delivery, which is the standard synchronous
+// gossip model and converges at the same asymptotic rate (each exchange
+// just spans a round boundary). See DESIGN.md for the full argument.
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"pcfreduce/internal/gossip"
+)
+
+// WithShards runs the engine's rounds in the deterministic phase-split
+// model over p contiguous node shards (p ≥ 1). Results are byte-identical
+// for every p — the shard count only selects how much of phase 1 runs
+// concurrently — so p is purely a performance knob: p=1 for strictly
+// serial execution with the same semantics, p≈GOMAXPROCS for large
+// topologies. The activation-order option is ignored in this model
+// (activation is always ascending by id, and unobservable anyway since
+// deliveries happen between rounds).
+func WithShards(p int) EngineOption {
+	if p < 1 {
+		panic(fmt.Sprintf("sim: WithShards requires p >= 1, got %d", p))
+	}
+	return func(e *Engine) { e.shards = p }
+}
+
+// Shards returns the configured shard count (0 when the engine runs the
+// legacy sequential-activation model).
+func (e *Engine) Shards() int { return e.shards }
+
+// shardState holds the executor state of the phase-split model. All
+// slices indexed by shard are touched only by the owning worker during
+// phase 1 and only by the merge loop (single-threaded) during phase 2.
+type shardState struct {
+	bounds  []int    // len shards+1; shard s owns nodes [bounds[s], bounds[s+1])
+	shardOf []int32  // node id → shard index (for pool routing at merge time)
+	nodeRNG []uint64 // per-node splitmix64 state
+
+	outbox [][]*gossip.Message // per-shard ordered sends of the current round
+	pool   [][]*gossip.Message // per-shard message free lists
+	keep   []int               // per-shard keepalive counters, folded in at merge
+
+	errs [][]float64 // per-shard Errors scratch
+	est  [][]float64 // per-shard estimate scratch
+
+	surplus []*gossip.Message // rebalancePools scratch
+
+	wg sync.WaitGroup
+}
+
+// initShards builds the shard structures; called from New and only when
+// e.shards > 0.
+func (e *Engine) initShards(seed int64) {
+	n := e.graph.N()
+	if e.shards > n && n > 0 {
+		e.shards = n // more workers than nodes is pure overhead
+	}
+	p := e.shards
+	ss := &shardState{
+		bounds:  make([]int, p+1),
+		shardOf: make([]int32, n),
+		nodeRNG: make([]uint64, n),
+		outbox:  make([][]*gossip.Message, p),
+		pool:    make([][]*gossip.Message, p),
+		keep:    make([]int, p),
+		errs:    make([][]float64, p),
+		est:     make([][]float64, p),
+	}
+	for s := 0; s <= p; s++ {
+		ss.bounds[s] = s * n / p
+	}
+	for s := 0; s < p; s++ {
+		for i := ss.bounds[s]; i < ss.bounds[s+1]; i++ {
+			ss.shardOf[i] = int32(s)
+		}
+		ss.est[s] = make([]float64, e.width)
+	}
+	// Pre-size the inboxes for the expected per-round load (one data
+	// message in expectation, Poisson tail, plus keepalives from every
+	// neighbor under a detector): without this, millions of nodes keep
+	// discovering new inbox high-water marks for thousands of rounds and
+	// the steady state never becomes allocation-free.
+	for i := range e.inbox {
+		want := 8
+		if e.det != nil {
+			want += e.graph.Degree(i)
+		}
+		if cap(e.inbox[i]) < want {
+			e.inbox[i] = make([]*gossip.Message, 0, want)
+		}
+	}
+	e.shard = ss
+	e.seedNodeRNG(seed)
+}
+
+// splitmix64 constants (Steele, Lea & Flood, OOPSLA 2014).
+const (
+	smixGamma = 0x9E3779B97F4A7C15 // golden-ratio increment
+	smixMul1  = 0xBF58476D1CE4E5B9
+	smixMul2  = 0x94D049BB133111EB
+)
+
+// mix64 is the splitmix64 output function: a bijective avalanche mix.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * smixMul1
+	z = (z ^ (z >> 27)) * smixMul2
+	return z ^ (z >> 31)
+}
+
+// seedNodeRNG derives every node's stream state from (seed, id) alone —
+// never from shard layout — so the whole communication schedule is a
+// pure function of the engine seed. The same derivation idiom as
+// experiments.deriveSeed: decorrelate the lattice of inputs through one
+// extra mix round.
+func (e *Engine) seedNodeRNG(seed int64) {
+	for i := range e.shard.nodeRNG {
+		e.shard.nodeRNG[i] = mix64(uint64(seed) ^ (uint64(i)+1)*0x632BE59BD9B4E019)
+	}
+}
+
+// draw returns a uniform value in [0, n) from node i's stream: advance
+// by the splitmix64 gamma, mix, then map into range with a 64-bit
+// multiply-shift (Lemire) — no divisions, bias below 2⁻⁴⁰ for any
+// realistic degree.
+func (e *Engine) draw(i, n int) int {
+	e.shard.nodeRNG[i] += smixGamma
+	hi, _ := bits.Mul64(mix64(e.shard.nodeRNG[i]), uint64(n))
+	return int(hi)
+}
+
+// getMsgShard takes a message off shard s's free list (phase 1: only the
+// owning worker calls this; merge: single-threaded).
+func (e *Engine) getMsgShard(s int) *gossip.Message {
+	pool := e.shard.pool[s]
+	if n := len(pool); n > 0 {
+		m := pool[n-1]
+		e.shard.pool[s] = pool[:n-1]
+		return m
+	}
+	return &gossip.Message{Flow1: gossip.NewValue(e.width), Flow2: gossip.NewValue(e.width)}
+}
+
+// putMsgShard recycles a message into shard s's free list, with the same
+// width-restoring guard as the global putMsg.
+func (e *Engine) putMsgShard(s int, m *gossip.Message) {
+	if cap(m.Flow1.X) < e.width || cap(m.Flow2.X) < e.width {
+		return
+	}
+	m.Flow1.X = m.Flow1.X[:e.width]
+	m.Flow2.X = m.Flow2.X[:e.width]
+	e.shard.pool[s] = append(e.shard.pool[s], m)
+}
+
+// stepSharded executes one phase-split round. Worker goroutines are
+// spawned only when they can actually run in parallel: with a single
+// available CPU the shards execute inline, which produces the exact
+// same results (phase 1 is order-independent across shards and the
+// merge order is fixed) without per-round scheduling cost.
+func (e *Engine) stepSharded() {
+	p := e.shards
+	if p == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for s := 0; s < p; s++ {
+			e.shardPhase1(s)
+		}
+	} else {
+		e.shard.wg.Add(p)
+		for s := 0; s < p; s++ {
+			go e.shardWorker(s)
+		}
+		e.shard.wg.Wait()
+	}
+	e.mergeOutboxes()
+	e.round++
+}
+
+func (e *Engine) shardWorker(s int) {
+	defer e.shard.wg.Done()
+	e.shardPhase1(s)
+}
+
+// shardPhase1 runs the local half-round of every node in shard s, in
+// ascending id order. It touches only node-local state plus the shard's
+// outbox, pool and keepalive counter — the invariant that makes the
+// phase embarrassingly parallel.
+func (e *Engine) shardPhase1(s int) {
+	lo, hi := e.shard.bounds[s], e.shard.bounds[s+1]
+	for i := lo; i < hi; i++ {
+		if !e.alive[i] || e.hung[i] {
+			continue
+		}
+		p := e.protos[i]
+		e.drainInboxShard(i, s)
+		if e.det != nil {
+			for _, j := range e.det[i].Check(float64(e.round)) {
+				p.OnLinkFailure(j)
+				if !e.canReint[i] {
+					e.det[i].Remove(j)
+				}
+			}
+		}
+		if live := p.LiveNeighbors(); len(live) > 0 {
+			target := int(live[e.draw(i, len(live))])
+			e.noteSent(i, target)
+			m := e.getMsgShard(s)
+			if f, ok := p.(gossip.MessageFiller); ok {
+				f.FillMessage(target, m)
+			} else {
+				*m = p.MakeMessage(target)
+			}
+			e.shard.outbox[s] = append(e.shard.outbox[s], m)
+		}
+		if e.det != nil {
+			e.shardKeepalives(i, s)
+		}
+	}
+}
+
+// drainInboxShard processes node i's frozen inbox (messages merged at
+// the end of the previous round), recycling each into the draining
+// shard's own free list.
+func (e *Engine) drainInboxShard(i, s int) {
+	for k := 0; k < len(e.inbox[i]); k++ {
+		m := e.inbox[i][k]
+		e.dispatch(i, m)
+		e.putMsgShard(s, m)
+	}
+	e.inbox[i] = e.inbox[i][:0]
+}
+
+// shardKeepalives mirrors sendKeepalives for the phase-split model:
+// keepalives and probes are queued on the shard outbox instead of being
+// delivered immediately, and counted per shard.
+func (e *Engine) shardKeepalives(i, s int) {
+	for _, j32 := range e.protos[i].LiveNeighbors() {
+		j := int(j32)
+		if e.round-e.lastSent[i][j] >= e.detCfg.KeepaliveInterval {
+			e.noteSent(i, j)
+			e.shard.keep[s]++
+			e.shard.outbox[s] = append(e.shard.outbox[s], e.makeControlShard(i, j, gossip.KindKeepalive, s))
+		}
+	}
+	for _, j := range e.det[i].Suspects() {
+		if e.round-e.lastSent[i][j] >= e.detCfg.ProbeInterval {
+			e.noteSent(i, j)
+			e.shard.keep[s]++
+			e.shard.outbox[s] = append(e.shard.outbox[s], e.makeControlShard(i, j, gossip.KindKeepalive, s))
+		}
+	}
+}
+
+// makeControlShard is makeControl drawing from shard s's free list.
+func (e *Engine) makeControlShard(from, to int, kind gossip.Kind, s int) *gossip.Message {
+	m := e.getMsgShard(s)
+	m.From, m.To, m.Kind = from, to, kind
+	m.C, m.R = 0, 0
+	m.Flow1.X = m.Flow1.X[:0]
+	m.Flow1.W = 0
+	m.Flow2.X = m.Flow2.X[:0]
+	m.Flow2.W = 0
+	return m
+}
+
+// mergeOutboxes is phase 2: route every queued message into its
+// destination inbox in ascending shard — hence ascending source id —
+// order. The order is a pure function of the round's sends, so inbox
+// contents and stateful-interceptor call sequences are identical for
+// every shard count.
+func (e *Engine) mergeOutboxes() {
+	for s := 0; s < e.shards; s++ {
+		e.keepalives += e.shard.keep[s]
+		e.shard.keep[s] = 0
+		for _, m := range e.shard.outbox[s] {
+			e.routeMerged(m)
+		}
+		e.shard.outbox[s] = e.shard.outbox[s][:0]
+	}
+	e.rebalancePools()
+}
+
+// rebalancePools evens out the per-shard free lists after the merge.
+// Messages recycle into their *destination* shard's pool, so asymmetric
+// cross-shard traffic slowly starves some pools while others grow; a
+// starved pool allocates a fresh message for every send. Skimming the
+// surplus above the mean back onto the poorer pools keeps every shard
+// allocation-free in steady state, at the cost of a few pointer moves
+// per round. Pool identity never influences results (a reused message
+// is fully overwritten before delivery), so this is invisible to the
+// byte-identical-across-P guarantee.
+func (e *Engine) rebalancePools() {
+	p := e.shards
+	if p == 1 {
+		return
+	}
+	total := 0
+	for s := 0; s < p; s++ {
+		total += len(e.shard.pool[s])
+	}
+	target := total / p
+	surplus := e.shard.surplus[:0]
+	for s := 0; s < p; s++ {
+		for len(e.shard.pool[s]) > target+1 {
+			l := len(e.shard.pool[s]) - 1
+			surplus = append(surplus, e.shard.pool[s][l])
+			e.shard.pool[s][l] = nil
+			e.shard.pool[s] = e.shard.pool[s][:l]
+		}
+	}
+	for s := 0; s < p && len(surplus) > 0; s++ {
+		for len(e.shard.pool[s]) <= target && len(surplus) > 0 {
+			l := len(surplus) - 1
+			e.shard.pool[s] = append(e.shard.pool[s], surplus[l])
+			surplus[l] = nil
+			surplus = surplus[:l]
+		}
+	}
+	e.shard.surplus = surplus[:0]
+}
+
+// routeMerged applies the legacy send-path semantics (link-failure table,
+// silencing, crash check, interceptor, replication, injection) to one
+// merged message. Dropped messages are recycled into their destination
+// shard's pool — the pool the message would have been drained into had
+// it been delivered — keeping pool occupancy P-independent.
+func (e *Engine) routeMerged(msg *gossip.Message) {
+	dst := int(e.shard.shardOf[msg.To])
+	key := linkKey(msg.From, msg.To)
+	if e.dead[key] || e.silenced[key] || !e.alive[msg.To] {
+		e.putMsgShard(dst, msg)
+		return
+	}
+	if e.interceptor == nil {
+		e.inbox[msg.To] = append(e.inbox[msg.To], msg)
+		return
+	}
+	if e.interceptor.Intercept(e.round, msg) {
+		copies := 1
+		if r, ok := e.interceptor.(Replicator); ok {
+			copies = r.Copies(e.round, msg)
+		}
+		if copies == 0 {
+			e.putMsgShard(dst, msg)
+		}
+		for k := 0; k < copies; k++ {
+			if k == 0 {
+				e.inbox[msg.To] = append(e.inbox[msg.To], msg)
+			} else {
+				e.inbox[msg.To] = append(e.inbox[msg.To], e.cloneMsgShard(msg, dst))
+			}
+		}
+	} else {
+		e.putMsgShard(dst, msg)
+	}
+	if inj, ok := e.interceptor.(Injector); ok {
+		for _, extra := range inj.Extra(e.round) {
+			k := linkKey(extra.From, extra.To)
+			if e.dead[k] || e.silenced[k] || !e.alive[extra.To] {
+				continue
+			}
+			d := int(e.shard.shardOf[extra.To])
+			e.inbox[extra.To] = append(e.inbox[extra.To], e.cloneMsgShard(&extra, d))
+		}
+	}
+}
+
+// cloneMsgShard deep-copies m into a message from shard s's pool.
+func (e *Engine) cloneMsgShard(m *gossip.Message, s int) *gossip.Message {
+	c := e.getMsgShard(s)
+	c.From, c.To, c.Kind = m.From, m.To, m.Kind
+	c.C, c.R = m.C, m.R
+	c.Flow1.CopyFrom(m.Flow1)
+	c.Flow2.CopyFrom(m.Flow2)
+	return c
+}
+
+// errorsSharded computes the per-node oracle errors with one worker per
+// shard, then concatenates the per-shard slices in shard order — the
+// same ascending-id, skip-dead sequence (and bit-identical values) as
+// the serial scan.
+func (e *Engine) errorsSharded() []float64 {
+	p := e.shards
+	if p == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for s := 0; s < p; s++ {
+			e.shard.errs[s] = e.errorsRange(s, e.shard.errs[s][:0])
+		}
+	} else {
+		e.shard.wg.Add(p)
+		for s := 0; s < p; s++ {
+			go e.errorsWorker(s)
+		}
+		e.shard.wg.Wait()
+	}
+	e.errBuf = e.errBuf[:0]
+	for s := 0; s < p; s++ {
+		e.errBuf = append(e.errBuf, e.shard.errs[s]...)
+	}
+	return e.errBuf
+}
+
+func (e *Engine) errorsWorker(s int) {
+	defer e.shard.wg.Done()
+	e.shard.errs[s] = e.errorsRange(s, e.shard.errs[s][:0])
+}
+
+// errorsRange appends the worst relative error of every alive node in
+// shard s to out, using the shard's own estimate scratch.
+func (e *Engine) errorsRange(s int, out []float64) []float64 {
+	lo, hi := e.shard.bounds[s], e.shard.bounds[s+1]
+	for i := lo; i < hi; i++ {
+		if !e.alive[i] {
+			continue
+		}
+		var est []float64
+		if ip, ok := e.protos[i].(gossip.Estimator); ok {
+			e.shard.est[s] = ip.EstimateInto(e.shard.est[s])
+			est = e.shard.est[s]
+		} else {
+			est = e.protos[i].Estimate()
+		}
+		out = append(out, e.worstErr(est))
+	}
+	return out
+}

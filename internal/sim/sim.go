@@ -131,6 +131,9 @@ type Engine struct {
 
 	interceptor Interceptor
 
+	shards int         // 0 = legacy sequential model; ≥ 1 = phase-split model
+	shard  *shardState // executor state of the phase-split model (shard.go)
+
 	msgPool []*gossip.Message // free list of width-sized messages
 	perm    []int             // activation-order scratch
 	errBuf  []float64         // Errors scratch
@@ -254,6 +257,9 @@ func New(g *topology.Graph, protos []gossip.Protocol, init []gossip.Value, seed 
 			e.lastSent[i] = make([]int, n)
 		}
 	}
+	if e.shards > 0 {
+		e.initShards(seed)
+	}
 	e.recomputeTargets()
 	return e
 }
@@ -311,6 +317,16 @@ func (e *Engine) Reset(seed int64) {
 			for j := range ls {
 				ls[j] = 0
 			}
+		}
+	}
+	if e.shards > 0 {
+		e.seedNodeRNG(seed)
+		for s := 0; s < e.shards; s++ {
+			for _, m := range e.shard.outbox[s] {
+				e.putMsgShard(s, m)
+			}
+			e.shard.outbox[s] = e.shard.outbox[s][:0]
+			e.shard.keep[s] = 0
 		}
 	}
 	e.recomputeTargets()
@@ -414,10 +430,16 @@ func (e *Engine) makeControl(from, to int, kind gossip.Kind) *gossip.Message {
 	return m
 }
 
-// Step executes one round: every live node, in activation order, first
-// processes its inbox and then pushes one message to a uniformly random
-// live neighbor.
+// Step executes one round. In the legacy model (no WithShards): every
+// live node, in activation order, first processes its inbox and then
+// pushes one message to a uniformly random live neighbor, delivered
+// immediately. With WithShards the phase-split model of shard.go runs
+// instead (frozen inboxes, next-round delivery, per-node RNG streams).
 func (e *Engine) Step() {
+	if e.shards > 0 {
+		e.stepSharded()
+		return
+	}
 	if e.order == RandomOrder {
 		e.shufflePerm()
 	}
@@ -436,7 +458,7 @@ func (e *Engine) Step() {
 			}
 		}
 		if live := p.LiveNeighbors(); len(live) > 0 {
-			target := live[e.rng.Intn(len(live))]
+			target := int(live[e.rng.Intn(len(live))])
 			e.noteSent(i, target)
 			e.send(e.makeMessage(p, target))
 		}
@@ -461,7 +483,8 @@ func (e *Engine) noteSent(i, j int) {
 // eviction neither side gossips to the other; only probes can cross a
 // recovered link).
 func (e *Engine) sendKeepalives(i int) {
-	for _, j := range e.protos[i].LiveNeighbors() {
+	for _, j32 := range e.protos[i].LiveNeighbors() {
+		j := int(j32)
 		if e.round-e.lastSent[i][j] >= e.detCfg.KeepaliveInterval {
 			e.noteSent(i, j)
 			e.keepalives++
@@ -688,7 +711,8 @@ func (e *Engine) CrashNode(i int) {
 		return
 	}
 	e.alive[i] = false
-	for _, j := range e.graph.Neighbors(i) {
+	for _, j32 := range e.graph.Neighbors(i) {
+		j := int(j32)
 		key := linkKey(i, j)
 		if e.dead[key] {
 			continue
@@ -835,6 +859,9 @@ func (e *Engine) Estimates() [][]float64 {
 // data components against the oracle aggregate. The returned slice is
 // reused across calls.
 func (e *Engine) Errors() []float64 {
+	if e.shards > 0 {
+		return e.errorsSharded()
+	}
 	e.errBuf = e.errBuf[:0]
 	for i, p := range e.protos {
 		if !e.alive[i] {
@@ -847,25 +874,31 @@ func (e *Engine) Errors() []float64 {
 		} else {
 			est = p.Estimate()
 		}
-		worst := 0.0
-		for k, t := range e.targets {
-			var err float64
-			if e.scaleErrors && e.targetScale > 0 {
-				err = math.Abs(est[k]-t) / e.targetScale
-			} else {
-				err = stats.RelErr(est[k], t)
-			}
-			if math.IsNaN(err) {
-				worst = math.NaN()
-				break
-			}
-			if err > worst {
-				worst = err
-			}
-		}
-		e.errBuf = append(e.errBuf, worst)
+		e.errBuf = append(e.errBuf, e.worstErr(est))
 	}
 	return e.errBuf
+}
+
+// worstErr returns the worst relative error of one node's estimate
+// vector against the oracle targets (NaN as soon as any component is
+// NaN), the per-node metric shared by the serial and sharded scans.
+func (e *Engine) worstErr(est []float64) float64 {
+	worst := 0.0
+	for k, t := range e.targets {
+		var err float64
+		if e.scaleErrors && e.targetScale > 0 {
+			err = math.Abs(est[k]-t) / e.targetScale
+		} else {
+			err = stats.RelErr(est[k], t)
+		}
+		if math.IsNaN(err) {
+			return math.NaN()
+		}
+		if err > worst {
+			worst = err
+		}
+	}
+	return worst
 }
 
 // MaxError returns the maximal relative local error over all alive nodes.

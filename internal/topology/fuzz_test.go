@@ -80,7 +80,8 @@ func FuzzConstructors(f *testing.F) {
 		degSum := 0
 		for i := 0; i < n; i++ {
 			seen := map[int]bool{}
-			for _, j := range g.Neighbors(i) {
+			for _, j32 := range g.Neighbors(i) {
+				j := int(j32)
 				if j == i {
 					t.Fatalf("%s: self-loop at %d", g.Name(), i)
 				}

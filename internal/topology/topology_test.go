@@ -104,7 +104,7 @@ func TestHypercube(t *testing.T) {
 	g := Hypercube(4)
 	for i := 0; i < g.N(); i++ {
 		for _, j := range g.Neighbors(i) {
-			x := i ^ j
+			x := i ^ int(j)
 			if x&(x-1) != 0 {
 				t.Fatalf("hypercube edge %d-%d differs in more than one bit", i, j)
 			}

@@ -185,6 +185,13 @@ type ReduceOptions struct {
 	// number of the completed round and the maximal relative local
 	// error it ended with.
 	Trace func(round int, maxErr float64)
+	// Shards, when > 0, runs the reduction on the sharded executor with
+	// that many worker shards. Results are byte-identical for any
+	// Shards ≥ 1 (only wall-clock time changes), but the sharded
+	// executor's deterministic schedule differs from the default
+	// sequential one, so Shards=0 and Shards=1 runs are distinct
+	// reproducible experiments.
+	Shards int
 }
 
 // LinkFailure schedules a permanent link failure for Reduce.
@@ -231,12 +238,19 @@ func Reduce(inputs []float64, algo Algorithm, opt ReduceOptions) (ReduceResult, 
 	if !opt.Topology.IsConnected() {
 		return ReduceResult{}, errors.New("pcfreduce: topology must be connected")
 	}
+	if opt.Shards < 0 {
+		return ReduceResult{}, fmt.Errorf("pcfreduce: ReduceOptions.Shards is %d, want ≥ 0", opt.Shards)
+	}
 	applyReduceDefaults(&opt, n)
 	protos := make([]Protocol, n)
 	for i := range protos {
 		protos[i] = algo.NewNode()
 	}
-	e := sim.NewScalar(opt.Topology, protos, inputs, opt.Aggregate, opt.Seed)
+	var simOpts []sim.EngineOption
+	if opt.Shards > 0 {
+		simOpts = append(simOpts, sim.WithShards(opt.Shards))
+	}
+	e := sim.NewScalar(opt.Topology, protos, inputs, opt.Aggregate, opt.Seed, simOpts...)
 	if opt.LossRate > 0 {
 		e.SetInterceptor(fault.NewLoss(opt.LossRate, opt.Seed+1))
 	}

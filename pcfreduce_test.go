@@ -293,3 +293,42 @@ func TestWeightedReduce(t *testing.T) {
 		t.Fatal("zero weight accepted")
 	}
 }
+
+// Reduce with Shards set runs on the sharded executor: converged result,
+// byte-identical across shard counts, and negative counts rejected.
+func TestReduceSharded(t *testing.T) {
+	g := pcfreduce.Hypercube(5)
+	in := inputsFor(g)
+	run := func(shards int) pcfreduce.ReduceResult {
+		res, err := pcfreduce.Reduce(in, pcfreduce.PCF, pcfreduce.ReduceOptions{
+			Topology: g,
+			Eps:      1e-13,
+			Shards:   shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("shards=%d not converged: %.3e", shards, res.MaxError)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, p := range []int{2, 8} {
+		got := run(p)
+		if got.Rounds != ref.Rounds {
+			t.Fatalf("shards=%d took %d rounds, shards=1 took %d", p, got.Rounds, ref.Rounds)
+		}
+		for i := range ref.Estimates {
+			if math.Float64bits(got.Estimates[i]) != math.Float64bits(ref.Estimates[i]) {
+				t.Fatalf("shards=%d node %d estimate differs from shards=1", p, i)
+			}
+		}
+	}
+	if _, err := pcfreduce.Reduce(in, pcfreduce.PCF, pcfreduce.ReduceOptions{
+		Topology: g,
+		Shards:   -2,
+	}); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+}
