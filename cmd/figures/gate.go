@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"os"
+
+	"pcfreduce/internal/experiments"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/sim"
+	"pcfreduce/internal/topology"
+)
+
+// gateTolerance is the allowed ns/op regression of the sharded PCF
+// round against the recorded baseline. The metrics layer must be free
+// when disabled (≤1% by design; see DESIGN.md), so a 5% gate leaves
+// room for CI scheduling noise while still catching any real cost
+// creeping onto the hot path.
+const gateTolerance = 1.05
+
+// runBenchGate is the CI regression gate: it re-measures the largest
+// n-scaling point of the recorded baseline (the sharded PCF round at
+// n = 2^17, metrics disabled — the default engine state) and exits
+// non-zero when ns/op regresses more than 5% or allocs/op exceed the
+// recorded count.
+//
+// Gate machines differ from the recording machine, so the baseline is
+// first normalized by machine speed: the sequential PCF round at the
+// same n is measured alongside and the recorded sharded ns/op is scaled
+// by measured_seq / recorded_seq before comparing. That ratio captures
+// single-core speed; extra cores only make the measured sharded round
+// faster, so the normalization errs toward leniency on big machines and
+// never produces a false failure from hardware alone.
+func runBenchGate(path string, seed int64) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", path, err))
+	}
+	var base *scalingEntry
+	for i := range rep.NScaling {
+		if base == nil || rep.NScaling[i].N > base.N {
+			base = &rep.NScaling[i]
+		}
+	}
+	if base == nil {
+		fatal(fmt.Errorf("%s has no n_scaling series to gate against", path))
+	}
+	if base.N&(base.N-1) != 0 {
+		fatal(fmt.Errorf("%s: n_scaling n=%d is not a hypercube size", path, base.N))
+	}
+	dim := bits.Len(uint(base.N)) - 1
+	g := topology.Hypercube(dim)
+	n := g.N()
+	in := experiments.UniformInputs(n, seed)
+
+	seq := benchRound(sim.NewScalar(g, experiments.PCF.Protos(n), in, gossip.Average, seed))
+	shd := benchRound(sim.NewScalar(g, experiments.PCF.Protos(n), in, gossip.Average, seed,
+		sim.WithShards(base.Shards)))
+
+	scale := float64(seq.NsPerOp()) / base.SequentialNsPerOp
+	allowed := base.ShardedNsPerOp * scale * gateTolerance
+	measured := float64(shd.NsPerOp())
+	fmt.Printf("bench-gate %s n=%d shards=%d (metrics disabled)\n", g.Name(), n, base.Shards)
+	fmt.Printf("  sequential calibration: measured %.0f ns/op vs recorded %.0f (machine scale %.3f)\n",
+		float64(seq.NsPerOp()), base.SequentialNsPerOp, scale)
+	fmt.Printf("  sharded round: measured %.0f ns/op, allowed %.0f (recorded %.0f × scale × %.2f)\n",
+		measured, allowed, base.ShardedNsPerOp, gateTolerance)
+	fmt.Printf("  allocs/op: measured %d, recorded %d\n", shd.AllocsPerOp(), base.ShardedAllocsOp)
+
+	failed := false
+	if measured > allowed {
+		fmt.Printf("FAIL: sharded PCF round regressed %.1f%% over the normalized baseline (gate: %.0f%%)\n",
+			100*(measured/(base.ShardedNsPerOp*scale)-1), 100*(gateTolerance-1))
+		failed = true
+	}
+	if shd.AllocsPerOp() > base.ShardedAllocsOp {
+		fmt.Printf("FAIL: sharded PCF round allocates %d/op, baseline %d/op\n",
+			shd.AllocsPerOp(), base.ShardedAllocsOp)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("bench-gate OK")
+}

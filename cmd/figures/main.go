@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"pcfreduce/internal/experiments"
+	"pcfreduce/internal/metrics"
 	"pcfreduce/internal/profiling"
 	"pcfreduce/internal/trace"
 )
@@ -36,11 +37,15 @@ func main() {
 		qrDim = flag.Int("qrdim", 8, "max hypercube dimension for Fig. 8 (paper: 10)")
 		seed  = flag.Int64("seed", 1, "base random seed")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		bench = flag.String("bench-json", "", "measure the simulator hot path and write results to this JSON file (e.g. benches/BENCH_sim.json)")
+		bench     = flag.String("bench-json", "", "measure the simulator hot path and write results to this JSON file (e.g. benches/BENCH_sim.json)")
+		benchGate = flag.String("bench-gate", "", "re-measure the sharded PCF round (metrics disabled) against the recorded baseline in this JSON file and exit non-zero on a >5% ns/op or any allocs/op regression")
 
 		shards     = flag.Int("shards", 8, "shard count for the sharded-executor series of -bench-json")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		metricsEvery = flag.Int("metrics", 0, "for the failure figures (4, 7): sample the invariant probes every K iterations and print each run's metrics table (0 = off)")
+		eventsOut    = flag.String("events", "", `for the failure figures (4, 7): write each run's trace events as JSONL to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -77,7 +82,7 @@ func main() {
 		ran = true
 	}
 	if runFig(4) {
-		failureFigure(emit, "Figure 4 — PF, single permanent link failure", experiments.PushFlow, *seed)
+		failureFigure(emit, "Figure 4 — PF, single permanent link failure", experiments.PushFlow, *seed, *metricsEvery, *eventsOut)
 		ran = true
 	}
 	if runFig(6) {
@@ -85,7 +90,7 @@ func main() {
 		ran = true
 	}
 	if runFig(7) {
-		failureFigure(emit, "Figure 7 — PCF, single permanent link failure", experiments.PCF, *seed)
+		failureFigure(emit, "Figure 7 — PCF, single permanent link failure", experiments.PCF, *seed, *metricsEvery, *eventsOut)
 		ran = true
 	}
 	if runFig(8) {
@@ -134,6 +139,10 @@ func main() {
 	}
 	if *bench != "" {
 		writeBenchJSON(*bench, *seed, *shards)
+		ran = true
+	}
+	if *benchGate != "" {
+		runBenchGate(*benchGate, *seed)
 		ran = true
 	}
 	if !ran {
@@ -198,10 +207,13 @@ func accuracyFigure(emit func(*trace.Table), title string, algo experiments.Algo
 	emit(t)
 }
 
-func failureFigure(emit func(*trace.Table), title string, algo experiments.Algorithm, seed int64) {
+func failureFigure(emit func(*trace.Table), title string, algo experiments.Algorithm, seed int64, metricsEvery int, eventsPath string) {
 	for _, failAt := range []int{75, 175} {
 		cfg := experiments.DefaultFailureConfig(algo, failAt)
 		cfg.Seed = seed
+		if metricsEvery > 0 || eventsPath != "" {
+			cfg.Metrics = metrics.New(metrics.Config{Interval: max(1, metricsEvery)})
+		}
 		res := experiments.Failure(cfg)
 		t := trace.NewTable(
 			fmt.Sprintf("%s at iteration %d (6D hypercube, 200 iterations; fall-back factor %.3g)",
@@ -213,6 +225,32 @@ func failureFigure(emit func(*trace.Table), title string, algo experiments.Algor
 			}
 		}
 		emit(t)
+		if cfg.Metrics != nil {
+			if metricsEvery > 0 {
+				emit(cfg.Metrics.Table())
+			}
+			if eventsPath != "" {
+				writeEventsJSONL(cfg.Metrics, eventsPath)
+			}
+		}
+	}
+}
+
+// writeEventsJSONL appends one run's trace events to the given path
+// ("-" = stdout). The failure figures run twice (failAt 75 and 175), so
+// the file accumulates both traces in run order.
+func writeEventsJSONL(rec *metrics.Recorder, path string) {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.WriteEventsJSONL(w); err != nil {
+		fatal(err)
 	}
 }
 

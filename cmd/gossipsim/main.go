@@ -37,6 +37,7 @@ import (
 	"pcfreduce/internal/experiments"
 	"pcfreduce/internal/fault"
 	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/metrics"
 	"pcfreduce/internal/profiling"
 	"pcfreduce/internal/sim"
 	"pcfreduce/internal/topology"
@@ -77,6 +78,10 @@ func main() {
 		shards     = flag.Int("shards", 0, "run round-simulator reductions on the sharded executor with this many shards (0 = sequential); results are byte-identical for any shards ≥ 1")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		metricsEvery = flag.Int("metrics", 0, "sample the invariant probes (mass residual, in-flight weight, error quantiles, flow anti-symmetry) every K rounds and print the sample table at the end (0 = off)")
+		eventsOut    = flag.String("events", "", `write the trace-event ring (faults, evictions, reintegrations, convergence epochs) as JSONL to this file ("-" = stdout)`)
+		metricsAddr  = flag.String("metrics-addr", "", "with -concurrent: serve Prometheus text at /metrics, expvar at /debug/vars and pprof at /debug/pprof/ on this address for the duration of the run")
 	)
 	flag.Parse()
 
@@ -87,7 +92,7 @@ func main() {
 	defer stopProfiles()
 
 	if *sweepMode {
-		runSweep(*workers, *shards, *seed, *rounds, *sweepJSON)
+		runSweep(*workers, *shards, *seed, *rounds, *sweepJSON, *metricsEvery)
 		return
 	}
 
@@ -153,7 +158,9 @@ func main() {
 		} else {
 			fmt.Println("note: silent faults without -detect — nobody will ever evict the failed components")
 		}
-		runDetect(g, algo, agg, inputs, *eps, *seed, *rounds, *shards, plan, dc, *traceEvery)
+		rec := newRecorder(*metricsEvery, *traceEvery, *shards, *eventsOut)
+		runDetect(g, algo, agg, inputs, *eps, *seed, *rounds, *shards, plan, dc, *traceEvery, rec)
+		reportMetrics(rec, *metricsEvery > 0, *eventsOut)
 		return
 	}
 
@@ -167,21 +174,29 @@ func main() {
 	}
 
 	if *concurrent {
+		rec := newRecorder(*metricsEvery, *traceEvery, 1, *eventsOut)
+		if rec == nil && *metricsAddr != "" {
+			rec = metrics.New(metrics.Config{Concurrent: true})
+		}
 		res, err := pcfreduce.ReduceConcurrent(context.Background(), inputs, algo, pcfreduce.ConcurrentOptions{
-			Topology:  g,
-			Aggregate: agg,
-			Eps:       *eps,
-			Timeout:   *timeout,
-			Seed:      *seed,
+			Topology:    g,
+			Aggregate:   agg,
+			Eps:         *eps,
+			Timeout:     *timeout,
+			Seed:        *seed,
+			Metrics:     rec,
+			MetricsAddr: *metricsAddr,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("concurrent run: converged=%v maxErr=%.3e exact=%.6g node0=%.6g\n",
 			res.Converged, res.MaxError, res.Exact, res.Estimates[0])
+		reportMetrics(rec, *metricsEvery > 0, *eventsOut)
 		return
 	}
 
+	rec := newRecorder(*metricsEvery, *traceEvery, *shards, *eventsOut)
 	opt := pcfreduce.ReduceOptions{
 		Topology:  g,
 		Aggregate: agg,
@@ -190,6 +205,7 @@ func main() {
 		Seed:      *seed,
 		LossRate:  *loss,
 		Shards:    *shards,
+		Metrics:   rec,
 	}
 	if *failLink != "" {
 		for _, spec := range strings.Split(*failLink, ",") {
@@ -214,20 +230,91 @@ func main() {
 			opt.NodeCrashes = append(opt.NodeCrashes, pcfreduce.NodeCrash{Round: r, Node: nd})
 		}
 	}
-	if *traceEvery > 0 {
-		every := *traceEvery
-		opt.Trace = func(round int, maxErr float64) {
-			if (round+1)%every == 0 {
-				fmt.Printf("  round %5d  max local error %.3e\n", round+1, maxErr)
-			}
-		}
-	}
+	opt.Trace = traceFunc(*traceEvery, rec)
 	res, err := pcfreduce.Reduce(inputs, algo, opt)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("finished after %d rounds: converged=%v maxErr=%.3e\n", res.Rounds, res.Converged, res.MaxError)
 	fmt.Printf("exact aggregate %.9g; node 0 estimates %.9g\n", res.Exact, res.Estimates[0])
+	reportMetrics(rec, *metricsEvery > 0, *eventsOut)
+}
+
+// newRecorder builds the run's metrics recorder. All three observation
+// flags (-metrics, -events, -trace) share it, so there is exactly one
+// probing code path: -trace alone samples at the trace cadence (that is
+// where its mass-residual column comes from), -metrics sets its own
+// cadence and additionally prints the sample table, and -events only
+// needs the ring. Returns nil — the recorder that costs nothing — when
+// no observation was requested.
+func newRecorder(metricsEvery, traceEvery, shards int, eventsPath string) *metrics.Recorder {
+	if metricsEvery <= 0 && traceEvery <= 0 && eventsPath == "" {
+		return nil
+	}
+	interval := metricsEvery
+	if interval <= 0 {
+		interval = traceEvery
+	}
+	return metrics.New(metrics.Config{Shards: max(1, shards), Interval: interval})
+}
+
+// traceFunc returns the per-round trace printer. With a recorder
+// attached the printer reads the round's invariant sample, so the trace
+// reports the global mass-conservation residual alongside the oracle
+// error through the same probe -metrics uses.
+func traceFunc(every int, rec *metrics.Recorder) func(round int, maxErr float64) {
+	if every <= 0 {
+		return nil
+	}
+	return func(round int, maxErr float64) {
+		if round%every != 0 {
+			return
+		}
+		if rec.LastRound() == round {
+			s, _ := rec.Last()
+			fmt.Printf("  round %5d  max local error %.3e  mass residual %.3e\n",
+				round, maxErr, float64(s.MassResidual))
+			return
+		}
+		fmt.Printf("  round %5d  max local error %.3e\n", round, maxErr)
+	}
+}
+
+// reportMetrics prints the sample table (under -metrics) and writes the
+// event trace (under -events) once the run is over.
+func reportMetrics(rec *metrics.Recorder, table bool, eventsPath string) {
+	if rec == nil {
+		return
+	}
+	if table {
+		fmt.Print(rec.Table().String())
+		snap := rec.Counters()
+		fmt.Printf("counters: sent=%d delivered=%d lost=%d dropped=%d corrupted=%d keepalives=%d suspicions=%d evictions=%d reintegrations=%d freelist=%d/%d\n",
+			snap.Get(metrics.MsgsSent), snap.Get(metrics.MsgsDelivered),
+			snap.Get(metrics.MsgsLost), snap.Get(metrics.MsgsDropped),
+			snap.Get(metrics.MsgsCorrupted), snap.Get(metrics.Keepalives),
+			snap.Get(metrics.Suspicions), snap.Get(metrics.Evictions),
+			snap.Get(metrics.Reintegrations),
+			snap.Get(metrics.FreeListHits), snap.Get(metrics.FreeListHits)+snap.Get(metrics.FreeListMisses))
+	}
+	if eventsPath == "" {
+		return
+	}
+	w := os.Stdout
+	if eventsPath != "-" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.WriteEventsJSONL(w); err != nil {
+		fatal(err)
+	}
+	if dropped := rec.EventsDropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "gossipsim: %d oldest trace events overwritten (ring full)\n", dropped)
+	}
 }
 
 // runSweep executes the standard experiment grid (experiments.DefaultSweep)
@@ -237,7 +324,7 @@ func main() {
 // byte-identical across shard counts — so -workers and -shards only
 // trade wall-clock time (shards > 0 does select the sharded executor's
 // own deterministic schedule, a different experiment from shards = 0).
-func runSweep(workers, shards int, seed int64, rounds int, jsonPath string) {
+func runSweep(workers, shards int, seed int64, rounds int, jsonPath string, metricsEvery int) {
 	cfg := experiments.DefaultSweep()
 	cfg.Workers = workers
 	cfg.Shards = shards
@@ -246,6 +333,10 @@ func runSweep(workers, shards int, seed int64, rounds int, jsonPath string) {
 		cfg.MaxRounds = rounds
 	}
 	cfg.Record = jsonPath != ""
+	if metricsEvery > 0 {
+		cfg.Metrics = true
+		cfg.MetricsEvery = metricsEvery
+	}
 	start := time.Now()
 	res, err := experiments.Sweep(cfg)
 	if err != nil {
@@ -294,7 +385,7 @@ func runEvent(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggreg
 // runDetect drives the round simulator directly (below the public
 // facade, like runEvent) with a failure plan of silent faults and,
 // optionally, the oracle-free detector.
-func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggregate, inputs []float64, eps float64, seed int64, rounds, shards int, plan *fault.Plan, dc *sim.DetectorConfig, traceEvery int) {
+func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggregate, inputs []float64, eps float64, seed int64, rounds, shards int, plan *fault.Plan, dc *sim.DetectorConfig, traceEvery int, rec *metrics.Recorder) {
 	protos := make([]pcfreduce.Protocol, g.N())
 	for i := range protos {
 		protos[i] = algo.NewNode()
@@ -311,17 +402,13 @@ func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggre
 		opts = append(opts, sim.WithShards(shards))
 	}
 	e := sim.New(g, protos, init, seed, opts...)
+	if rec != nil {
+		e.SetMetrics(rec)
+	}
 	if rounds == 0 {
 		rounds = 20000
 	}
-	cfg := sim.RunConfig{MaxRounds: rounds, Eps: eps, OnRound: plan.OnRound}
-	if traceEvery > 0 {
-		cfg.AfterRound = func(round int, maxErr float64) {
-			if round%traceEvery == 0 {
-				fmt.Printf("  round %5d  max local error %.3e\n", round, maxErr)
-			}
-		}
-	}
+	cfg := sim.RunConfig{MaxRounds: rounds, Eps: eps, OnRound: plan.OnRound, AfterRound: traceFunc(traceEvery, rec)}
 	res := e.Run(cfg)
 	// The oracle error cannot cross the eviction-bias floor after a
 	// silent crash (mass drained into the dead links is absorbed at

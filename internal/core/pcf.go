@@ -500,6 +500,22 @@ func (n *Node) Slots(neighbor int) (f [2]gossip.Value, ok bool) {
 	return [2]gossip.Value{n.slots[2*k].Clone(), n.slots[2*k+1].Clone()}, true
 }
 
+// SlotViews implements gossip.SlotsViewer: the non-cloning form of
+// Slots for the metrics anti-symmetry probe. The returned views alias
+// the node's slot backing and are valid only until its next state
+// change.
+func (n *Node) SlotViews(neighbor int) (f [2]gossip.Value, ok bool) {
+	k := n.edgeIndex(neighbor)
+	if k < 0 {
+		return f, false
+	}
+	return [2]gossip.Value{n.slots[2*k], n.slots[2*k+1]}, true
+}
+
+// LocalValueInto implements gossip.MassReader: LocalValue without the
+// allocation.
+func (n *Node) LocalValueInto(dst *gossip.Value) { n.localInto(dst) }
+
 func remove(list []int32, x int32) []int32 {
 	out := list[:0]
 	for _, v := range list {

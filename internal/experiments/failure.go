@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"pcfreduce/internal/fault"
+	"pcfreduce/internal/metrics"
 	"pcfreduce/internal/sim"
 	"pcfreduce/internal/stats"
 	"pcfreduce/internal/topology"
@@ -31,6 +32,10 @@ type FailureConfig struct {
 	// lost) instead of the paper's quiescent model; see
 	// sim.Engine.FailLinkAbrupt and EXP-H.
 	Abrupt bool
+	// Metrics, when non-nil, is attached to the engine for the run, so
+	// the figure drivers can record invariant samples and the failure's
+	// event trace alongside the error series.
+	Metrics *metrics.Recorder
 }
 
 // DefaultFailureConfig returns the paper's setup for a given algorithm
@@ -75,6 +80,9 @@ func Failure(cfg FailureConfig) FailureResult {
 	}
 	plan := fault.NewPlan(ev)
 	e := sim0(g, cfg.Algorithm.Protos(g.N()), inputs, cfg.Seed)
+	if cfg.Metrics != nil {
+		e.SetMetrics(cfg.Metrics)
+	}
 	res := e.Run(sim.RunConfig{
 		MaxRounds: cfg.Rounds,
 		Record:    true,

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"pcfreduce/internal/fault"
+	"pcfreduce/internal/topology"
+)
+
+// TestSweepMetricsTransparent is the differential proof that observation
+// never perturbs the experiment: the same sweep with metrics on and off
+// must produce byte-identical result JSON (after stripping the metrics
+// fields themselves), for both the sequential and the sharded executor.
+// Any recorder touch that consumed RNG state, reordered messages or
+// leaked across trials would show up here as a diff.
+func TestSweepMetricsTransparent(t *testing.T) {
+	base := SweepConfig{
+		Topologies: []SweepTopology{
+			{Name: "hypercube5", Graph: topology.Hypercube(5)},
+			{Name: "ring24", Graph: topology.Ring(24)},
+		},
+		// No push-flow here: PF's early rounds legitimately report an
+		// infinite max error (a node's weight can transiently hit 0) and
+		// SweepResult.JSON rejects non-finite series.
+		Algorithms: []Algorithm{PCF, FlowUpdating},
+		Plans: []SweepPlan{
+			{Name: "none"},
+			{Name: "linkfail@15", Events: []fault.Event{fault.LinkFailure(15, 0, 1)}},
+		},
+		Trials:    2,
+		RootSeed:  7,
+		MaxRounds: 40,
+		Record:    true,
+	}
+	for _, shards := range []int{1, 8} {
+		cfg := base
+		cfg.Shards = shards
+		// Workers stays 0: Sweep budgets the pool itself, which is the
+		// only setting valid on every GOMAXPROCS.
+
+		off, err := Sweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cfg.Metrics = true
+		cfg.MetricsEvery = 10
+		on, err := Sweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range on.Trials {
+			if len(on.Trials[i].Metrics) == 0 {
+				t.Errorf("shards=%d trial %d: metrics on but no samples recorded", shards, i)
+			}
+			on.Trials[i].Metrics = nil
+			on.Trials[i].Events = nil
+		}
+
+		if a, b := off.JSON(), on.JSON(); !bytes.Equal(a, b) {
+			t.Errorf("shards=%d: sweep JSON differs with metrics on (after stripping metrics fields)\noff: %d bytes\non:  %d bytes",
+				shards, len(a), len(b))
+		}
+	}
+}
+
+// TestSweepMetricsPerTrial checks the harvest wiring: each trial gets
+// its own recorder, so the metrics history must restart from the
+// trial's own rounds and the fault plan's events must appear in the
+// trials that ran under it.
+func TestSweepMetricsPerTrial(t *testing.T) {
+	res, err := Sweep(SweepConfig{
+		Topologies:   []SweepTopology{{Name: "hypercube5", Graph: topology.Hypercube(5)}},
+		Algorithms:   []Algorithm{PCF},
+		Plans:        []SweepPlan{{Name: "linkfail@8", Events: []fault.Event{fault.LinkFailure(8, 0, 1)}}},
+		Trials:       3,
+		RootSeed:     11,
+		MaxRounds:    30,
+		Metrics:      true,
+		MetricsEvery: 10,
+		Workers:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Trials {
+		if len(tr.Metrics) == 0 {
+			t.Fatalf("trial %d: no metrics", tr.Trial)
+		}
+		if first := tr.Metrics[0].Round; first != 10 {
+			t.Errorf("trial %d: first sample at round %d, want 10 (fresh recorder per trial)", tr.Trial, first)
+		}
+		foundFail := false
+		for _, ev := range tr.Events {
+			if ev.Kind.String() == "link-fail" && ev.Round == 8 {
+				foundFail = true
+			}
+		}
+		if !foundFail {
+			t.Errorf("trial %d: link-fail@8 not in event trace: %v", tr.Trial, tr.Events)
+		}
+	}
+}

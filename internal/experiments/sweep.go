@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"pcfreduce/internal/fault"
+	"pcfreduce/internal/metrics"
 	"pcfreduce/internal/sim"
 	"pcfreduce/internal/stats"
 	"pcfreduce/internal/topology"
@@ -64,6 +65,15 @@ type SweepConfig struct {
 	// counts but distinct from the default sequential model — so golden
 	// files recorded with Shards=0 stay valid only at Shards=0.
 	Shards int
+	// Metrics attaches one fresh metrics.Recorder per trial and stores
+	// its sample history and event trace in the trial result. Metrics
+	// never perturb the schedule: a sweep with Metrics on produces
+	// byte-identical results (minus the metrics fields themselves) to
+	// the same sweep with Metrics off (enforced by
+	// TestSweepMetricsTransparent).
+	Metrics bool
+	// MetricsEvery is the sampling cadence in rounds (default 10).
+	MetricsEvery int
 }
 
 // Validate checks the nested-parallelism budget the same way
@@ -106,6 +116,9 @@ func (c SweepConfig) normalized() SweepConfig {
 			c.Workers = max(1, runtime.GOMAXPROCS(0)/c.Shards)
 		}
 	}
+	if c.MetricsEvery <= 0 {
+		c.MetricsEvery = 10
+	}
 	return c
 }
 
@@ -125,6 +138,12 @@ type TrialResult struct {
 
 	// Series is present only under SweepConfig.Record.
 	Series stats.Series `json:"series,omitempty"`
+
+	// Metrics and Events are present only under SweepConfig.Metrics: the
+	// trial's per-interval invariant samples and its fault/detector event
+	// trace.
+	Metrics []metrics.Sample `json:"metrics,omitempty"`
+	Events  []metrics.Event  `json:"events,omitempty"`
 }
 
 // SweepResult is the full grid outcome, in flattened grid order
@@ -209,6 +228,14 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 					e = sim0(tp.Graph, cfg.Algorithms[jb.ai].Protos(tp.Graph.N()), inputs[jb.ti], seed, opts...)
 					engines[cell] = e
 				}
+				var rec *metrics.Recorder
+				if cfg.Metrics {
+					rec = metrics.New(metrics.Config{
+						Shards:   max(1, cfg.Shards),
+						Interval: cfg.MetricsEvery,
+					})
+					e.SetMetrics(rec)
+				}
 				res := e.Run(sim.RunConfig{
 					MaxRounds: cfg.MaxRounds,
 					Eps:       cfg.Eps,
@@ -231,6 +258,10 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 				}
 				if cfg.Record {
 					tr.Series = res.Series
+				}
+				if rec != nil {
+					tr.Metrics = rec.History()
+					tr.Events = rec.Events()
 				}
 				results[jb.idx] = tr
 			}

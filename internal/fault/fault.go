@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/metrics"
 	"pcfreduce/internal/sim"
 )
 
@@ -67,9 +68,16 @@ type BitFlip struct {
 	// Bounded restricts flips to mantissa and sign bits.
 	Bounded bool
 	rng     *rand.Rand
+	rec     *metrics.Recorder
 	// Flips counts injected flips, for test assertions.
 	Flips int
 }
+
+// SetRecorder attaches a metrics recorder: every injected flip also
+// increments the msgs_corrupted counter (nil detaches). The simulator
+// invokes interceptors single-threaded; the runtime wraps them in
+// Locked — either way IncShared is safe.
+func (b *BitFlip) SetRecorder(rec *metrics.Recorder) { b.rec = rec }
 
 // NewBitFlip returns a seeded full-range (all 64 bits) flip injector.
 func NewBitFlip(p float64, seed int64) *BitFlip {
@@ -116,6 +124,7 @@ func (b *BitFlip) Intercept(round int, msg *gossip.Message) bool {
 	}
 	*target = math.Float64frombits(math.Float64bits(*target) ^ (1 << bit))
 	b.Flips++
+	b.rec.IncShared(metrics.MsgsCorrupted)
 	return true
 }
 

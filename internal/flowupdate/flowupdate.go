@@ -248,6 +248,20 @@ func (n *Node) Flow(neighbor int) gossip.Value {
 	return gossip.NewValue(n.width)
 }
 
+// FlowView implements gossip.FlowViewer: the non-cloning Flow used by
+// the metrics anti-symmetry probe. The view aliases the node's flow
+// backing and is valid only until its next state change.
+func (n *Node) FlowView(neighbor int) (gossip.Value, bool) {
+	if k := n.indexOf(neighbor); k >= 0 {
+		return n.flowList[k], true
+	}
+	return gossip.Value{}, false
+}
+
+// LocalValueInto implements gossip.MassReader: LocalValue without the
+// allocation.
+func (n *Node) LocalValueInto(dst *gossip.Value) { n.localInto(dst) }
+
 func remove(list []int32, x int32) []int32 {
 	out := list[:0]
 	for _, v := range list {

@@ -179,3 +179,32 @@ type Flows interface {
 	// of the two live slots).
 	Flow(neighbor int) Value
 }
+
+// MassReader is an optional Protocol extension for allocation-free
+// invariant probes: LocalValueInto writes the node's current local mass
+// (the LocalValue result) into dst, reusing dst's backing, instead of
+// allocating a fresh Value. The metrics layer sums these across a
+// million nodes every probe, so the per-node allocation of LocalValue
+// would dominate; all protocols in this repository implement it.
+type MassReader interface {
+	LocalValueInto(dst *Value)
+}
+
+// FlowViewer is an optional Flows refinement for allocation-free
+// probes: FlowView returns a read-only view of the node's current flow
+// toward the neighbor — the returned Value aliases internal state and
+// is valid only until the protocol's next state change — and reports
+// whether the neighbor is tracked at all. Single-flow protocols (PF,
+// FU) implement it; PCF exposes SlotsViewer instead because its
+// per-edge state is a slot pair.
+type FlowViewer interface {
+	FlowView(neighbor int) (Value, bool)
+}
+
+// SlotsViewer is the PCF counterpart of FlowViewer: a read-only,
+// non-cloning view of the two cancellation slots for the given
+// neighbor. The anti-symmetry invariant holds per slot, with a
+// cancelled (zero) side exempt — see the property tests.
+type SlotsViewer interface {
+	SlotViews(neighbor int) (f [2]Value, ok bool)
+}

@@ -1,0 +1,312 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"sync"
+
+	"pcfreduce/internal/stats"
+)
+
+// Float is a float64 that survives JSON encoding when non-finite:
+// NaN and ±Inf marshal as null (encoding/json rejects them outright),
+// and null unmarshals back to NaN. Sample fields use it because probe
+// outputs are legitimately NaN before any data exists.
+type Float float64
+
+// MarshalJSON writes the value, or null when non-finite.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// UnmarshalJSON reads a number or null (null → NaN).
+func (f *Float) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = Float(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// Sample is one probe of the invariants and counters, taken every K
+// rounds (simulator) or monitor ticks (concurrent runtime) — never on
+// the per-message path.
+type Sample struct {
+	// Round is the engine round (simulator) or monitor tick (runtime)
+	// the sample was taken at.
+	Round int `json:"round"`
+	// TimeS is seconds since Run started (concurrent runtime only).
+	TimeS Float `json:"t,omitempty"`
+	// MaxErr is the oracle maximum relative local error.
+	MaxErr Float `json:"max_err"`
+	// P50, P90, P99 are streaming P² estimates of the per-node error
+	// quantiles.
+	P50 Float `json:"p50_err"`
+	P90 Float `json:"p90_err"`
+	P99 Float `json:"p99_err"`
+	// MassResidual is the global mass-conservation residual: the
+	// mass-weighted global estimate Σx/Σw over live nodes against the
+	// oracle target, relative, worst component. The ratio form is
+	// invariant to mass in flight (sends remove proportional x and w),
+	// so it is observable per round: a few ulps for PCF, drifting for
+	// protocols whose flows grow into cancellation (the paper's PF
+	// failure mode).
+	MassResidual Float `json:"mass_residual"`
+	// InFlight is the fraction of global weight currently in transit:
+	// |W0 − Σw|/W0 over live nodes. A load/health signal, not an
+	// invariant — in the phase-split model roughly half the weight is
+	// legitimately in flight at any barrier.
+	InFlight Float `json:"inflight_weight"`
+	// AntiSym counts directed edges whose mirror flows are not bitwise
+	// anti-symmetric at the probe instant. Edges with an exchange in
+	// flight legitimately count, so per-round values track churn; at
+	// quiescence (after Drain, legacy engine) it must be 0. -1 when the
+	// protocol exposes no flow state (push-sum) or the engine cannot
+	// probe it consistently (concurrent runtime).
+	AntiSym int `json:"antisym_violations"`
+	// Counters is the merged counter snapshot at the probe instant.
+	Counters Snapshot `json:"counters"`
+}
+
+// epochThresholds are the convergence decades that emit EvEpochCrossed
+// events the first time the sampled max error reaches them.
+var epochThresholds = [...]float64{1e-3, 1e-6, 1e-9, 1e-12}
+
+// Config sizes a Recorder.
+type Config struct {
+	// Shards is how many single-writer counter banks to allocate (≥ 1).
+	// Engines grow this on attach to match their shard count, so 0 is
+	// fine.
+	Shards int
+	// Interval is the sampling cadence in rounds (simulator) or monitor
+	// ticks (runtime). Default 1.
+	Interval int
+	// EventCapacity is the trace ring size; oldest events are
+	// overwritten beyond it. Default 512.
+	EventCapacity int
+	// Concurrent also allocates the shared atomic bank — required when
+	// the recorder is attached to the concurrent runtime. The runtime
+	// ensures this itself on attach.
+	Concurrent bool
+}
+
+// Recorder accumulates counters, invariant samples and trace events for
+// one engine run. A nil *Recorder is a valid disabled recorder: every
+// method is a no-op (or zero answer), so engines are written without
+// enabled/disabled branches.
+//
+// Concurrency contract: Bank(s) banks are single-writer (the owning
+// shard worker) and read only at round barriers; Atomic() is safe from
+// anywhere; RecordEvent/RecordSample/Events/History take internal
+// locks.
+type Recorder struct {
+	interval int
+	banks    []Bank
+	atomic   *AtomicBank
+	ring     ring
+
+	mu        sync.Mutex
+	history   []Sample
+	lastRound int
+	epoch     int
+
+	p50, p90, p99 stats.P2
+}
+
+// New builds a Recorder; zero-valued Config fields take defaults.
+func New(cfg Config) *Recorder {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Interval < 1 {
+		cfg.Interval = 1
+	}
+	if cfg.EventCapacity < 1 {
+		cfg.EventCapacity = 512
+	}
+	r := &Recorder{
+		interval:  cfg.Interval,
+		banks:     make([]Bank, cfg.Shards),
+		lastRound: -1,
+	}
+	r.ring.buf = make([]Event, cfg.EventCapacity)
+	if cfg.Concurrent {
+		r.atomic = &AtomicBank{}
+	}
+	return r
+}
+
+// Interval returns the sampling cadence (1 on a nil recorder).
+func (r *Recorder) Interval() int {
+	if r == nil {
+		return 1
+	}
+	return r.interval
+}
+
+// Due reports whether a sample is due at the given round: false on a
+// nil recorder, so engines gate their probes with it directly.
+func (r *Recorder) Due(round int) bool {
+	return r != nil && round%r.interval == 0
+}
+
+// Bank returns shard s's single-writer counter bank, or nil when the
+// recorder is nil — making every downstream Inc/Add a no-op.
+func (r *Recorder) Bank(s int) *Bank {
+	if r == nil || s >= len(r.banks) {
+		return nil
+	}
+	return &r.banks[s]
+}
+
+// Atomic returns the shared atomic bank (nil when the recorder is nil
+// or was not built for concurrent use).
+func (r *Recorder) Atomic() *AtomicBank {
+	if r == nil {
+		return nil
+	}
+	return r.atomic
+}
+
+// EnsureBanks grows the bank slice to at least n single-writer banks.
+// Engines call it once on attach (never during a round — banks may be
+// mid-increment).
+func (r *Recorder) EnsureBanks(n int) {
+	if r == nil || n <= len(r.banks) {
+		return
+	}
+	grown := make([]Bank, n)
+	copy(grown, r.banks)
+	r.banks = grown
+}
+
+// EnsureConcurrent allocates the shared atomic bank if absent. The
+// concurrent runtime calls it on attach, before any goroutine starts.
+func (r *Recorder) EnsureConcurrent() {
+	if r != nil && r.atomic == nil {
+		r.atomic = &AtomicBank{}
+	}
+}
+
+// IncShared increments a counter from a context that may be shared
+// between goroutines: the atomic bank when present, bank 0 otherwise
+// (fault interceptors run single-threaded in the simulator's merge
+// phase but under a lock in the runtime).
+func (r *Recorder) IncShared(c Counter) {
+	if r == nil {
+		return
+	}
+	if r.atomic != nil {
+		r.atomic.Inc(c)
+		return
+	}
+	r.banks[0].Inc(c)
+}
+
+// Counters merges every bank into one Snapshot. Call only at a round
+// barrier (simulator) — plain banks are read unsynchronized by design.
+func (r *Recorder) Counters() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for b := range r.banks {
+		for c := 0; c < numCounters; c++ {
+			s[c] += r.banks[b].c[c]
+		}
+	}
+	if r.atomic != nil {
+		for c := 0; c < numCounters; c++ {
+			s[c] += r.atomic.c[c].v.Load()
+		}
+	}
+	return s
+}
+
+// ErrQuantiles streams the per-node error slice through the three
+// reusable P² estimators and returns the (p50, p90, p99) estimates.
+// Single-threaded: call from the probing goroutine only.
+func (r *Recorder) ErrQuantiles(errs []float64) (p50, p90, p99 float64) {
+	if r == nil {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	r.p50.Reset(0.5)
+	r.p90.Reset(0.9)
+	r.p99.Reset(0.99)
+	for _, e := range errs {
+		r.p50.Add(e)
+		r.p90.Add(e)
+		r.p99.Add(e)
+	}
+	return r.p50.Value(), r.p90.Value(), r.p99.Value()
+}
+
+// RecordSample appends one probe to the history and emits
+// EvEpochCrossed events for every convergence threshold the sampled max
+// error newly satisfies. No-op when nil.
+func (r *Recorder) RecordSample(s Sample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	me := float64(s.MaxErr)
+	for r.epoch < len(epochThresholds) && !math.IsNaN(me) && me <= epochThresholds[r.epoch] {
+		r.ring.put(Event{
+			Kind:  EvEpochCrossed,
+			Round: s.Round,
+			TimeS: float64(s.TimeS),
+			A:     -1,
+			B:     -1,
+			Value: epochThresholds[r.epoch],
+		})
+		r.epoch++
+	}
+	r.history = append(r.history, s)
+	r.lastRound = s.Round
+	r.mu.Unlock()
+}
+
+// History returns a copy of all recorded samples in order.
+func (r *Recorder) History() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, len(r.history))
+	copy(out, r.history)
+	return out
+}
+
+// Last returns the most recent sample, if any.
+func (r *Recorder) Last() (Sample, bool) {
+	if r == nil {
+		return Sample{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.history) == 0 {
+		return Sample{}, false
+	}
+	return r.history[len(r.history)-1], true
+}
+
+// LastRound returns the round of the most recent sample (-1 when none)
+// — engines use it to avoid double-sampling the final round.
+func (r *Recorder) LastRound() int {
+	if r == nil {
+		return -1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastRound
+}

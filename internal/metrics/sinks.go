@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"pcfreduce/internal/trace"
+)
+
+// Table renders the sample history as a terminal table (CSV via the
+// table's own WriteCSV).
+func (r *Recorder) Table() *trace.Table {
+	t := trace.NewTable("metrics",
+		"round", "max_err", "p50_err", "p99_err", "mass_resid", "inflight",
+		"antisym", "sent", "delivered", "lost", "dropped", "evict", "reint")
+	for _, s := range r.History() {
+		t.AddRow(
+			s.Round, float64(s.MaxErr), float64(s.P50), float64(s.P99),
+			float64(s.MassResidual), float64(s.InFlight), s.AntiSym,
+			int(s.Counters.Get(MsgsSent)), int(s.Counters.Get(MsgsDelivered)),
+			int(s.Counters.Get(MsgsLost)), int(s.Counters.Get(MsgsDropped)),
+			int(s.Counters.Get(Evictions)), int(s.Counters.Get(Reintegrations)))
+	}
+	return t
+}
+
+// WritePrometheus writes the counters and the latest sample in the
+// Prometheus text exposition format (version 0.0.4).
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Counters()
+	for c := 0; c < numCounters; c++ {
+		name := "pcfreduce_" + counterNames[c] + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, snap[c]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE pcfreduce_events_dropped_total counter\npcfreduce_events_dropped_total %d\n",
+		r.EventsDropped()); err != nil {
+		return err
+	}
+	if s, ok := r.Last(); ok {
+		gauges := []struct {
+			name string
+			v    float64
+		}{
+			{"pcfreduce_round", float64(s.Round)},
+			{"pcfreduce_max_error", float64(s.MaxErr)},
+			{"pcfreduce_p50_error", float64(s.P50)},
+			{"pcfreduce_p90_error", float64(s.P90)},
+			{"pcfreduce_p99_error", float64(s.P99)},
+			{"pcfreduce_mass_residual", float64(s.MassResidual)},
+			{"pcfreduce_inflight_weight", float64(s.InFlight)},
+			{"pcfreduce_antisym_violations", float64(s.AntiSym)},
+		}
+		for _, g := range gauges {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", g.name, g.name, g.v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Handler serves WritePrometheus over HTTP — mounted at /metrics by the
+// concurrent runtime's opt-in endpoint.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WritePrometheus(w)
+	})
+}
+
+var (
+	expvarOnce sync.Once
+	expvarRec  atomic.Pointer[Recorder]
+)
+
+// PublishExpvar exposes the recorder under the "pcfreduce" expvar key
+// (visible at /debug/vars). expvar forbids duplicate registration, so
+// the key is registered once per process and re-pointed at the most
+// recently published recorder.
+func PublishExpvar(r *Recorder) {
+	expvarRec.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("pcfreduce", expvar.Func(func() any {
+			rec := expvarRec.Load()
+			if rec == nil {
+				return nil
+			}
+			out := map[string]any{
+				"counters":       rec.Counters(),
+				"events_dropped": rec.EventsDropped(),
+			}
+			if s, ok := rec.Last(); ok {
+				out["last_sample"] = s
+			}
+			return out
+		}))
+	})
+}

@@ -7,10 +7,25 @@ package profiling
 
 import (
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
+
+// AttachPprof registers the standard net/http/pprof handlers on mux
+// under /debug/pprof/, the live-profiling counterpart of Start used by
+// the concurrent runtime's opt-in metrics endpoint. Registering on an
+// explicit mux (instead of importing net/http/pprof for its
+// DefaultServeMux side effect) keeps profiling opt-in per server.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}
 
 // Start begins a CPU profile at cpuPath and schedules a heap profile at
 // memPath; either path may be empty to skip that profile. The returned

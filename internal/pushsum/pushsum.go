@@ -84,6 +84,10 @@ func (n *Node) EstimateInto(dst []float64) []float64 { return n.mass.EstimateInt
 // LocalValue implements gossip.Protocol.
 func (n *Node) LocalValue() gossip.Value { return n.mass.Clone() }
 
+// LocalValueInto implements gossip.MassReader: LocalValue without the
+// allocation.
+func (n *Node) LocalValueInto(dst *gossip.Value) { dst.Set(n.mass) }
+
 // OnLinkFailure implements gossip.Protocol. Push-sum has no per-link
 // state to repair; it can only stop using the link. Mass already in
 // flight on the link is irrecoverably lost — the fragility the flow

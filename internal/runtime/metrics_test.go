@@ -1,0 +1,161 @@
+package runtime
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pcfreduce/internal/core"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/metrics"
+	"pcfreduce/internal/topology"
+)
+
+// TestMetricsRecorded checks the runtime side of the observability
+// layer: a run with a recorder attached must produce wall-clock
+// invariant samples at the monitor cadence and count its traffic in the
+// shared atomic bank, without disturbing convergence.
+func TestMetricsRecorded(t *testing.T) {
+	g := topology.Hypercube(4)
+	rec := metrics.New(metrics.Config{Interval: 2})
+	net := mustNew(t, Config{
+		Graph:       g,
+		NewProtocol: func() gossip.Protocol { return core.NewEfficient() },
+		Init:        scalarInit(g.N(), gossip.Average),
+		Seed:        1,
+		Metrics:     rec,
+	})
+	res := mustRun(t, net, RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 3})
+	if !res.Converged {
+		t.Fatalf("not converged: %.3e", res.FinalMaxError)
+	}
+	hist := rec.History()
+	if len(hist) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	last := hist[len(hist)-1]
+	if !(float64(last.TimeS) > 0) {
+		t.Errorf("final sample has no wall-clock stamp: %+v", last)
+	}
+	if last.AntiSym != -1 {
+		t.Errorf("runtime sample AntiSym = %d, want -1 (not probed concurrently)", last.AntiSym)
+	}
+	snap := rec.Counters()
+	if snap.Get(metrics.MsgsSent) == 0 {
+		t.Error("no sends counted")
+	}
+	if snap.Get(metrics.MsgsDelivered) == 0 {
+		t.Error("no deliveries counted")
+	}
+	// The converged run must have traced at least the coarse epochs.
+	epochs := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == metrics.EvEpochCrossed {
+			epochs++
+		}
+	}
+	if epochs < 3 {
+		t.Errorf("%d epoch-crossed events, want ≥ 3 (converged to 1e-9)", epochs)
+	}
+}
+
+// TestMetricsFaultEventsConcurrent checks that runtime fault injection
+// lands in the trace with wall-clock stamps (Round is -1 there: the
+// concurrent system has no global round counter).
+func TestMetricsFaultEventsConcurrent(t *testing.T) {
+	g := topology.Hypercube(4)
+	rec := metrics.New(metrics.Config{Interval: 1})
+	net := mustNew(t, Config{
+		Graph:       g,
+		NewProtocol: func() gossip.Protocol { return core.NewEfficient() },
+		Init:        scalarInit(g.N(), gossip.Average),
+		Seed:        2,
+		Metrics:     rec,
+	})
+	done := make(chan RunResult, 1)
+	go func() {
+		res, err := net.Run(context.Background(), RunConfig{Eps: 1e-9, Timeout: 10 * time.Second, Stable: 5})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	time.Sleep(3 * time.Millisecond)
+	net.FailLink(0, 1)
+	<-done
+	found := false
+	for _, ev := range rec.Events() {
+		if ev.Kind == metrics.EvLinkFail && ev.A == 0 && ev.B == 1 {
+			if ev.Round != -1 {
+				t.Errorf("runtime event carries round %d, want -1", ev.Round)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("link-fail event not traced: %v", rec.Events())
+	}
+}
+
+// TestMetricsHTTPEndpoint checks the opt-in endpoint end to end: bind
+// :0, run, and scrape /metrics (Prometheus text) and /debug/vars
+// (expvar) while the network converges.
+func TestMetricsHTTPEndpoint(t *testing.T) {
+	g := topology.Hypercube(4)
+	rec := metrics.New(metrics.Config{Interval: 1})
+	net := mustNew(t, Config{
+		Graph:       g,
+		NewProtocol: func() gossip.Protocol { return core.NewEfficient() },
+		Init:        scalarInit(g.N(), gossip.Average),
+		Seed:        3,
+		Metrics:     rec,
+		MetricsAddr: "127.0.0.1:0",
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := net.Run(context.Background(), RunConfig{Eps: 1e-12, Timeout: time.Second, Stable: 1 << 30}); err != nil {
+			t.Error(err)
+		}
+	}()
+	var addr string
+	for i := 0; i < 500; i++ {
+		if addr = net.MetricsAddr(); addr != "" {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("metrics endpoint never bound")
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "pcfreduce_msgs_sent_total") {
+		t.Errorf("/metrics missing counter exposition:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, `"pcfreduce"`) {
+		t.Errorf("/debug/vars missing the pcfreduce expvar:\n%.300s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Error("/debug/pprof/cmdline empty — pprof not attached")
+	}
+	<-done
+	// The server is shut down with the run: the address must stop
+	// answering (Run defers Close).
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("metrics endpoint still serving after Run returned")
+	}
+}

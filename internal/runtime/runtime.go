@@ -34,15 +34,20 @@ package runtime
 import (
 	"context"
 	"errors"
+	"expvar"
 	"fmt"
 	"math"
 	"math/rand"
+	stdnet "net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pcfreduce/internal/detect"
 	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/metrics"
+	"pcfreduce/internal/profiling"
 	"pcfreduce/internal/stats"
 	"pcfreduce/internal/topology"
 )
@@ -173,6 +178,18 @@ type Config struct {
 	// Detector, when non-nil, enables oracle-free failure detection and
 	// self-healing; see DetectorConfig.
 	Detector *DetectorConfig
+	// Metrics, when non-nil, attaches the shared observability recorder
+	// (internal/metrics): delivery counters via the lock-free atomic
+	// bank, detector/fault trace events, and one invariant sample per
+	// monitor tick at the recorder's cadence. nil keeps every
+	// instrumented site a no-op.
+	Metrics *metrics.Recorder
+	// MetricsAddr, when non-empty, serves the observability endpoint for
+	// the duration of Run: /metrics (Prometheus text exposition),
+	// /debug/vars (expvar, with the recorder published under
+	// "pcfreduce") and /debug/pprof. ":0" binds a free port; the bound
+	// address is available from Network.MetricsAddr once Run starts.
+	MetricsAddr string
 }
 
 func (cfg *Config) validate() error {
@@ -229,6 +246,9 @@ type Network struct {
 	silencedMu sync.RWMutex
 	silenced   map[[2]int]bool
 
+	metricsMu   sync.Mutex
+	metricsAddr string // bound address of the Run-scoped metrics endpoint
+
 	drops atomic.Int64 // messages lost to full inboxes
 }
 
@@ -242,6 +262,7 @@ type node struct {
 	crashed    bool
 	silent     bool // crashed without notification: stops draining too
 	hung       bool // transiently frozen: no processing, no sending, state kept
+	rec        *metrics.Recorder
 	det        *detect.Detector
 	canReint   bool
 	lastSent   map[int]float64 // per-neighbor time of last send (detector clock)
@@ -263,6 +284,9 @@ func New(cfg Config) (*Network, error) {
 		dc := cfg.Detector.withDefaults()
 		cfg.Detector = &dc
 	}
+	// All counter writes in the runtime go through the shared atomic
+	// bank — allocate it before any goroutine can race on it.
+	cfg.Metrics.EnsureConcurrent()
 	n := cfg.Graph.N()
 	net := &Network{
 		cfg:      cfg,
@@ -279,6 +303,7 @@ func New(cfg Config) (*Network, error) {
 			proto: p,
 			inbox: make(chan gossip.Message, cfg.InboxCapacity),
 			rng:   rand.New(rand.NewSource(cfg.Seed + int64(i))),
+			rec:   cfg.Metrics,
 		}
 	}
 	net.targets = make([]float64, cfg.Init[0].Width())
@@ -320,6 +345,26 @@ func (net *Network) now() float64 {
 	return time.Since(net.start).Seconds()
 }
 
+// noteEvent records one fault/detector trace event with a wall-clock
+// timestamp. Fault injectors may fire from arbitrary goroutines before
+// Run has stamped the start time, so the time base is read under ctxMu
+// (the same lock Run writes it under) and events before start carry
+// t=0. No-op without a recorder.
+func (net *Network) noteEvent(kind metrics.EventKind, a, b int) {
+	rec := net.cfg.Metrics
+	if rec == nil {
+		return
+	}
+	net.ctxMu.Lock()
+	start := net.start
+	net.ctxMu.Unlock()
+	t := 0.0
+	if !start.IsZero() {
+		t = time.Since(start).Seconds()
+	}
+	rec.RecordEvent(metrics.Event{Kind: kind, Round: -1, TimeS: t, A: a, B: b})
+}
+
 // FailLink permanently fails the undirected link (i, j) with oracle
 // notification: subsequent sends on it are dropped and both endpoints
 // receive an asynchronous link-down control message, mirroring an
@@ -334,6 +379,7 @@ func (net *Network) FailLink(i, j int) {
 	if already {
 		return
 	}
+	net.noteEvent(metrics.EvLinkFail, i, j)
 	net.notifyLinkDown(i, j)
 	net.notifyLinkDown(j, i)
 }
@@ -387,8 +433,12 @@ func (net *Network) linkFailed(i, j int) bool {
 // the link through the same recovery path the oracle uses.
 func (net *Network) SilenceLink(i, j int) {
 	net.silencedMu.Lock()
+	already := net.silenced[linkKey(i, j)]
 	net.silenced[linkKey(i, j)] = true
 	net.silencedMu.Unlock()
+	if !already {
+		net.noteEvent(metrics.EvLinkSilence, i, j)
+	}
 }
 
 // RestoreLink heals a link silenced by SilenceLink: delivery resumes,
@@ -397,8 +447,12 @@ func (net *Network) SilenceLink(i, j int) {
 // alive, and the protocols restore the edge via OnLinkRecover).
 func (net *Network) RestoreLink(i, j int) {
 	net.silencedMu.Lock()
+	was := net.silenced[linkKey(i, j)]
 	delete(net.silenced, linkKey(i, j))
 	net.silencedMu.Unlock()
+	if was {
+		net.noteEvent(metrics.EvLinkRestore, i, j)
+	}
 }
 
 func (net *Network) linkSilenced(i, j int) bool {
@@ -416,6 +470,7 @@ func (net *Network) CrashNode(i int) {
 	if !net.markCrashed(i, false) {
 		return
 	}
+	net.noteEvent(metrics.EvNodeCrash, i, -1)
 	for _, j32 := range net.cfg.Graph.Neighbors(i) {
 		j := int(j32)
 		key := linkKey(i, j)
@@ -440,6 +495,7 @@ func (net *Network) CrashNodeSilent(i int) {
 	if !net.markCrashed(i, true) {
 		return
 	}
+	net.noteEvent(metrics.EvNodeCrashSilent, i, -1)
 	net.recomputeTargets()
 }
 
@@ -465,16 +521,24 @@ func (net *Network) markCrashed(i int, silent bool) bool {
 func (net *Network) HangNode(i int) {
 	nd := net.nodes[i]
 	nd.mu.Lock()
+	was := nd.hung
 	nd.hung = true
 	nd.mu.Unlock()
+	if !was {
+		net.noteEvent(metrics.EvNodeHang, i, -1)
+	}
 }
 
 // ResumeNode unfreezes a node frozen by HangNode.
 func (net *Network) ResumeNode(i int) {
 	nd := net.nodes[i]
 	nd.mu.Lock()
+	was := nd.hung
 	nd.hung = false
 	nd.mu.Unlock()
+	if was {
+		net.noteEvent(metrics.EvNodeResume, i, -1)
+	}
 }
 
 func (nd *node) isCrashed() bool {
@@ -659,9 +723,16 @@ func (net *Network) Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 	defer cancel()
 	net.ctxMu.Lock()
 	net.runCtx = ctx
+	net.start = time.Now()
 	net.ctxMu.Unlock()
 
-	net.start = time.Now()
+	if net.cfg.MetricsAddr != "" {
+		srv, err := net.serveMetrics()
+		if err != nil {
+			return RunResult{}, err
+		}
+		defer srv.Close()
+	}
 	if dc := net.cfg.Detector; dc != nil {
 		for _, nd := range net.nodes {
 			nd.mu.Lock()
@@ -685,6 +756,7 @@ func (net *Network) Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 
 	res := RunResult{FinalMaxError: math.Inf(1)}
 	stable := 0
+	tick := 0
 	ticker := time.NewTicker(cfg.CheckInterval)
 	defer ticker.Stop()
 monitor:
@@ -693,11 +765,15 @@ monitor:
 		case <-ctx.Done():
 			break monitor
 		case <-ticker.C:
+			tick++
 			var err float64
 			if cfg.OracleFree {
 				err = net.Spread()
 			} else {
 				err = net.MaxError()
+			}
+			if net.cfg.Metrics.Due(tick) {
+				net.recordSample(tick)
 			}
 			res.FinalMaxError = err
 			if !math.IsNaN(err) && err <= cfg.Eps {
@@ -718,6 +794,143 @@ monitor:
 		res.TotalSends += nd.sends
 	}
 	return res, nil
+}
+
+// serveMetrics binds Config.MetricsAddr and serves the observability
+// endpoint: /metrics (Prometheus text), /debug/vars (expvar, recorder
+// published under "pcfreduce") and /debug/pprof. The caller closes the
+// returned server when the run ends.
+func (net *Network) serveMetrics() (*http.Server, error) {
+	ln, err := stdnet.Listen("tcp", net.cfg.MetricsAddr)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: metrics endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", net.cfg.Metrics.Handler())
+	metrics.PublishExpvar(net.cfg.Metrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	profiling.AttachPprof(mux)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	net.metricsMu.Lock()
+	net.metricsAddr = ln.Addr().String()
+	net.metricsMu.Unlock()
+	return srv, nil
+}
+
+// MetricsAddr returns the bound address of the metrics endpoint ("" until
+// Run has started it). With Config.MetricsAddr ":0" this is where the
+// kernel actually put it.
+func (net *Network) MetricsAddr() string {
+	net.metricsMu.Lock()
+	defer net.metricsMu.Unlock()
+	return net.metricsAddr
+}
+
+// recordSample takes one observability sample from the monitor loop:
+// per-node error quantiles, the mass-conservation residual and the
+// merged counters. Node states are snapshotted one at a time under the
+// per-node locks, so unlike the simulator's barrier probe the sums are
+// not a globally consistent cut — the ratio residual absorbs most of
+// that churn (mass moves x and w together), but runtime samples are a
+// trend signal, not an exact invariant. AntiSym is -1: mirror flow
+// pairs cannot be read atomically across two goroutines.
+func (net *Network) recordSample(tick int) {
+	rec := net.cfg.Metrics
+	errs := net.nodeErrors()
+	worst := 0.0
+	for _, e := range errs {
+		if math.IsNaN(e) {
+			worst = math.NaN()
+			break
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	p50, p90, p99 := rec.ErrQuantiles(errs)
+	mass, inflight := net.massResidual()
+	rec.RecordSample(metrics.Sample{
+		Round:        tick,
+		TimeS:        metrics.Float(net.now()),
+		MaxErr:       metrics.Float(worst),
+		P50:          metrics.Float(p50),
+		P90:          metrics.Float(p90),
+		P99:          metrics.Float(p99),
+		MassResidual: metrics.Float(mass),
+		InFlight:     metrics.Float(inflight),
+		AntiSym:      -1,
+		Counters:     rec.Counters(),
+	})
+}
+
+// nodeErrors returns each non-crashed node's worst relative error over
+// all components against the oracle aggregate.
+func (net *Network) nodeErrors() []float64 {
+	targets := net.Targets()
+	ests := net.Estimates()
+	errs := make([]float64, 0, net.n)
+	for i, est := range ests {
+		if net.nodes[i].isCrashed() {
+			continue
+		}
+		worst := 0.0
+		for k, t := range targets {
+			err := stats.RelErr(est[k], t)
+			if math.IsNaN(err) {
+				worst = math.NaN()
+				break
+			}
+			if err > worst {
+				worst = err
+			}
+		}
+		errs = append(errs, worst)
+	}
+	return errs
+}
+
+// massResidual sums every non-crashed node's local mass (compensated)
+// and reports the worst per-component relative deviation of the ratio
+// Σx/Σw from the oracle target, plus the relative deviation of Σw from
+// the initial alive weight (mass in flight or held by hung nodes).
+func (net *Network) massResidual() (mass, inflight float64) {
+	targets := net.Targets()
+	sums := make([]stats.Sum2, len(targets))
+	var wsum, w0 stats.Sum2
+	var local gossip.Value
+	for i, nd := range net.nodes {
+		nd.mu.Lock()
+		if nd.crashed {
+			nd.mu.Unlock()
+			continue
+		}
+		if mr, ok := nd.proto.(gossip.MassReader); ok {
+			mr.LocalValueInto(&local)
+		} else {
+			local = nd.proto.LocalValue()
+		}
+		nd.mu.Unlock()
+		w0.Add(net.cfg.Init[i].W)
+		wsum.Add(local.W)
+		for k, x := range local.X {
+			sums[k].Add(x)
+		}
+	}
+	w := wsum.Value()
+	for k, t := range targets {
+		resid := math.Abs(sums[k].Value()/w-t) / math.Max(1, math.Abs(t))
+		if math.IsNaN(resid) {
+			mass = math.NaN()
+			break
+		}
+		if resid > mass {
+			mass = resid
+		}
+	}
+	iw := w0.Value()
+	inflight = math.Abs(iw-w) / math.Max(1, math.Abs(iw))
+	return mass, inflight
 }
 
 // nodeLoop is the per-node goroutine: drain the inbox, run the failure
@@ -759,6 +972,11 @@ func (net *Network) nodeLoop(ctx context.Context, nd *node) {
 				nd.proto.OnLinkFailure(j)
 				if !nd.canReint {
 					nd.det.Remove(j)
+				}
+				if nd.rec != nil {
+					nd.rec.IncShared(metrics.Suspicions)
+					nd.rec.IncShared(metrics.Evictions)
+					nd.rec.RecordEvent(metrics.Event{Kind: metrics.EvLinkEvicted, Round: -1, TimeS: now, A: nd.id, B: j})
 				}
 			}
 		}
@@ -854,6 +1072,10 @@ func (nd *node) heardLocked(from int, now float64) {
 	if nd.det.Heard(from, now) && nd.canReint {
 		if r, ok := nd.proto.(gossip.Reintegrator); ok {
 			r.OnLinkRecover(from)
+			if nd.rec != nil {
+				nd.rec.IncShared(metrics.Reintegrations)
+				nd.rec.RecordEvent(metrics.Event{Kind: metrics.EvLinkReintegrated, Round: -1, TimeS: now, A: nd.id, B: from})
+			}
 		}
 	}
 }
@@ -861,19 +1083,29 @@ func (nd *node) heardLocked(from int, now float64) {
 // deliver routes a message through failures and the interceptor into the
 // destination inbox, dropping on back-pressure.
 func (net *Network) deliver(from *node, msg gossip.Message) {
+	rec := net.cfg.Metrics
+	if msg.Kind == gossip.KindKeepalive {
+		rec.IncShared(metrics.Keepalives)
+	} else {
+		rec.IncShared(metrics.MsgsSent)
+	}
 	if net.linkFailed(msg.From, msg.To) || net.linkSilenced(msg.From, msg.To) {
+		rec.IncShared(metrics.MsgsLost)
 		return
 	}
 	if ic := net.cfg.Interceptor; ic != nil && !ic.Intercept(from.sends, &msg) {
+		rec.IncShared(metrics.MsgsDropped)
 		return
 	}
 	select {
 	case net.nodes[msg.To].inbox <- msg:
+		rec.IncShared(metrics.MsgsDelivered)
 	default:
 		// Inbox full: the message is lost. Flow-based protocols heal at
 		// the next successful exchange; push-sum does not — which is
 		// the point the paper makes about it.
 		net.drops.Add(1)
+		rec.IncShared(metrics.MsgsLost)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"pcfreduce/internal/core"
 	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/metrics"
 	"pcfreduce/internal/pushflow"
 	"pcfreduce/internal/pushsum"
 	"pcfreduce/internal/sim"
@@ -112,3 +113,65 @@ func BenchmarkRoundPCFHypercube1024Shards8(b *testing.B) { benchStepSharded(b, 1
 
 // The tentpole scale target: one PCF round on the n=2^17 hypercube.
 func BenchmarkRoundPCFHypercube128kShards8(b *testing.B) { benchStepSharded(b, 17, 8) }
+
+// benchStepShardedMetrics is benchStepSharded with a metrics recorder
+// attached: the steady-state cost of the per-shard counter banks on the
+// hot round path (the invariant probes run off-path at the sampling
+// cadence and are benchmarked separately by BenchmarkObserve). Compare
+// against the variants above to read the enabled-counters overhead; the
+// disabled (nil-recorder) overhead is what the CI bench gate bounds.
+func benchStepShardedMetrics(b *testing.B, dim, shards int) {
+	g := topology.Hypercube(dim)
+	n := g.N()
+	protos := make([]gossip.Protocol, n)
+	for i := range protos {
+		protos[i] = core.NewEfficient()
+	}
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = float64(i%97) + 0.5
+	}
+	e := sim.NewScalar(g, protos, inputs, gossip.Average, 1, sim.WithShards(shards))
+	e.SetMetrics(metrics.New(metrics.Config{Shards: shards, Interval: 1 << 30}))
+	for r := 0; r < 32; r++ {
+		e.Step()
+		e.Errors()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+		e.Errors()
+	}
+}
+
+func BenchmarkRoundPCFHypercube1024Shards8Metrics(b *testing.B) { benchStepShardedMetrics(b, 10, 8) }
+func BenchmarkRoundPCFHypercube128kShards8Metrics(b *testing.B) { benchStepShardedMetrics(b, 17, 8) }
+
+// BenchmarkObservePCFHypercube1024 measures one full invariant probe
+// (error quantiles, mass residual, anti-symmetry scan, counter merge) —
+// the price of one sample, paid every Interval rounds, never per
+// message.
+func BenchmarkObservePCFHypercube1024(b *testing.B) {
+	g := topology.Hypercube(10)
+	n := g.N()
+	protos := make([]gossip.Protocol, n)
+	for i := range protos {
+		protos[i] = core.NewEfficient()
+	}
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = float64(i%97) + 0.5
+	}
+	e := sim.NewScalar(g, protos, inputs, gossip.Average, 1)
+	e.SetMetrics(metrics.New(metrics.Config{Interval: 1, EventCapacity: 8}))
+	for r := 0; r < 32; r++ {
+		e.Step()
+		e.Errors()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe()
+	}
+}

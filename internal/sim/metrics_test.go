@@ -1,0 +1,222 @@
+package sim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pcfreduce/internal/core"
+	"pcfreduce/internal/fault"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/metrics"
+	"pcfreduce/internal/pushflow"
+	"pcfreduce/internal/sim"
+	"pcfreduce/internal/topology"
+)
+
+func metricsEngine(mk func() gossip.Protocol, dim int, seed int64, opts ...sim.EngineOption) *sim.Engine {
+	g := topology.Hypercube(dim)
+	n := g.N()
+	protos := make([]gossip.Protocol, n)
+	for i := range protos {
+		protos[i] = mk()
+	}
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = float64(i%23) + 0.5
+	}
+	return sim.NewScalar(g, protos, inputs, gossip.Average, seed, opts...)
+}
+
+// TestMetricsMassInvariantPCF checks the paper's conservation invariant
+// through the recorder: the ratio-form mass residual of a converged PCF
+// run must sit at the floating-point floor (a few ulps), and must
+// already be small — bounded by the current error — at every earlier
+// sample, because the ratio estimate is invariant to mass in flight.
+func TestMetricsMassInvariantPCF(t *testing.T) {
+	rec := metrics.New(metrics.Config{Interval: 10})
+	e := metricsEngine(func() gossip.Protocol { return core.NewEfficient() }, 6, 1)
+	e.SetMetrics(rec)
+	res := e.Run(sim.RunConfig{MaxRounds: 400, Eps: 1e-13})
+	if !res.Converged {
+		t.Fatalf("PCF did not converge: rounds=%d", res.Rounds)
+	}
+	hist := rec.History()
+	if len(hist) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	for _, s := range hist {
+		if !(float64(s.MassResidual) <= 2*float64(s.MaxErr)) {
+			t.Errorf("round %d: mass residual %.3e exceeds 2×max err %.3e",
+				s.Round, float64(s.MassResidual), float64(s.MaxErr))
+		}
+	}
+	last := hist[len(hist)-1]
+	if last.Round != res.Rounds {
+		t.Errorf("final sample at round %d, run ended at %d", last.Round, res.Rounds)
+	}
+	if !(float64(last.MassResidual) <= 1e-14) {
+		t.Errorf("converged mass residual %.3e, want ≤ 1e-14 (few ulps)", float64(last.MassResidual))
+	}
+	snap := last.Counters
+	if snap.Get(metrics.MsgsSent) == 0 {
+		t.Error("no sends counted")
+	}
+	if snap.Get(metrics.MsgsSent) != snap.Get(metrics.MsgsDelivered) {
+		t.Errorf("fault-free run: sent %d != delivered %d",
+			snap.Get(metrics.MsgsSent), snap.Get(metrics.MsgsDelivered))
+	}
+	// Convergence epochs must have been traced down to the Eps target.
+	epochs := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == metrics.EvEpochCrossed {
+			epochs++
+		}
+	}
+	if epochs != 4 {
+		t.Errorf("%d epoch-crossed events, want 4 (1e-3 … 1e-12)", epochs)
+	}
+}
+
+// TestMetricsAntiSymZeroAfterDrain checks the flow anti-symmetry probe
+// at quiescence: after Drain on the legacy engine every acknowledged
+// exchange has restored f(j,i) = −f(i,j) bitwise, so the violation
+// count must be exactly zero for both flow protocols. (The sharded
+// engine's phase-split model legitimately leaves handshakes mid-flight
+// across its barrier, so this exactness holds only here.)
+func TestMetricsAntiSymZeroAfterDrain(t *testing.T) {
+	for name, mk := range map[string]func() gossip.Protocol{
+		"pcf": func() gossip.Protocol { return core.NewEfficient() },
+		"pf":  func() gossip.Protocol { return pushflow.New() },
+	} {
+		rec := metrics.New(metrics.Config{Interval: 1})
+		e := metricsEngine(mk, 5, 3)
+		e.SetMetrics(rec)
+		e.Run(sim.RunConfig{MaxRounds: 60})
+		e.Drain()
+		e.Observe()
+		s, ok := rec.Last()
+		if !ok {
+			t.Fatalf("%s: no sample", name)
+		}
+		if s.AntiSym != 0 {
+			t.Errorf("%s: %d anti-symmetry violations after Drain, want 0", name, s.AntiSym)
+		}
+	}
+}
+
+// TestFaultPlanEmitsEvents proves the fault-injection path is traced:
+// every fault.Plan injection must land in the event ring with its kind,
+// round and link/node ids.
+func TestFaultPlanEmitsEvents(t *testing.T) {
+	plan := fault.NewPlan(
+		fault.LinkFailure(10, 0, 1),
+		fault.AbruptLinkFailure(15, 2, 3),
+		fault.NodeCrash(20, 5),
+		fault.SilentNodeCrash(25, 9),
+	)
+	rec := metrics.New(metrics.Config{Interval: 50})
+	e := metricsEngine(func() gossip.Protocol { return core.NewEfficient() }, 6, 1)
+	e.SetMetrics(rec)
+	e.Run(sim.RunConfig{MaxRounds: 40, OnRound: plan.OnRound})
+
+	want := []metrics.Event{
+		{Kind: metrics.EvLinkFail, Round: 10, A: 0, B: 1},
+		{Kind: metrics.EvLinkFailAbrupt, Round: 15, A: 2, B: 3},
+		{Kind: metrics.EvNodeCrash, Round: 20, A: 5, B: -1},
+		{Kind: metrics.EvNodeCrashSilent, Round: 25, A: 9, B: -1},
+	}
+	got := rec.Events()
+	for _, w := range want {
+		found := false
+		for _, ev := range got {
+			if ev.Kind == w.Kind && ev.Round == w.Round && ev.A == w.A && ev.B == w.B {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("event %v round=%d a=%d b=%d not in trace (got %v)", w.Kind, w.Round, w.A, w.B, got)
+		}
+	}
+	// The JSONL export must carry kind + round + link id (satellite
+	// requirement: traces are greppable by fault).
+	var buf bytes.Buffer
+	if err := rec.WriteEventsJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		`"kind":"link-fail","round":10,"a":0,"b":1`,
+		`"kind":"link-fail-abrupt","round":15,"a":2,"b":3`,
+		`"kind":"node-crash","round":20,"a":5`,
+		`"kind":"node-crash-silent","round":25,"a":9`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(frag)) {
+			t.Errorf("JSONL missing %q:\n%s", frag, buf.String())
+		}
+	}
+}
+
+// TestMetricsShardInvariant checks that the observability layer obeys
+// the sharded executor's determinism contract: the same run on 1 and 8
+// shards must record identical samples and identical event streams.
+// The free-list counters are the one documented exception (each shard
+// warms its own message pool), so they are cleared before comparing.
+func TestMetricsShardInvariant(t *testing.T) {
+	type run struct {
+		hist   []metrics.Sample
+		events []metrics.Event
+	}
+	do := func(shards int) run {
+		rec := metrics.New(metrics.Config{Shards: shards, Interval: 10})
+		plan := fault.NewPlan(fault.LinkFailure(12, 0, 1), fault.SilentNodeCrash(18, 7))
+		e := metricsEngine(func() gossip.Protocol { return core.NewEfficient() }, 6, 5,
+			sim.WithShards(shards))
+		e.SetMetrics(rec)
+		e.Run(sim.RunConfig{MaxRounds: 50, OnRound: plan.OnRound})
+		hist := rec.History()
+		for i := range hist {
+			hist[i].Counters[metrics.FreeListHits] = 0
+			hist[i].Counters[metrics.FreeListMisses] = 0
+		}
+		return run{hist: hist, events: rec.Events()}
+	}
+	a, b := do(1), do(8)
+	if len(a.hist) != len(b.hist) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.hist), len(b.hist))
+	}
+	for i := range a.hist {
+		if a.hist[i] != b.hist[i] {
+			t.Errorf("sample %d differs:\n 1 shard: %+v\n 8 shards: %+v", i, a.hist[i], b.hist[i])
+		}
+	}
+	if len(a.events) != len(b.events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.events), len(b.events))
+	}
+	for i := range a.events {
+		if a.events[i] != b.events[i] {
+			t.Errorf("event %d differs: %+v vs %+v", i, a.events[i], b.events[i])
+		}
+	}
+}
+
+// TestMetricsResetDetaches checks the per-trial lifecycle: Reset must
+// detach the recorder (like interceptors), so a reused sweep engine
+// never leaks one trial's observation into the next.
+func TestMetricsResetDetaches(t *testing.T) {
+	rec := metrics.New(metrics.Config{Interval: 1})
+	e := metricsEngine(func() gossip.Protocol { return core.NewEfficient() }, 4, 1)
+	e.SetMetrics(rec)
+	e.Run(sim.RunConfig{MaxRounds: 5})
+	if len(rec.History()) == 0 {
+		t.Fatal("no samples before Reset")
+	}
+	e.Reset(2)
+	if e.Metrics() != nil {
+		t.Error("Reset did not detach the recorder")
+	}
+	before := len(rec.History())
+	e.Run(sim.RunConfig{MaxRounds: 5})
+	if got := len(rec.History()); got != before {
+		t.Errorf("detached recorder still sampled: %d → %d samples", before, got)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"sync"
 
 	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/metrics"
 )
 
 // WithShards runs the engine's rounds in the deterministic phase-split
@@ -81,6 +82,12 @@ type shardState struct {
 
 	errs [][]float64 // per-shard Errors scratch
 	est  [][]float64 // per-shard estimate scratch
+
+	// events stages per-shard trace events emitted during phase 1
+	// (detector evictions, reintegrations); they are flushed into the
+	// recorder's ring at merge time in shard order, so the recorded
+	// sequence is identical for every shard count. nil until SetMetrics.
+	events [][]metrics.Event
 
 	surplus []*gossip.Message // rebalancePools scratch
 
@@ -174,8 +181,10 @@ func (e *Engine) getMsgShard(s int) *gossip.Message {
 	if n := len(pool); n > 0 {
 		m := pool[n-1]
 		e.shard.pool[s] = pool[:n-1]
+		e.rec.Bank(s).Inc(metrics.FreeListHits)
 		return m
 	}
+	e.rec.Bank(s).Inc(metrics.FreeListMisses)
 	return &gossip.Message{Flow1: gossip.NewValue(e.width), Flow2: gossip.NewValue(e.width)}
 }
 
@@ -197,6 +206,7 @@ func (e *Engine) putMsgShard(s int, m *gossip.Message) {
 // merge order is fixed) without per-round scheduling cost.
 func (e *Engine) stepSharded() {
 	p := e.shards
+	e.inPhase1 = true
 	if p == 1 || runtime.GOMAXPROCS(0) == 1 {
 		for s := 0; s < p; s++ {
 			e.shardPhase1(s)
@@ -208,6 +218,7 @@ func (e *Engine) stepSharded() {
 		}
 		e.shard.wg.Wait()
 	}
+	e.inPhase1 = false
 	e.mergeOutboxes()
 	e.round++
 }
@@ -235,11 +246,18 @@ func (e *Engine) shardPhase1(s int) {
 				if !e.canReint[i] {
 					e.det[i].Remove(j)
 				}
+				if e.rec != nil {
+					b := e.rec.Bank(s)
+					b.Inc(metrics.Suspicions)
+					b.Inc(metrics.Evictions)
+					e.shard.events[s] = append(e.shard.events[s], metrics.Event{Kind: metrics.EvLinkEvicted, Round: e.round, A: i, B: j})
+				}
 			}
 		}
 		if live := p.LiveNeighbors(); len(live) > 0 {
 			target := int(live[e.draw(i, len(live))])
 			e.noteSent(i, target)
+			e.rec.Bank(s).Inc(metrics.MsgsSent)
 			m := e.getMsgShard(s)
 			if f, ok := p.(gossip.MessageFiller); ok {
 				f.FillMessage(target, m)
@@ -275,6 +293,7 @@ func (e *Engine) shardKeepalives(i, s int) {
 		if e.round-e.lastSent[i][j] >= e.detCfg.KeepaliveInterval {
 			e.noteSent(i, j)
 			e.shard.keep[s]++
+			e.rec.Bank(s).Inc(metrics.Keepalives)
 			e.shard.outbox[s] = append(e.shard.outbox[s], e.makeControlShard(i, j, gossip.KindKeepalive, s))
 		}
 	}
@@ -282,6 +301,7 @@ func (e *Engine) shardKeepalives(i, s int) {
 		if e.round-e.lastSent[i][j] >= e.detCfg.ProbeInterval {
 			e.noteSent(i, j)
 			e.shard.keep[s]++
+			e.rec.Bank(s).Inc(metrics.Keepalives)
 			e.shard.outbox[s] = append(e.shard.outbox[s], e.makeControlShard(i, j, gossip.KindKeepalive, s))
 		}
 	}
@@ -312,6 +332,14 @@ func (e *Engine) mergeOutboxes() {
 			e.routeMerged(m)
 		}
 		e.shard.outbox[s] = e.shard.outbox[s][:0]
+	}
+	if e.shard.events != nil {
+		for s := 0; s < e.shards; s++ {
+			if len(e.shard.events[s]) > 0 {
+				e.rec.RecordEvents(e.shard.events[s])
+				e.shard.events[s] = e.shard.events[s][:0]
+			}
+		}
 	}
 	e.rebalancePools()
 }
@@ -364,10 +392,12 @@ func (e *Engine) routeMerged(msg *gossip.Message) {
 	dst := int(e.shard.shardOf[msg.To])
 	key := linkKey(msg.From, msg.To)
 	if e.dead[key] || e.silenced[key] || !e.alive[msg.To] {
+		e.rec.Bank(0).Inc(metrics.MsgsLost)
 		e.putMsgShard(dst, msg)
 		return
 	}
 	if e.interceptor == nil {
+		e.rec.Bank(0).Inc(metrics.MsgsDelivered)
 		e.inbox[msg.To] = append(e.inbox[msg.To], msg)
 		return
 	}
@@ -377,7 +407,10 @@ func (e *Engine) routeMerged(msg *gossip.Message) {
 			copies = r.Copies(e.round, msg)
 		}
 		if copies == 0 {
+			e.rec.Bank(0).Inc(metrics.MsgsDropped)
 			e.putMsgShard(dst, msg)
+		} else {
+			e.rec.Bank(0).Inc(metrics.MsgsDelivered)
 		}
 		for k := 0; k < copies; k++ {
 			if k == 0 {
@@ -387,6 +420,7 @@ func (e *Engine) routeMerged(msg *gossip.Message) {
 			}
 		}
 	} else {
+		e.rec.Bank(0).Inc(metrics.MsgsDropped)
 		e.putMsgShard(dst, msg)
 	}
 	if inj, ok := e.interceptor.(Injector); ok {

@@ -47,6 +47,7 @@ import (
 
 	"pcfreduce/internal/detect"
 	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/metrics"
 	"pcfreduce/internal/stats"
 	"pcfreduce/internal/topology"
 )
@@ -130,6 +131,11 @@ type Engine struct {
 	round       int
 
 	interceptor Interceptor
+
+	rec       *metrics.Recorder // nil ⇒ every metrics touch is a no-op (observe.go)
+	inPhase1  bool              // inside sharded phase 1: events must be staged per shard
+	probeVal  gossip.Value      // massResidual scratch
+	probeSums []stats.Sum2      // massResidual scratch
 
 	shards int         // 0 = legacy sequential model; ≥ 1 = phase-split model
 	shard  *shardState // executor state of the phase-split model (shard.go)
@@ -287,13 +293,15 @@ func (e *Engine) SetInterceptor(ic Interceptor) { e.interceptor = ic }
 // engines produce bit-identical runs (enforced by TestResetReproducesFresh).
 //
 // Inputs changed via UpdateInput are kept (Reset restarts the
-// computation from the engine's current inputs); the interceptor is
-// cleared, since fault injectors are per-trial state.
+// computation from the engine's current inputs); the interceptor and
+// metrics recorder are cleared, since fault injectors and observation
+// are per-trial state.
 func (e *Engine) Reset(seed int64) {
 	e.rng = rand.New(rand.NewSource(seed))
 	e.round = 0
 	e.keepalives = 0
 	e.interceptor = nil
+	e.rec = nil
 	for i := range e.inbox {
 		e.clearInbox(i)
 		e.alive[i] = true
@@ -327,6 +335,9 @@ func (e *Engine) Reset(seed int64) {
 			}
 			e.shard.outbox[s] = e.shard.outbox[s][:0]
 			e.shard.keep[s] = 0
+			if e.shard.events != nil {
+				e.shard.events[s] = e.shard.events[s][:0]
+			}
 		}
 	}
 	e.recomputeTargets()
@@ -384,8 +395,10 @@ func (e *Engine) getMsg() *gossip.Message {
 	if n := len(e.msgPool); n > 0 {
 		m := e.msgPool[n-1]
 		e.msgPool = e.msgPool[:n-1]
+		e.rec.Bank(0).Inc(metrics.FreeListHits)
 		return m
 	}
+	e.rec.Bank(0).Inc(metrics.FreeListMisses)
 	return &gossip.Message{Flow1: gossip.NewValue(e.width), Flow2: gossip.NewValue(e.width)}
 }
 
@@ -455,11 +468,18 @@ func (e *Engine) Step() {
 				if !e.canReint[i] {
 					e.det[i].Remove(j)
 				}
+				if e.rec != nil {
+					b := e.rec.Bank(0)
+					b.Inc(metrics.Suspicions)
+					b.Inc(metrics.Evictions)
+					e.rec.RecordEvent(metrics.Event{Kind: metrics.EvLinkEvicted, Round: e.round, A: i, B: j})
+				}
 			}
 		}
 		if live := p.LiveNeighbors(); len(live) > 0 {
 			target := int(live[e.rng.Intn(len(live))])
 			e.noteSent(i, target)
+			e.rec.Bank(0).Inc(metrics.MsgsSent)
 			e.send(e.makeMessage(p, target))
 		}
 		if e.det != nil {
@@ -488,6 +508,7 @@ func (e *Engine) sendKeepalives(i int) {
 		if e.round-e.lastSent[i][j] >= e.detCfg.KeepaliveInterval {
 			e.noteSent(i, j)
 			e.keepalives++
+			e.rec.Bank(0).Inc(metrics.Keepalives)
 			e.send(e.makeControl(i, j, gossip.KindKeepalive))
 		}
 	}
@@ -495,6 +516,7 @@ func (e *Engine) sendKeepalives(i int) {
 		if e.round-e.lastSent[i][j] >= e.detCfg.ProbeInterval {
 			e.noteSent(i, j)
 			e.keepalives++
+			e.rec.Bank(0).Inc(metrics.Keepalives)
 			e.send(e.makeControl(i, j, gossip.KindKeepalive))
 		}
 	}
@@ -548,6 +570,10 @@ func (e *Engine) heard(i, from int) {
 	if e.det[i].Heard(from, float64(e.round)) && e.canReint[i] {
 		if r, ok := e.protos[i].(gossip.Reintegrator); ok {
 			r.OnLinkRecover(from)
+			if e.rec != nil {
+				e.metricsBank(i).Inc(metrics.Reintegrations)
+				e.noteEvent(metrics.Event{Kind: metrics.EvLinkReintegrated, Round: e.round, A: i, B: from})
+			}
 		}
 	}
 }
@@ -558,10 +584,12 @@ func (e *Engine) heard(i, from int) {
 func (e *Engine) send(msg *gossip.Message) {
 	key := linkKey(msg.From, msg.To)
 	if e.dead[key] || e.silenced[key] || !e.alive[msg.To] {
+		e.rec.Bank(0).Inc(metrics.MsgsLost)
 		e.putMsg(msg)
 		return // sent into a broken, silenced or dead destination: lost
 	}
 	if e.interceptor == nil {
+		e.rec.Bank(0).Inc(metrics.MsgsDelivered)
 		e.inbox[msg.To] = append(e.inbox[msg.To], msg)
 		return
 	}
@@ -571,7 +599,10 @@ func (e *Engine) send(msg *gossip.Message) {
 			copies = r.Copies(e.round, msg)
 		}
 		if copies == 0 {
+			e.rec.Bank(0).Inc(metrics.MsgsDropped)
 			e.putMsg(msg)
+		} else {
+			e.rec.Bank(0).Inc(metrics.MsgsDelivered)
 		}
 		for k := 0; k < copies; k++ {
 			if k == 0 {
@@ -581,6 +612,7 @@ func (e *Engine) send(msg *gossip.Message) {
 			}
 		}
 	} else {
+		e.rec.Bank(0).Inc(metrics.MsgsDropped)
 		e.putMsg(msg)
 	}
 	if inj, ok := e.interceptor.(Injector); ok {
@@ -659,6 +691,11 @@ func (e *Engine) failLink(i, j int, abrupt bool) {
 	if e.dead[key] {
 		return
 	}
+	kind := metrics.EvLinkFail
+	if abrupt {
+		kind = metrics.EvLinkFailAbrupt
+	}
+	e.noteEvent(metrics.Event{Kind: kind, Round: e.round, A: i, B: j})
 	if abrupt {
 		e.dead[key] = true
 		e.purgeLink(i, j)
@@ -710,6 +747,7 @@ func (e *Engine) CrashNode(i int) {
 	if !e.alive[i] {
 		return
 	}
+	e.noteEvent(metrics.Event{Kind: metrics.EvNodeCrash, Round: e.round, A: i, B: -1})
 	e.alive[i] = false
 	for _, j32 := range e.graph.Neighbors(i) {
 		j := int(j32)
@@ -754,12 +792,18 @@ func (e *Engine) SilenceLink(i, j int) {
 	if !e.graph.HasEdge(i, j) {
 		panic(fmt.Sprintf("sim: no link (%d,%d) to silence", i, j))
 	}
+	if !e.silenced[linkKey(i, j)] {
+		e.noteEvent(metrics.Event{Kind: metrics.EvLinkSilence, Round: e.round, A: i, B: j})
+	}
 	e.silenced[linkKey(i, j)] = true
 }
 
 // RestoreLink heals a silenced link: messages flow again, and detectors
 // that evicted the peer will reintegrate it once its traffic resumes.
 func (e *Engine) RestoreLink(i, j int) {
+	if e.silenced[linkKey(i, j)] {
+		e.noteEvent(metrics.Event{Kind: metrics.EvLinkRestore, Round: e.round, A: i, B: j})
+	}
 	delete(e.silenced, linkKey(i, j))
 }
 
@@ -772,6 +816,7 @@ func (e *Engine) CrashNodeSilent(i int) {
 	if !e.alive[i] {
 		return
 	}
+	e.noteEvent(metrics.Event{Kind: metrics.EvNodeCrashSilent, Round: e.round, A: i, B: -1})
 	e.alive[i] = false
 	e.clearInbox(i)
 	e.recomputeTargets()
@@ -781,10 +826,20 @@ func (e *Engine) CrashNodeSilent(i int) {
 // sends) but is not dead — ResumeNode unfreezes it. Messages sent to a
 // hung node queue in its inbox and are processed on resume, modeling a
 // long GC pause or an overloaded host.
-func (e *Engine) HangNode(i int) { e.hung[i] = true }
+func (e *Engine) HangNode(i int) {
+	if !e.hung[i] {
+		e.noteEvent(metrics.Event{Kind: metrics.EvNodeHang, Round: e.round, A: i, B: -1})
+	}
+	e.hung[i] = true
+}
 
 // ResumeNode unfreezes a node hung with HangNode.
-func (e *Engine) ResumeNode(i int) { e.hung[i] = false }
+func (e *Engine) ResumeNode(i int) {
+	if e.hung[i] {
+		e.noteEvent(metrics.Event{Kind: metrics.EvNodeResume, Round: e.round, A: i, B: -1})
+	}
+	e.hung[i] = false
+}
 
 // DetectorStats aggregates failure-detection counters over all nodes.
 type DetectorStats struct {
@@ -984,6 +1039,9 @@ func (e *Engine) Run(cfg RunConfig) Result {
 		e.Step()
 		errs := e.Errors()
 		maxErr := stats.Max(errs)
+		if e.rec.Due(e.round) {
+			e.observe(errs)
+		}
 		if cfg.Record {
 			e.recordPoint(&res.Series, errs)
 		}
@@ -1002,6 +1060,9 @@ func (e *Engine) Run(cfg RunConfig) Result {
 			if !cfg.Record {
 				e.recordPoint(&res.Series, errs)
 			}
+			if e.rec != nil && e.rec.LastRound() != e.round {
+				e.observe(errs)
+			}
 			return res
 		}
 		if cfg.StallRounds > 0 && stalled >= cfg.StallRounds {
@@ -1011,6 +1072,9 @@ func (e *Engine) Run(cfg RunConfig) Result {
 	errs := e.Errors()
 	if !cfg.Record {
 		e.recordPoint(&res.Series, errs)
+	}
+	if e.rec != nil && e.rec.LastRound() != e.round {
+		e.observe(errs)
 	}
 	return res
 }

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// P2 is the P² streaming quantile estimator of Jain & Chlamtac
+// ("The P² algorithm for dynamic calculation of quantiles and
+// histograms without storing observations", CACM 28(10), 1985).
+//
+// Five markers track the minimum, the target quantile, the two
+// intermediate quantiles and the maximum of the stream; on every
+// observation the middle markers are nudged toward their desired
+// positions with a piecewise-parabolic height prediction. The state is
+// O(1) and Add is a handful of flops, which is what lets the metrics
+// recorder estimate per-node error quantiles at probe time without
+// sorting (or even touching) the engine's error slice.
+//
+// The first five observations are stored verbatim, so Value is exact
+// for n ≤ 5 (it falls back to QuantileSorted on the stored sample).
+// NaN observations are ignored — dead nodes report no error.
+type P2 struct {
+	q    float64    // target quantile in (0, 1)
+	h    [5]float64 // marker heights
+	pos  [5]float64 // marker positions (1-based, as in the paper)
+	want [5]float64 // desired marker positions
+	dn   [5]float64 // per-observation desired-position increments
+	n    int        // observations accepted so far
+}
+
+// NewP2 returns an estimator for the q-quantile, 0 < q < 1.
+func NewP2(q float64) *P2 {
+	p := &P2{}
+	p.Reset(q)
+	return p
+}
+
+// Reset rewinds the estimator and retargets it at the q-quantile,
+// reusing the allocation — the recorder resets its three estimators at
+// every probe.
+func (p *P2) Reset(q float64) {
+	if math.IsNaN(q) || q <= 0 || q >= 1 {
+		panic("stats: P2 quantile must be in (0, 1)")
+	}
+	*p = P2{q: q}
+	p.dn = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+}
+
+// Count reports how many observations have been accepted.
+func (p *P2) Count() int { return p.n }
+
+// Quantile reports the target quantile the estimator was reset to.
+func (p *P2) Quantile() float64 { return p.q }
+
+// Add folds one observation into the estimate.
+func (p *P2) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if p.n < 5 {
+		p.h[p.n] = x
+		p.n++
+		if p.n == 5 {
+			sort.Float64s(p.h[:])
+			p.pos = [5]float64{1, 2, 3, 4, 5}
+			p.want = [5]float64{1, 1 + 2*p.q, 1 + 4*p.q, 3 + 2*p.q, 5}
+		}
+		return
+	}
+
+	// Locate the cell, extending the extremes if needed.
+	var k int
+	switch {
+	case x < p.h[0]:
+		p.h[0] = x
+		k = 0
+	case x >= p.h[4]:
+		p.h[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < p.h[k+1] {
+				break
+			}
+		}
+	}
+	p.n++
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := 1; i < 5; i++ {
+		p.want[i] += p.dn[i]
+	}
+
+	// Nudge the three middle markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			h := p.parabolic(i, s)
+			if !(p.h[i-1] < h && h < p.h[i+1]) {
+				h = p.linear(i, s)
+			}
+			p.h[i] = h
+			p.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² height prediction: fit a parabola through the
+// marker and its neighbors and evaluate one position step away.
+func (p *P2) parabolic(i int, s float64) float64 {
+	return p.h[i] + s/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+s)*(p.h[i+1]-p.h[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-s)*(p.h[i]-p.h[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback when the parabolic prediction would leave the
+// markers unordered.
+func (p *P2) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return p.h[i] + s*(p.h[j]-p.h[i])/(p.pos[j]-p.pos[i])
+}
+
+// Value returns the current estimate of the target quantile: exact for
+// n ≤ 5, the middle-marker height afterwards. NaN before any
+// observation.
+func (p *P2) Value() float64 {
+	switch {
+	case p.n == 0:
+		return math.NaN()
+	case p.n <= 5:
+		var buf [5]float64
+		copy(buf[:], p.h[:p.n])
+		sort.Float64s(buf[:p.n])
+		return QuantileSorted(buf[:p.n], p.q)
+	default:
+		return p.h[2]
+	}
+}

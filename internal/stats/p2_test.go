@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestP2SmallExact: for n ≤ 5 the estimator stores the sample and must
+// agree bitwise with the exact quantile.
+func TestP2SmallExact(t *testing.T) {
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		xs := []float64{3.5, -1, 7, 0.25, 2}
+		for n := 1; n <= len(xs); n++ {
+			p := NewP2(q)
+			for _, x := range xs[:n] {
+				p.Add(x)
+			}
+			want := Quantile(xs[:n], q)
+			if got := p.Value(); got != want {
+				t.Fatalf("q=%g n=%d: got %v, want exact %v", q, n, got, want)
+			}
+			if p.Count() != n {
+				t.Fatalf("q=%g n=%d: Count=%d", q, n, p.Count())
+			}
+		}
+	}
+}
+
+// TestP2SeededDistributions compares the streaming estimate against the
+// exact sample quantile on several seeded distributions. P² error is
+// bounded empirically: well under 2% of the sample spread for smooth
+// distributions at these sizes.
+func TestP2SeededDistributions(t *testing.T) {
+	distros := []struct {
+		name string
+		gen  func(r *rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() }},
+		{"normal", func(r *rand.Rand) float64 { return r.NormFloat64() }},
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() }},
+		{"lognormal", func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()) }},
+	}
+	for _, d := range distros {
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			for seed := int64(1); seed <= 3; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				const n = 20000
+				xs := make([]float64, n)
+				p := NewP2(q)
+				for i := range xs {
+					xs[i] = d.gen(r)
+					p.Add(xs[i])
+				}
+				sort.Float64s(xs)
+				exact := QuantileSorted(xs, q)
+				spread := xs[n-1] - xs[0]
+				if diff := math.Abs(p.Value() - exact); diff > 0.02*spread {
+					t.Errorf("%s q=%g seed=%d: estimate %v vs exact %v (|diff| %v > 2%% of spread %v)",
+						d.name, q, seed, p.Value(), exact, diff, spread)
+				}
+			}
+		}
+	}
+}
+
+// TestP2MonotoneAcrossQuantiles: estimates for increasing q on the same
+// stream must be (weakly) ordered.
+func TestP2MonotoneAcrossQuantiles(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p50, p90, p99 := NewP2(0.5), NewP2(0.9), NewP2(0.99)
+	for i := 0; i < 5000; i++ {
+		x := r.NormFloat64() * math.Exp(r.Float64())
+		p50.Add(x)
+		p90.Add(x)
+		p99.Add(x)
+	}
+	if !(p50.Value() <= p90.Value() && p90.Value() <= p99.Value()) {
+		t.Fatalf("quantile estimates not ordered: p50=%v p90=%v p99=%v",
+			p50.Value(), p90.Value(), p99.Value())
+	}
+}
+
+// TestP2IgnoresNaN: NaN observations (dead nodes report no error) must
+// not perturb the estimate or the count.
+func TestP2IgnoresNaN(t *testing.T) {
+	a, b := NewP2(0.9), NewP2(0.9)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		x := r.Float64()
+		a.Add(x)
+		b.Add(x)
+		if i%7 == 0 {
+			b.Add(math.NaN())
+		}
+	}
+	if a.Value() != b.Value() || a.Count() != b.Count() {
+		t.Fatalf("NaN perturbed the estimator: %v/%d vs %v/%d",
+			a.Value(), a.Count(), b.Value(), b.Count())
+	}
+}
+
+// TestP2Reset: a reused estimator must behave exactly like a fresh one.
+func TestP2Reset(t *testing.T) {
+	p := NewP2(0.5)
+	for i := 0; i < 100; i++ {
+		p.Add(float64(i))
+	}
+	p.Reset(0.9)
+	fresh := NewP2(0.9)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		x := r.ExpFloat64()
+		p.Add(x)
+		fresh.Add(x)
+	}
+	if p.Value() != fresh.Value() {
+		t.Fatalf("Reset estimator diverged: %v vs fresh %v", p.Value(), fresh.Value())
+	}
+	if p.Quantile() != 0.9 {
+		t.Fatalf("Quantile() = %v after Reset(0.9)", p.Quantile())
+	}
+}

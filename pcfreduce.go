@@ -52,6 +52,7 @@ import (
 	"pcfreduce/internal/flowupdate"
 	"pcfreduce/internal/gossip"
 	"pcfreduce/internal/linalg"
+	"pcfreduce/internal/metrics"
 	"pcfreduce/internal/pushflow"
 	"pcfreduce/internal/pushsum"
 	"pcfreduce/internal/runtime"
@@ -98,6 +99,27 @@ const (
 // Protocol is the node-local reduction state machine interface; advanced
 // users can implement their own and drive it with the same engines.
 type Protocol = gossip.Protocol
+
+// MetricsRecorder is the zero-overhead observability recorder
+// (re-exported from internal/metrics): per-shard counter banks, invariant
+// probes sampled every K rounds, and a fixed-capacity trace-event ring.
+// Attach one per run via ReduceOptions.Metrics or
+// ConcurrentOptions.Metrics; a nil recorder costs nothing.
+type MetricsRecorder = metrics.Recorder
+
+// MetricsConfig configures NewMetrics.
+type MetricsConfig = metrics.Config
+
+// MetricsSample is one invariant-probe sample (error quantiles, mass
+// residual, in-flight weight, anti-symmetry violations, counters).
+type MetricsSample = metrics.Sample
+
+// TraceEvent is one entry of the recorder's trace ring (fault injected,
+// link evicted, node reintegrated, convergence epoch crossed, ...).
+type TraceEvent = metrics.Event
+
+// NewMetrics constructs a metrics recorder.
+var NewMetrics = metrics.New
 
 // Value is the (data vector, weight) pair all protocols exchange.
 type Value = gossip.Value
@@ -192,6 +214,11 @@ type ReduceOptions struct {
 	// sequential one, so Shards=0 and Shards=1 runs are distinct
 	// reproducible experiments.
 	Shards int
+	// Metrics, when non-nil, attaches the recorder for the run: invariant
+	// samples every Metrics.Interval rounds, counters, and the fault /
+	// detector event trace. Attaching a recorder never changes the
+	// schedule or the results.
+	Metrics *MetricsRecorder
 }
 
 // LinkFailure schedules a permanent link failure for Reduce.
@@ -254,6 +281,9 @@ func Reduce(inputs []float64, algo Algorithm, opt ReduceOptions) (ReduceResult, 
 	if opt.LossRate > 0 {
 		e.SetInterceptor(fault.NewLoss(opt.LossRate, opt.Seed+1))
 	}
+	if opt.Metrics != nil {
+		e.SetMetrics(opt.Metrics)
+	}
 	var events []fault.Event
 	for _, lf := range opt.LinkFailures {
 		events = append(events, fault.LinkFailure(lf.Round, lf.A, lf.B))
@@ -314,6 +344,14 @@ type ConcurrentOptions struct {
 	Timeout time.Duration
 	// Seed drives the per-node RNGs (default 1).
 	Seed int64
+	// Metrics, when non-nil, attaches the recorder for the run: shared
+	// atomic counters, wall-clock invariant samples at the monitor
+	// cadence, and the fault / detector event trace.
+	Metrics *MetricsRecorder
+	// MetricsAddr, when non-empty, serves the recorder on an opt-in HTTP
+	// endpoint (Prometheus text at /metrics, expvar at /debug/vars, pprof
+	// at /debug/pprof/) for the duration of the run.
+	MetricsAddr string
 }
 
 // ReduceConcurrent runs the reduction as a real concurrent system: one
@@ -347,6 +385,8 @@ func ReduceConcurrent(ctx context.Context, inputs []float64, algo Algorithm, opt
 		NewProtocol: algo.NewNode,
 		Init:        init,
 		Seed:        opt.Seed,
+		Metrics:     opt.Metrics,
+		MetricsAddr: opt.MetricsAddr,
 	})
 	if err != nil {
 		return ReduceResult{}, err
