@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"testing"
 
+	"pcfreduce/internal/checkpoint"
 	"pcfreduce/internal/experiments"
 	"pcfreduce/internal/gossip"
 	"pcfreduce/internal/sim"
@@ -66,6 +67,25 @@ type millionEntry struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// snapshotCost records what a full-state checkpoint costs at
+// million-node scale: Engine.Snapshot (flat-slice copies of the
+// struct-of-arrays protocol state, RNG streams and in-flight messages)
+// and checkpoint.Encode (the versioned binary codec), in ns per op,
+// plus the encoded size. The encoded bytes are deterministic for a
+// fixed seed, warmup and algorithm, so the gate can hold them to a
+// tight bound while the timings get a memcpy-noise budget.
+type snapshotCost struct {
+	Topology        string  `json:"topology"`
+	N               int     `json:"n"`
+	Algorithm       string  `json:"algorithm"`
+	Shards          int     `json:"shards"`
+	WarmupRounds    int     `json:"warmup_rounds"`
+	SnapshotNsPerOp float64 `json:"snapshot_ns_per_op"`
+	EncodeNsPerOp   float64 `json:"encode_ns_per_op"`
+	EncodedBytes    int     `json:"encoded_bytes"`
+	BytesPerNode    float64 `json:"encoded_bytes_per_node"`
+}
+
 type benchReport struct {
 	Description string `json:"description"`
 	GoMaxProcs  int    `json:"go_max_procs"`
@@ -84,6 +104,10 @@ type benchReport struct {
 	NScaling    []scalingEntry   `json:"n_scaling,omitempty"`
 	MillionNode *millionEntry    `json:"million_node,omitempty"`
 	Footprint   []footprintEntry `json:"memory_footprint,omitempty"`
+
+	// SnapshotCost is the checkpoint subsystem's price tag, recorded by
+	// -bench-snapshot and re-checked by -bench-gate.
+	SnapshotCost *snapshotCost `json:"snapshot_cost,omitempty"`
 }
 
 // bestOf3 runs fn as a testing.Benchmark three times and keeps the
@@ -128,6 +152,14 @@ func writeBenchJSON(path string, seed int64, shards int) {
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
 		HotPathTopology: g.Name(),
 		HotPathN:        g.N(),
+	}
+	// Re-recording the hot path must not silently drop the snapshot-cost
+	// baseline (recorded separately by -bench-snapshot).
+	if raw, err := os.ReadFile(path); err == nil {
+		var old benchReport
+		if json.Unmarshal(raw, &old) == nil {
+			rep.SnapshotCost = old.SnapshotCost
+		}
 	}
 	if rep.GoMaxProcs < shards {
 		rep.Note = fmt.Sprintf(
@@ -227,6 +259,84 @@ func writeBenchJSON(path string, seed int64, shards int) {
 			fatal(err)
 		}
 	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// snapshotWarmupRounds is how many rounds the engine runs before the
+// snapshot is taken. Kept small and fixed so the in-flight message
+// state — and with it the encoded byte count — is identical between the
+// recording host and the gate.
+const snapshotWarmupRounds = 8
+
+// measureSnapshotCost benchmarks Engine.Snapshot and checkpoint.Encode
+// on the million-node torus after a fixed warmup. Shared between
+// -bench-snapshot (recording) and -bench-gate (regression check) so
+// both measure exactly the same operation.
+func measureSnapshotCost(seed int64, shards int) *snapshotCost {
+	runtime.GC() // shed any earlier benchmark's heap before the ~400 MB working set
+	g := topology.Torus3D(100, 100, 100)
+	n := g.N()
+	e := sim.NewScalar(g, experiments.PCF.Protos(n), experiments.UniformInputs(n, seed),
+		gossip.Average, seed, sim.WithShards(shards))
+	for r := 0; r < snapshotWarmupRounds; r++ {
+		e.Step()
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		fatal(err)
+	}
+	snapRes := bestOf3(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if snap, err = e.Snapshot(); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	var blob []byte
+	encRes := bestOf3(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			blob = checkpoint.Encode(&checkpoint.Checkpoint{Snap: snap})
+		}
+	})
+	return &snapshotCost{
+		Topology:        g.Name(),
+		N:               n,
+		Algorithm:       experiments.PCF.Name,
+		Shards:          shards,
+		WarmupRounds:    snapshotWarmupRounds,
+		SnapshotNsPerOp: float64(snapRes.NsPerOp()),
+		EncodeNsPerOp:   float64(encRes.NsPerOp()),
+		EncodedBytes:    len(blob),
+		BytesPerNode:    float64(len(blob)) / float64(n),
+	}
+}
+
+// runBenchSnapshot measures the million-node snapshot cost and merges
+// it into the existing bench JSON, leaving every other recorded number
+// untouched (the hot-path and scaling baselines were recorded
+// separately and must not shift when only the checkpoint subsystem is
+// re-benchmarked).
+func runBenchSnapshot(path string, seed int64, shards int) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", path, err))
+	}
+	sc := measureSnapshotCost(seed, shards)
+	rep.SnapshotCost = sc
+	fmt.Fprintf(os.Stderr, "snapshot %s n=%d: Snapshot %.1f ms, Encode %.1f ms, %d bytes (%.1f B/node)\n",
+		sc.Topology, sc.N, sc.SnapshotNsPerOp/1e6, sc.EncodeNsPerOp/1e6, sc.EncodedBytes, sc.BytesPerNode)
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		fatal(err)
 	}

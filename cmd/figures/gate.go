@@ -19,6 +19,17 @@ import (
 // creeping onto the hot path.
 const gateTolerance = 1.05
 
+// snapshotGateTolerance is the ns/op budget for the million-node
+// snapshot+encode cost. The operation is memory-bandwidth-bound, so the
+// sequential-PCF compute calibration is only applied as leniency (slower
+// machine ⇒ bigger budget, never smaller) and the tolerance is a loose
+// 2× — GC pressure from the ~400 MB working set makes the timing far
+// noisier than the hot-path round, while the regressions the gate
+// exists to catch (per-element boxing, reflection, an allocation per
+// node) cost 5–10×. The byte-size check below is the tight one: the
+// encoding is deterministic, so any growth is a real format change.
+const snapshotGateTolerance = 2.0
+
 // runBenchGate is the CI regression gate: it re-measures the largest
 // n-scaling point of the recorded baseline (the sharded PCF round at
 // n = 2^17, metrics disabled — the default engine state) and exits
@@ -82,6 +93,30 @@ func runBenchGate(path string, seed int64) {
 		fmt.Printf("FAIL: sharded PCF round allocates %d/op, baseline %d/op\n",
 			shd.AllocsPerOp(), base.ShardedAllocsOp)
 		failed = true
+	}
+	if sc := rep.SnapshotCost; sc != nil {
+		m := measureSnapshotCost(seed, sc.Shards)
+		recorded := sc.SnapshotNsPerOp + sc.EncodeNsPerOp
+		measured := m.SnapshotNsPerOp + m.EncodeNsPerOp
+		memScale := scale
+		if memScale < 1 {
+			memScale = 1
+		}
+		allowedNs := recorded * memScale * snapshotGateTolerance
+		fmt.Printf("  snapshot cost %s n=%d: measured %.1f ms (Snapshot %.1f + Encode %.1f), allowed %.1f ms\n",
+			m.Topology, m.N, measured/1e6, m.SnapshotNsPerOp/1e6, m.EncodeNsPerOp/1e6, allowedNs/1e6)
+		fmt.Printf("  snapshot size: measured %d bytes (%.1f B/node), recorded %d\n",
+			m.EncodedBytes, m.BytesPerNode, sc.EncodedBytes)
+		if measured > allowedNs {
+			fmt.Printf("FAIL: million-node snapshot cost regressed %.1f%% over the normalized baseline (gate: %.0f%%)\n",
+				100*(measured/(recorded*memScale)-1), 100*(snapshotGateTolerance-1))
+			failed = true
+		}
+		if float64(m.EncodedBytes) > float64(sc.EncodedBytes)*gateTolerance {
+			fmt.Printf("FAIL: encoded snapshot grew to %d bytes, baseline %d (gate: %.0f%%)\n",
+				m.EncodedBytes, sc.EncodedBytes, 100*(gateTolerance-1))
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -39,6 +39,7 @@ func main() {
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		bench     = flag.String("bench-json", "", "measure the simulator hot path and write results to this JSON file (e.g. benches/BENCH_sim.json)")
 		benchGate = flag.String("bench-gate", "", "re-measure the sharded PCF round (metrics disabled) against the recorded baseline in this JSON file and exit non-zero on a >5% ns/op or any allocs/op regression")
+		benchSnap = flag.String("bench-snapshot", "", "measure the million-node snapshot/encode cost and merge it into this JSON file, preserving the other recorded baselines")
 
 		shards     = flag.Int("shards", 8, "shard count for the sharded-executor series of -bench-json")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -139,6 +140,10 @@ func main() {
 	}
 	if *bench != "" {
 		writeBenchJSON(*bench, *seed, *shards)
+		ran = true
+	}
+	if *benchSnap != "" {
+		runBenchSnapshot(*benchSnap, *seed, *shards)
 		ran = true
 	}
 	if *benchGate != "" {

@@ -28,11 +28,13 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"pcfreduce"
+	"pcfreduce/internal/checkpoint"
 	"pcfreduce/internal/detect"
 	"pcfreduce/internal/experiments"
 	"pcfreduce/internal/fault"
@@ -71,9 +73,17 @@ func main() {
 		detectParams  = flag.String("detect-params", "10,20,40,80,160", "sweep axis for -detect-exp: timeouts in rounds (fixed) or φ thresholds (phi)")
 		trials        = flag.Int("trials", 5, "seeds per sweep point for -detect-exp")
 
-		sweepMode = flag.Bool("sweep", false, "run the standard experiment grid on the parallel sweep engine and exit")
-		workers   = flag.Int("workers", 0, "worker-pool size for -sweep (0 = auto); any value yields bit-identical results")
-		sweepJSON = flag.String("sweep-json", "", "write the -sweep result JSON to this file instead of a summary to stdout")
+		sweepMode       = flag.Bool("sweep", false, "run the standard experiment grid on the parallel sweep engine and exit")
+		workers         = flag.Int("workers", 0, "worker-pool size for -sweep (0 = auto); any value yields bit-identical results")
+		sweepJSON       = flag.String("sweep-json", "", "write the -sweep result JSON to this file instead of a summary to stdout")
+		checkpointDir   = flag.String("checkpoint-dir", "", "with -sweep: directory for durable per-trial results and mid-trial engine checkpoints")
+		checkpointEvery = flag.Int("checkpoint-every", 0, "with -sweep: mid-trial checkpoint cadence in rounds (needs -checkpoint-dir; mid-trial restore needs -shards ≥ 1)")
+		resumeSweep     = flag.Bool("resume", false, "with -sweep: skip trials already completed in -checkpoint-dir and restore interrupted trials from their mid-trial checkpoints")
+
+		replayFrom    = flag.String("replay-from", "", "restore an engine checkpoint file (written by -snapshot-every or a sweep's -checkpoint-dir) and re-execute from its round with tracing; the -topo flag must rebuild the topology the snapshot was taken on")
+		snapshotEvery = flag.Int("snapshot-every", 0, "write an engine checkpoint every K rounds to -snapshot-out (round simulator; implies -shards 1 when -shards is 0)")
+		snapshotOut   = flag.String("snapshot-out", "gossipsim.ckpt", "checkpoint file path for -snapshot-every")
+		recoveryExp   = flag.Bool("recovery-exp", false, "run the recovery-strategy comparison (detector reintegration vs checkpoint-restart) and exit")
 
 		shards     = flag.Int("shards", 0, "run round-simulator reductions on the sharded executor with this many shards (0 = sequential); results are byte-identical for any shards ≥ 1")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -91,8 +101,16 @@ func main() {
 	}
 	defer stopProfiles()
 
+	// A shard count past the scheduler budget would only oversubscribe
+	// the machine (and, combined with -sweep workers, used to surface as
+	// a panic deep in the pool) — refuse it up front with a real error.
+	if procs := runtime.GOMAXPROCS(0); *shards > procs {
+		fatal(fmt.Errorf("-shards %d exceeds the GOMAXPROCS budget (%d); lower -shards or raise GOMAXPROCS", *shards, procs))
+	}
+
 	if *sweepMode {
-		runSweep(*workers, *shards, *seed, *rounds, *sweepJSON, *metricsEvery)
+		runSweep(*workers, *shards, *seed, *rounds, *sweepJSON, *metricsEvery,
+			*checkpointDir, *checkpointEvery, *resumeSweep)
 		return
 	}
 
@@ -139,7 +157,12 @@ func main() {
 		return
 	}
 
-	if *detectMode || *silentCrash != "" || *outage != "" {
+	if *recoveryExp {
+		runRecoveryExp(g, max(1, *shards), *seed, *detectTimeout)
+		return
+	}
+
+	if *detectMode || *silentCrash != "" || *outage != "" || *replayFrom != "" || *snapshotEvery > 0 {
 		pol, err := parsePolicy(*detectPolicy)
 		if err != nil {
 			fatal(err)
@@ -155,11 +178,12 @@ func main() {
 				Timeout:      *detectTimeout,
 				PhiThreshold: *phiThreshold,
 			}}
-		} else {
+		} else if *silentCrash != "" || *outage != "" {
 			fmt.Println("note: silent faults without -detect — nobody will ever evict the failed components")
 		}
-		rec := newRecorder(*metricsEvery, *traceEvery, *shards, *eventsOut)
-		runDetect(g, algo, agg, inputs, *eps, *seed, *rounds, *shards, plan, dc, *traceEvery, rec)
+		rec := newRecorder(*metricsEvery, *traceEvery, max(1, *shards), *eventsOut)
+		runDetect(g, algo, agg, inputs, *eps, *seed, *rounds, *shards, plan, dc, *traceEvery, rec,
+			ckptOpts{replayFrom: *replayFrom, every: *snapshotEvery, out: *snapshotOut})
 		reportMetrics(rec, *metricsEvery > 0, *eventsOut)
 		return
 	}
@@ -324,7 +348,8 @@ func reportMetrics(rec *metrics.Recorder, table bool, eventsPath string) {
 // byte-identical across shard counts — so -workers and -shards only
 // trade wall-clock time (shards > 0 does select the sharded executor's
 // own deterministic schedule, a different experiment from shards = 0).
-func runSweep(workers, shards int, seed int64, rounds int, jsonPath string, metricsEvery int) {
+func runSweep(workers, shards int, seed int64, rounds int, jsonPath string, metricsEvery int,
+	checkpointDir string, checkpointEvery int, resume bool) {
 	cfg := experiments.DefaultSweep()
 	cfg.Workers = workers
 	cfg.Shards = shards
@@ -337,6 +362,9 @@ func runSweep(workers, shards int, seed int64, rounds int, jsonPath string, metr
 		cfg.Metrics = true
 		cfg.MetricsEvery = metricsEvery
 	}
+	cfg.CheckpointDir = checkpointDir
+	cfg.CheckpointEvery = checkpointEvery
+	cfg.Resume = resume
 	start := time.Now()
 	res, err := experiments.Sweep(cfg)
 	if err != nil {
@@ -382,10 +410,20 @@ func runEvent(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggreg
 	fmt.Printf("exact aggregate %.9g\n", e.Targets()[0])
 }
 
+// ckptOpts routes the checkpoint features through runDetect: restore a
+// snapshot before running (-replay-from) and/or write one every K
+// rounds (-snapshot-every). Either implies the sharded executor, the
+// only one whose state is serializable.
+type ckptOpts struct {
+	replayFrom string
+	every      int
+	out        string
+}
+
 // runDetect drives the round simulator directly (below the public
 // facade, like runEvent) with a failure plan of silent faults and,
 // optionally, the oracle-free detector.
-func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggregate, inputs []float64, eps float64, seed int64, rounds, shards int, plan *fault.Plan, dc *sim.DetectorConfig, traceEvery int, rec *metrics.Recorder) {
+func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggregate, inputs []float64, eps float64, seed int64, rounds, shards int, plan *fault.Plan, dc *sim.DetectorConfig, traceEvery int, rec *metrics.Recorder, ck ckptOpts) {
 	protos := make([]pcfreduce.Protocol, g.N())
 	for i := range protos {
 		protos[i] = algo.NewNode()
@@ -393,6 +431,9 @@ func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggre
 	init := make([]gossip.Value, g.N())
 	for i, x := range inputs {
 		init[i] = gossip.Scalar(x, agg.InitialWeight(i))
+	}
+	if (ck.replayFrom != "" || ck.every > 0) && shards == 0 {
+		shards = 1
 	}
 	var opts []sim.EngineOption
 	if dc != nil {
@@ -402,13 +443,49 @@ func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggre
 		opts = append(opts, sim.WithShards(shards))
 	}
 	e := sim.New(g, protos, init, seed, opts...)
+	var resume *sim.RunState
+	if ck.replayFrom != "" {
+		c, err := checkpoint.ReadFile(ck.replayFrom)
+		if err != nil {
+			fatal(fmt.Errorf("-replay-from: %w", err))
+		}
+		// Restore overwrites inputs, RNG streams and round counter from
+		// the snapshot, so the replay re-executes the original run
+		// bit-for-bit; only the topology must match, which Restore
+		// validates.
+		if err := e.Restore(c.Snap); err != nil {
+			fatal(fmt.Errorf("-replay-from %s: %w", ck.replayFrom, err))
+		}
+		if c.Run != nil {
+			resume = c.Run
+		} else {
+			resume = &sim.RunState{RoundsDone: c.Snap.Round}
+		}
+		fmt.Printf("replay: restored %s at round %d\n", ck.replayFrom, c.Snap.Round)
+	}
 	if rec != nil {
-		e.SetMetrics(rec)
+		e.SetMetrics(rec) // after Restore, which detaches any recorder
+		if ck.replayFrom != "" {
+			rec.RecordEvent(metrics.Event{Kind: metrics.EvReplay, Round: e.Round(), A: -1, B: -1})
+		}
 	}
 	if rounds == 0 {
 		rounds = 20000
 	}
-	cfg := sim.RunConfig{MaxRounds: rounds, Eps: eps, OnRound: plan.OnRound, AfterRound: traceFunc(traceEvery, rec)}
+	cfg := sim.RunConfig{MaxRounds: rounds, Eps: eps, OnRound: plan.OnRound, AfterRound: traceFunc(traceEvery, rec), Resume: resume}
+	if ck.every > 0 {
+		cfg.CheckpointEvery = ck.every
+		cfg.OnCheckpoint = func(e *sim.Engine, rs sim.RunState) {
+			snap, err := e.Snapshot()
+			if err != nil {
+				fatal(err)
+			}
+			if err := checkpoint.WriteFile(ck.out, &checkpoint.Checkpoint{Snap: snap, Run: &rs}); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  checkpoint at round %d -> %s\n", rs.RoundsDone, ck.out)
+		}
+	}
 	res := e.Run(cfg)
 	// The oracle error cannot cross the eviction-bias floor after a
 	// silent crash (mass drained into the dead links is absorbed at
@@ -462,6 +539,34 @@ func runDetectExp(g *pcfreduce.Graph, algo experiments.Algorithm, pol detect.Pol
 	for _, pt := range pts {
 		fmt.Printf("  %-16g %14.1f %12d %14.2f %14.2f %7d\n",
 			pt.Param, pt.MeanLatency, pt.MaxLatency, pt.FalsePositives, pt.Reintegrations, pt.Missed)
+	}
+}
+
+// runRecoveryExp prints the head-to-head table of the two recovery
+// strategies: detector-driven reintegration (the node comes back with
+// live state) versus checkpoint-restart (it comes back from a stale
+// snapshot via sim.RestartNode).
+func runRecoveryExp(g *topology.Graph, shards int, seed int64, detectTimeout float64) {
+	pts, err := experiments.RecoveryComparison(experiments.RecoveryConfig{
+		Graph:         g,
+		Shards:        shards,
+		Seed:          seed,
+		DetectTimeout: detectTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recovery comparison (victim %d, outage rounds 60-100, checkpoint at 30, detector timeout %g):\n",
+		g.N()/3, detectTimeout)
+	fmt.Printf("  %-13s %-19s %13s %15s %13s %14s\n",
+		"algorithm", "strategy", "pre-fail max", "recovery rounds", "final max", "residual mass")
+	for _, pt := range pts {
+		rec := fmt.Sprintf("%d", pt.RecoveryRounds)
+		if pt.RecoveryRounds < 0 {
+			rec = "never"
+		}
+		fmt.Printf("  %-13s %-19s %13.3e %15s %13.3e %14.3e\n",
+			pt.Algorithm, pt.Strategy, pt.PreFailMax, rec, pt.FinalMax, pt.ResidualMass)
 	}
 }
 

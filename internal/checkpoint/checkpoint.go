@@ -1,0 +1,277 @@
+// Package checkpoint wraps the simulator's flat-slice snapshots
+// (sim.Snapshot, optionally paired with the Run bookkeeping in
+// sim.RunState) in a versioned, checksummed binary file format — the
+// durability layer under resumable sweeps (experiments.Sweep) and
+// single-trial replay (gossipsim -replay-from).
+//
+// # Format (version 1, little-endian)
+//
+//	magic   [8]byte  "PCFSNAP1"
+//	version u32      1
+//	flags   u32      bit 0: a RunState section follows the streams
+//	n       u64      node count
+//	width   u64      value width
+//	round   u64      round counter
+//	lenF64  u64      elements in the float64 stream
+//	lenU64  u64      elements in the uint64 stream
+//	lenI32  u64      elements in the int32 stream
+//	lenB    u64      bytes in the byte stream
+//	F64 stream       lenF64 × 8 bytes (IEEE 754 bits)
+//	U64 stream       lenU64 × 8 bytes
+//	I32 stream       lenI32 × 4 bytes
+//	B   stream       lenB bytes
+//	[RunState]       roundsDone u64, stalled u64, bestMax f64,
+//	                 points u64, then per point: iteration u64, max f64,
+//	                 median f64
+//	crc     u32      IEEE CRC-32 of everything before this field
+//
+// Float64 payloads are stored as raw bits, so estimates, flows and
+// detector statistics round-trip exactly (including NaN payloads) —
+// the foundation of the byte-identical resume guarantee. Decode
+// validates the magic, version, section lengths and checksum before
+// touching the payload and returns an error (never panics) on
+// truncated, oversized or bit-flipped input; FuzzDecode enforces this.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/sim"
+	"pcfreduce/internal/stats"
+)
+
+var magic = [8]byte{'P', 'C', 'F', 'S', 'N', 'A', 'P', '1'}
+
+const (
+	version     = 1
+	flagRun     = 1 << 0
+	headerBytes = 8 + 4 + 4 + 7*8 // magic, version, flags, n/width/round + 4 lengths
+)
+
+// Checkpoint is the unit of durability: a full engine snapshot plus,
+// for mid-run checkpoints, the Run loop state around it.
+type Checkpoint struct {
+	Snap *sim.Snapshot
+	// Run is non-nil for mid-run checkpoints taken via
+	// RunConfig.OnCheckpoint; nil for bare snapshots.
+	Run *sim.RunState
+}
+
+// Encode serializes the checkpoint into the version-1 binary format.
+func Encode(c *Checkpoint) []byte {
+	s := c.Snap
+	size := headerBytes + 8*len(s.State.F64) + 8*len(s.State.U64) + 4*len(s.State.I32) + len(s.State.B)
+	if c.Run != nil {
+		size += 4*8 + 24*len(c.Run.Series)
+	}
+	size += 4 // crc
+	buf := make([]byte, 0, size)
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, version)
+	var flags uint32
+	if c.Run != nil {
+		flags |= flagRun
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.N))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Width))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Round))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.State.F64)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.State.U64)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.State.I32)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.State.B)))
+	for _, x := range s.State.F64 {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	for _, x := range s.State.U64 {
+		buf = binary.LittleEndian.AppendUint64(buf, x)
+	}
+	for _, x := range s.State.I32 {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	buf = append(buf, s.State.B...)
+	if c.Run != nil {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Run.RoundsDone))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Run.Stalled))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Run.BestMax))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(c.Run.Series)))
+		for _, p := range c.Run.Series {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Iteration))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Max))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Median))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+// ErrCorrupt wraps every Decode failure mode (truncation, bad magic or
+// version, length overflow, checksum mismatch).
+var ErrCorrupt = errors.New("checkpoint: corrupt or truncated data")
+
+// decoder is a bounds-checked little-endian cursor over the input.
+type decoder struct {
+	data []byte
+	pos  int
+	ok   bool
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.ok || len(d.data)-d.pos < 4 {
+		d.ok = false
+		return 0
+	}
+	x := binary.LittleEndian.Uint32(d.data[d.pos:])
+	d.pos += 4
+	return x
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.ok || len(d.data)-d.pos < 8 {
+		d.ok = false
+		return 0
+	}
+	x := binary.LittleEndian.Uint64(d.data[d.pos:])
+	d.pos += 8
+	return x
+}
+
+// count reads a u64 meant as an element count and rejects values whose
+// payload cannot possibly fit in the remaining input — the guard that
+// keeps a bit-flipped length from triggering a giant allocation.
+func (d *decoder) count(elemBytes int) int {
+	n := d.u64()
+	if !d.ok || n > uint64(len(d.data)-d.pos)/uint64(elemBytes) {
+		d.ok = false
+		return 0
+	}
+	return int(n)
+}
+
+// Decode parses data produced by Encode. It validates structure and
+// checksum and returns ErrCorrupt-wrapped errors on any mismatch; it
+// never panics on malformed input.
+func Decode(data []byte) (*Checkpoint, error) {
+	if len(data) < headerBytes+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrCorrupt, len(data))
+	}
+	body := data[:len(data)-4]
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	d := &decoder{data: body, ok: true}
+	if string(body[:8]) != string(magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	d.pos = 8
+	if v := d.u32(); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	flags := d.u32()
+	snap := &sim.Snapshot{
+		N:     int(d.u64()),
+		Width: int(d.u64()),
+		Round: int(d.u64()),
+	}
+	nF := d.count(8)
+	// The remaining-length guard in count is per-section; re-checking
+	// after each section's cursor advance keeps the combined lengths
+	// honest too.
+	nU := d.count(8)
+	nI := d.count(4)
+	nB := d.count(1)
+	if !d.ok {
+		return nil, fmt.Errorf("%w: invalid section lengths", ErrCorrupt)
+	}
+	if need := 8*nF + 8*nU + 4*nI + nB; len(body)-d.pos < need {
+		return nil, fmt.Errorf("%w: payload shorter than declared sections", ErrCorrupt)
+	}
+	st := gossip.State{
+		F64: make([]float64, nF),
+		U64: make([]uint64, nU),
+		I32: make([]int32, nI),
+		B:   make([]byte, nB),
+	}
+	for i := range st.F64 {
+		st.F64[i] = math.Float64frombits(d.u64())
+	}
+	for i := range st.U64 {
+		st.U64[i] = d.u64()
+	}
+	for i := range st.I32 {
+		st.I32[i] = int32(d.u32())
+	}
+	copy(st.B, body[d.pos:d.pos+nB])
+	d.pos += nB
+	snap.State = st
+	ck := &Checkpoint{Snap: snap}
+	if flags&flagRun != 0 {
+		rs := &sim.RunState{}
+		rs.RoundsDone = int(d.u64())
+		rs.Stalled = int(d.u64())
+		rs.BestMax = math.Float64frombits(d.u64())
+		points := d.count(24)
+		if !d.ok {
+			return nil, fmt.Errorf("%w: invalid run-state section", ErrCorrupt)
+		}
+		rs.Series = make(stats.Series, points)
+		for i := range rs.Series {
+			rs.Series[i].Iteration = int(d.u64())
+			rs.Series[i].Max = math.Float64frombits(d.u64())
+			rs.Series[i].Median = math.Float64frombits(d.u64())
+		}
+		ck.Run = rs
+	}
+	if !d.ok {
+		return nil, fmt.Errorf("%w: truncated payload", ErrCorrupt)
+	}
+	if d.pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(body)-d.pos)
+	}
+	return ck, nil
+}
+
+// WriteFile atomically persists the checkpoint: the encoding goes to a
+// temporary file in the target directory which is fsync'd and renamed
+// over path, so a crash mid-write never leaves a truncated checkpoint
+// behind — readers see the old file or the new one, nothing in between.
+func WriteFile(path string, c *Checkpoint) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(Encode(c)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile loads and decodes a checkpoint written by WriteFile.
+func ReadFile(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ck, nil
+}

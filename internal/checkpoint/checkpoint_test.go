@@ -1,0 +1,204 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pcfreduce/internal/core"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/sim"
+	"pcfreduce/internal/stats"
+	"pcfreduce/internal/topology"
+)
+
+// testSnapshot takes a real engine snapshot a few rounds into a run, so
+// the codec round-trips genuinely populated streams (flows, RNG,
+// detector-less inbox state).
+func testSnapshot(t *testing.T) *sim.Snapshot {
+	t.Helper()
+	g := topology.Hypercube(4)
+	protos := make([]gossip.Protocol, g.N())
+	for i := range protos {
+		protos[i] = core.NewRobust()
+	}
+	inputs := make([]float64, g.N())
+	for i := range inputs {
+		inputs[i] = float64(i)*1.25 + 0.5
+	}
+	e := sim.NewScalar(g, protos, inputs, gossip.Average, 3, sim.WithShards(2))
+	e.Run(sim.RunConfig{MaxRounds: 12})
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return snap
+}
+
+func sameSnapshot(t *testing.T, want, got *sim.Snapshot) {
+	t.Helper()
+	if got.N != want.N || got.Width != want.Width || got.Round != want.Round {
+		t.Fatalf("header (n=%d w=%d r=%d), want (n=%d w=%d r=%d)",
+			got.N, got.Width, got.Round, want.N, want.Width, want.Round)
+	}
+	for i, x := range want.State.F64 {
+		if math.Float64bits(got.State.F64[i]) != math.Float64bits(x) {
+			t.Fatalf("F64[%d] differs", i)
+		}
+	}
+	if len(got.State.F64) != len(want.State.F64) ||
+		len(got.State.U64) != len(want.State.U64) ||
+		len(got.State.I32) != len(want.State.I32) ||
+		len(got.State.B) != len(want.State.B) {
+		t.Fatal("stream lengths differ")
+	}
+	for i, x := range want.State.U64 {
+		if got.State.U64[i] != x {
+			t.Fatalf("U64[%d] differs", i)
+		}
+	}
+	for i, x := range want.State.I32 {
+		if got.State.I32[i] != x {
+			t.Fatalf("I32[%d] differs", i)
+		}
+	}
+	if !bytes.Equal(got.State.B, want.State.B) {
+		t.Fatal("B stream differs")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	snap := testSnapshot(t)
+	run := &sim.RunState{
+		RoundsDone: 12,
+		Stalled:    3,
+		BestMax:    1.5e-7,
+		Series: stats.Series{
+			{Iteration: 1, Max: 0.5, Median: 0.25},
+			{Iteration: 12, Max: math.Inf(1), Median: math.NaN()},
+		},
+	}
+	for _, tc := range []struct {
+		name string
+		ck   Checkpoint
+	}{
+		{"bare", Checkpoint{Snap: snap}},
+		{"with-run-state", Checkpoint{Snap: snap, Run: run}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Decode(Encode(&tc.ck))
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			sameSnapshot(t, tc.ck.Snap, got.Snap)
+			if (tc.ck.Run == nil) != (got.Run == nil) {
+				t.Fatalf("run-state presence %v, want %v", got.Run != nil, tc.ck.Run != nil)
+			}
+			if tc.ck.Run == nil {
+				return
+			}
+			if got.Run.RoundsDone != run.RoundsDone || got.Run.Stalled != run.Stalled ||
+				math.Float64bits(got.Run.BestMax) != math.Float64bits(run.BestMax) {
+				t.Fatalf("run state %+v, want %+v", got.Run, run)
+			}
+			if len(got.Run.Series) != len(run.Series) {
+				t.Fatalf("series length %d, want %d", len(got.Run.Series), len(run.Series))
+			}
+			for i, p := range run.Series {
+				q := got.Run.Series[i]
+				if q.Iteration != p.Iteration ||
+					math.Float64bits(q.Max) != math.Float64bits(p.Max) ||
+					math.Float64bits(q.Median) != math.Float64bits(p.Median) {
+					t.Fatalf("series point %d: %+v, want %+v", i, q, p)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsCorruption flips, truncates and extends an encoding
+// and requires a clean error — never a panic, never a silent success.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data := Encode(&Checkpoint{Snap: testSnapshot(t)})
+
+	t.Run("truncations", func(t *testing.T) {
+		for cut := 0; cut < len(data); cut += 7 {
+			if _, err := Decode(data[:cut]); err == nil {
+				t.Fatalf("truncation to %d bytes decoded successfully", cut)
+			}
+		}
+	})
+	t.Run("bit-flips", func(t *testing.T) {
+		for pos := 0; pos < len(data); pos += 11 {
+			mut := bytes.Clone(data)
+			mut[pos] ^= 0x40
+			if _, err := Decode(mut); err == nil {
+				t.Fatalf("bit flip at byte %d decoded successfully", pos)
+			}
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		if _, err := Decode(append(bytes.Clone(data), 0xAB, 0xCD)); err == nil {
+			t.Fatal("trailing bytes decoded successfully")
+		}
+	})
+	t.Run("bad-length-valid-crc", func(t *testing.T) {
+		// A hostile length field the checksum cannot catch: rewrite the
+		// F64 section length to a giant value and re-sign the body. The
+		// count guard must reject it without attempting the allocation.
+		body := bytes.Clone(data[:len(data)-4])
+		off := 8 + 4 + 4 + 3*8 // lenF64 field
+		for i := 0; i < 8; i++ {
+			body[off+i] = 0xFF
+		}
+		resigned := appendCRC(body)
+		if _, err := Decode(resigned); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("giant length: err = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// appendCRC re-signs a mutated body the way Encode does, to test the
+// structural guards behind the checksum.
+func appendCRC(body []byte) []byte {
+	return binary.LittleEndian.AppendUint32(bytes.Clone(body), crc32.ChecksumIEEE(body))
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trial.ckpt")
+	ck := &Checkpoint{Snap: testSnapshot(t), Run: &sim.RunState{RoundsDone: 12}}
+	if err := WriteFile(path, ck); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	sameSnapshot(t, ck.Snap, got.Snap)
+	if got.Run == nil || got.Run.RoundsDone != 12 {
+		t.Fatalf("run state not round-tripped: %+v", got.Run)
+	}
+	// No temp files may survive the atomic write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after WriteFile, want 1", len(entries))
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Fatal("ReadFile of a missing path must fail")
+	}
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadFile of garbage: err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,52 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"pcfreduce/internal/sim"
+	"pcfreduce/internal/stats"
+)
+
+// FuzzDecode is the codec's robustness contract: Decode must never
+// panic and never allocate unboundedly, whatever bytes it is fed —
+// truncated, bit-flipped, resigned or random. Valid corpus entries come
+// from Encode so the fuzzer starts inside the format and mutates
+// outward.
+func FuzzDecode(f *testing.F) {
+	small := &Checkpoint{Snap: &sim.Snapshot{N: 2, Width: 1}}
+	small.Snap.State.F64 = []float64{1, 2, 3}
+	small.Snap.State.U64 = []uint64{4, 5}
+	small.Snap.State.I32 = []int32{6}
+	small.Snap.State.B = []byte{7, 8, 9}
+	withRun := &Checkpoint{
+		Snap: small.Snap,
+		Run: &sim.RunState{
+			RoundsDone: 10, Stalled: 1, BestMax: 0.5,
+			Series: stats.Series{{Iteration: 1, Max: 2, Median: 3}},
+		},
+	}
+	f.Add(Encode(small))
+	f.Add(Encode(withRun))
+	f.Add(Encode(small)[:20])
+	f.Add([]byte("PCFSNAP1 but not really"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must round-trip: re-encoding the decoded
+		// checkpoint reproduces the input bytes (the format has no
+		// redundant representations).
+		re := Encode(ck)
+		if len(re) != len(data) {
+			t.Fatalf("re-encode length %d, input %d", len(re), len(data))
+		}
+		for i := range re {
+			if re[i] != data[i] {
+				t.Fatalf("re-encode differs at byte %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"pcfreduce/internal/topology"
+)
+
+// TestRecoveryComparison pins the head-to-head claim the harness
+// exists to make: detector-driven reintegration brings a node back with
+// live state and recovers to (better than) pre-failure accuracy for
+// every algorithm, while checkpoint-restart trades that for restart
+// capability — self-healing flow-updating still recovers, but PCF pays
+// a residual-mass bias for the state lost between checkpoint and crash.
+func TestRecoveryComparison(t *testing.T) {
+	cfg := RecoveryConfig{
+		Graph:      topology.Hypercube(5),
+		Algorithms: []Algorithm{PCFRobust, FlowUpdating},
+		MaxRounds:  400,
+	}
+	pts, err := RecoveryComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*len(cfg.Algorithms) {
+		t.Fatalf("%d points, want %d", len(pts), 2*len(cfg.Algorithms))
+	}
+	byKey := map[[2]string]RecoveryPoint{}
+	for _, pt := range pts {
+		byKey[[2]string{pt.Algorithm, pt.Strategy}] = pt
+		if pt.PreFailMax <= 0 || math.IsNaN(pt.PreFailMax) {
+			t.Fatalf("%s/%s: bad pre-fail error %v", pt.Algorithm, pt.Strategy, pt.PreFailMax)
+		}
+	}
+	for _, algo := range []string{"PCF-robust", "flow-updating"} {
+		re := byKey[[2]string{algo, "reintegration"}]
+		if re.RecoveryRounds < 0 {
+			t.Fatalf("%s/reintegration never recovered", algo)
+		}
+		if re.FinalMax >= re.PreFailMax {
+			t.Fatalf("%s/reintegration final %.3e did not beat pre-fail %.3e", algo, re.FinalMax, re.PreFailMax)
+		}
+	}
+	fu := byKey[[2]string{"flow-updating", "checkpoint-restart"}]
+	if fu.RecoveryRounds < 0 {
+		t.Fatal("flow-updating/checkpoint-restart never recovered (self-healing flows should reconcile)")
+	}
+	pcfCkpt := byKey[[2]string{"PCF-robust", "checkpoint-restart"}]
+	pcfRe := byKey[[2]string{"PCF-robust", "reintegration"}]
+	if !(pcfCkpt.ResidualMass > pcfRe.ResidualMass) {
+		t.Fatalf("PCF-robust residual mass: checkpoint-restart %.3e should exceed reintegration %.3e (state lost since the checkpoint)",
+			pcfCkpt.ResidualMass, pcfRe.ResidualMass)
+	}
+
+	again, err := RecoveryComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatalf("comparison not deterministic at point %d: %+v vs %+v", i, pts[i], again[i])
+		}
+	}
+}
+
+func TestRecoveryComparisonValidation(t *testing.T) {
+	if _, err := RecoveryComparison(RecoveryConfig{}); err == nil {
+		t.Fatal("missing graph must be rejected")
+	}
+	if _, err := RecoveryComparison(RecoveryConfig{
+		Graph:     topology.Ring(8),
+		FailRound: 50, CheckpointRound: 60, RecoverRound: 70,
+	}); err == nil {
+		t.Fatal("checkpoint after failure must be rejected")
+	}
+}

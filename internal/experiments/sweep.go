@@ -3,9 +3,13 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"pcfreduce/internal/checkpoint"
 	"pcfreduce/internal/fault"
 	"pcfreduce/internal/metrics"
 	"pcfreduce/internal/sim"
@@ -74,6 +78,33 @@ type SweepConfig struct {
 	Metrics bool
 	// MetricsEvery is the sampling cadence in rounds (default 10).
 	MetricsEvery int
+	// CheckpointDir, when non-empty, makes the sweep durable: every
+	// finished trial is written atomically to trial_NNNNN.json in the
+	// directory (created if missing), and — when CheckpointEvery > 0
+	// and the trials run sharded — a mid-trial engine checkpoint goes
+	// to trial_NNNNN.ckpt every CheckpointEvery rounds and is removed
+	// once the trial finishes. A killed sweep leaves only complete
+	// artifacts behind (writes are write-temp-then-rename).
+	CheckpointDir string
+	// CheckpointEvery is the mid-trial checkpoint cadence in rounds
+	// (0 disables mid-trial checkpoints; trial-level durability alone
+	// still allows resuming at trial granularity).
+	CheckpointEvery int
+	// Resume skips trials whose trial_NNNNN.json already exists in
+	// CheckpointDir (loading the recorded result verbatim) and restores
+	// mid-trial .ckpt state for trials that were interrupted mid-run.
+	// Because trial JSON round-trips float64 exactly and a restored
+	// engine continues bit-identically, the resumed sweep's JSON is
+	// byte-identical to an uninterrupted run's. Requires CheckpointDir;
+	// not supported together with Metrics (recorder history is not
+	// checkpointable).
+	Resume bool
+
+	// interruptAfter, when > 0, makes the sweep stop executing new
+	// trials after that many have completed in this process — the
+	// crash-injection hook of the kill-and-resume test. Unexported:
+	// only tests can reach it.
+	interruptAfter int
 }
 
 // Validate checks the nested-parallelism budget the same way
@@ -93,6 +124,15 @@ func (c SweepConfig) Validate() error {
 		return fmt.Errorf(
 			"experiments: SweepConfig runs %d workers × %d shards = %d goroutines, more than GOMAXPROCS=%d; lower one of them or leave Workers at 0 to budget automatically",
 			c.Workers, c.Shards, c.Workers*c.Shards, procs)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("experiments: SweepConfig.CheckpointEvery is %d, want ≥ 0", c.CheckpointEvery)
+	}
+	if c.Resume && c.CheckpointDir == "" {
+		return fmt.Errorf("experiments: SweepConfig.Resume requires CheckpointDir")
+	}
+	if c.Resume && c.Metrics {
+		return fmt.Errorf("experiments: SweepConfig.Resume is not supported together with Metrics (recorder history is not checkpointable)")
 	}
 	return nil
 }
@@ -202,9 +242,23 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 		plans[pi] = fault.NewPlan(p.Events...)
 	}
 
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return SweepResult{}, fmt.Errorf("experiments: creating checkpoint dir: %w", err)
+		}
+	}
+
 	type job struct{ ti, ai, pi, trial, idx int }
 	total := len(cfg.Topologies) * len(cfg.Algorithms) * len(cfg.Plans) * cfg.Trials
 	results := make([]TrialResult, total)
+
+	// completed counts trials finished by this process; once it reaches
+	// interruptAfter the remaining jobs are drained without running —
+	// the simulated mid-sweep crash of the kill-and-resume test.
+	var completed atomic.Int64
+	interrupted := func() bool {
+		return cfg.interruptAfter > 0 && completed.Load() >= int64(cfg.interruptAfter)
+	}
 
 	jobs := make(chan job)
 	var wg sync.WaitGroup
@@ -214,6 +268,23 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 			defer wg.Done()
 			engines := make(map[int]*sim.Engine) // worker-local cell cache
 			for jb := range jobs {
+				var donePath, ckptPath string
+				if cfg.CheckpointDir != "" {
+					donePath = filepath.Join(cfg.CheckpointDir, fmt.Sprintf("trial_%05d.json", jb.idx))
+					ckptPath = filepath.Join(cfg.CheckpointDir, fmt.Sprintf("trial_%05d.ckpt", jb.idx))
+				}
+				if cfg.Resume {
+					// A finished trial's JSON is reused verbatim; an
+					// unreadable or corrupt file just means the trial
+					// reruns from its seed (or its mid-trial checkpoint).
+					if tr, err := readTrialResult(donePath); err == nil {
+						results[jb.idx] = tr
+						continue
+					}
+				}
+				if interrupted() {
+					continue
+				}
 				seed := deriveSeed(cfg.RootSeed, uint64(jb.idx))
 				cell := jb.ti*len(cfg.Algorithms) + jb.ai
 				e, ok := engines[cell]
@@ -228,6 +299,18 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 					e = sim0(tp.Graph, cfg.Algorithms[jb.ai].Protos(tp.Graph.N()), inputs[jb.ti], seed, opts...)
 					engines[cell] = e
 				}
+				var resume *sim.RunState
+				if cfg.Resume && ckptPath != "" {
+					if ck, err := checkpoint.ReadFile(ckptPath); err == nil && ck.Run != nil {
+						if err := e.Restore(ck.Snap); err == nil {
+							resume = ck.Run
+						} else {
+							// Restore left the engine unspecified; rewind
+							// to a fresh trial from the seed.
+							e.Reset(seed)
+						}
+					}
+				}
 				var rec *metrics.Recorder
 				if cfg.Metrics {
 					rec = metrics.New(metrics.Config{
@@ -236,12 +319,24 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 					})
 					e.SetMetrics(rec)
 				}
-				res := e.Run(sim.RunConfig{
+				runCfg := sim.RunConfig{
 					MaxRounds: cfg.MaxRounds,
 					Eps:       cfg.Eps,
 					Record:    cfg.Record,
 					OnRound:   plans[jb.pi].OnRound,
-				})
+					Resume:    resume,
+				}
+				if cfg.CheckpointEvery > 0 && ckptPath != "" && rec == nil {
+					runCfg.CheckpointEvery = cfg.CheckpointEvery
+					runCfg.OnCheckpoint = func(e *sim.Engine, rs sim.RunState) {
+						snap, err := e.Snapshot()
+						if err != nil {
+							return // sequential executor: trial-level durability only
+						}
+						_ = checkpoint.WriteFile(ckptPath, &checkpoint.Checkpoint{Snap: snap, Run: &rs})
+					}
+				}
+				res := e.Run(runCfg)
 				tr := TrialResult{
 					Topology:  cfg.Topologies[jb.ti].Name,
 					N:         cfg.Topologies[jb.ti].Graph.N(),
@@ -264,6 +359,13 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 					tr.Events = rec.Events()
 				}
 				results[jb.idx] = tr
+				if donePath != "" {
+					_ = writeTrialResult(donePath, tr)
+					if ckptPath != "" {
+						os.Remove(ckptPath)
+					}
+				}
+				completed.Add(1)
 			}
 		}()
 	}
@@ -282,6 +384,52 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 	close(jobs)
 	wg.Wait()
 	return SweepResult{RootSeed: cfg.RootSeed, Trials: results}, nil
+}
+
+// writeTrialResult persists one finished trial atomically
+// (write-temp-then-rename, same discipline as checkpoint.WriteFile), so
+// a sweep killed mid-write never leaves a half-written done-file for
+// -resume to trip over. encoding/json prints float64 in shortest
+// round-trip form, so a reloaded trial is bit-identical to the
+// original — the resumed sweep's aggregate JSON matches an
+// uninterrupted run byte for byte.
+func writeTrialResult(path string, tr TrialResult) error {
+	data, err := json.Marshal(tr)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func readTrialResult(path string) (TrialResult, error) {
+	var tr TrialResult
+	if path == "" {
+		return tr, os.ErrNotExist
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return tr, err
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return tr, err
+	}
+	return tr, nil
 }
 
 // DefaultSweep is the standard small grid: the paper's three topology

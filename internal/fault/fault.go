@@ -264,6 +264,12 @@ const (
 	OpNodeHang
 	// OpNodeResume unfreezes a hung node.
 	OpNodeResume
+	// OpNodeCheckpoint makes a node freeze its protocol state as its
+	// local crash-restart checkpoint (engines' CheckpointNode).
+	OpNodeCheckpoint
+	// OpNodeRestart revives a crashed node from its last checkpoint via
+	// the snapshot-restore handshake (engines' RestartNode).
+	OpNodeRestart
 )
 
 // Event is one scheduled failure (permanent, silent, or transient).
@@ -352,6 +358,43 @@ func NodeOutage(hangRound, resumeRound, node int) []Event {
 	return []Event{NodeHang(hangRound, node), NodeResume(resumeRound, node)}
 }
 
+// NodeCheckpoint returns a checkpoint event: the node freezes its
+// protocol state as the restore point for a later NodeRestart.
+func NodeCheckpoint(round, node int) Event {
+	return Event{Round: round, Node: node, A: -1, B: -1, Op: OpNodeCheckpoint}
+}
+
+// NodeRestart returns a restart event: a crashed node revives from its
+// last checkpoint (or from scratch when it never checkpointed) and
+// rejoins via the snapshot-restore handshake.
+func NodeRestart(round, node int) Event {
+	return Event{Round: round, Node: node, A: -1, B: -1, Op: OpNodeRestart}
+}
+
+// CheckpointEvery returns periodic checkpoint events for one node at
+// rounds every, 2·every, … up to and including until — the standing
+// checkpoint cadence of the crash-restart recovery mode.
+func CheckpointEvery(every, until, node int) []Event {
+	if every <= 0 {
+		panic("fault: CheckpointEvery requires a positive interval")
+	}
+	var out []Event
+	for r := every; r <= until; r += every {
+		out = append(out, NodeCheckpoint(r, node))
+	}
+	return out
+}
+
+// CrashRestart returns the crash-recovery pair of the restart-from-
+// snapshot strategy: the node crashes silently at crashRound and
+// restarts from its last checkpoint at restartRound. Combine with
+// NodeCheckpoint/CheckpointEvery to control how stale the restored
+// state is; experiments.RecoveryComparison benchmarks this against
+// detector-driven reintegration.
+func CrashRestart(crashRound, restartRound, node int) []Event {
+	return []Event{SilentNodeCrash(crashRound, node), NodeRestart(restartRound, node)}
+}
+
 // Runner is the fault-injection surface shared by both execution
 // engines: sim.Engine and runtime.Network implement it, so one Plan can
 // drive a round-based simulation and a live concurrent run. The methods
@@ -364,6 +407,8 @@ type Runner interface {
 	CrashNodeSilent(i int)
 	HangNode(i int)
 	ResumeNode(i int)
+	CheckpointNode(i int)
+	RestartNode(i int)
 }
 
 // Plan is a schedule of failures. Its OnRound method plugs into
@@ -424,6 +469,10 @@ func apply(r Runner, ev Event) {
 		r.HangNode(ev.Node)
 	case OpNodeResume:
 		r.ResumeNode(ev.Node)
+	case OpNodeCheckpoint:
+		r.CheckpointNode(ev.Node)
+	case OpNodeRestart:
+		r.RestartNode(ev.Node)
 	}
 }
 

@@ -293,6 +293,8 @@ func (r *recorder) RestoreLink(i, j int)  { r.ops = append(r.ops, fmt.Sprintf("r
 func (r *recorder) CrashNodeSilent(i int) { r.ops = append(r.ops, fmt.Sprintf("scrash %d", i)) }
 func (r *recorder) HangNode(i int)        { r.ops = append(r.ops, fmt.Sprintf("hang %d", i)) }
 func (r *recorder) ResumeNode(i int)      { r.ops = append(r.ops, fmt.Sprintf("resume %d", i)) }
+func (r *recorder) CheckpointNode(i int)  { r.ops = append(r.ops, fmt.Sprintf("ckpt %d", i)) }
+func (r *recorder) RestartNode(i int)     { r.ops = append(r.ops, fmt.Sprintf("restart %d", i)) }
 
 // Both engines satisfy the Runner surface (runtime.Network is asserted
 // in the runtime package to keep import directions clean).

@@ -43,6 +43,21 @@ const (
 	// the convergence thresholds (the event Value).
 	EvEpochCrossed
 
+	// EvNodeCheckpoint: node A froze its protocol state into a local
+	// checkpoint (the crash-restart recovery mode's save point).
+	EvNodeCheckpoint
+	// EvNodeRestart: crashed node A restarted from its last local
+	// checkpoint and is rejoining via the snapshot-restore handshake.
+	EvNodeRestart
+	// EvSnapshot: a full engine snapshot was taken at this round.
+	EvSnapshot
+	// EvRestore: the engine state was restored from a snapshot taken at
+	// this round.
+	EvRestore
+	// EvReplay: a replay run resumed execution from a restored snapshot
+	// at this round.
+	EvReplay
+
 	numEventKinds int = iota
 )
 
@@ -58,6 +73,11 @@ var eventKindNames = [numEventKinds]string{
 	"link-evicted",
 	"link-reintegrated",
 	"epoch-crossed",
+	"node-checkpoint",
+	"node-restart",
+	"snapshot",
+	"restore",
+	"replay",
 }
 
 func (k EventKind) String() string {

@@ -1,0 +1,123 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pcfreduce/internal/core"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/topology"
+)
+
+// TestCrashRestartFromCheckpoint is the live-runtime half of the
+// crash-restart recovery mode: a node checkpoints its protocol state
+// mid-run, silently crashes (neighbors must detect and evict it), and
+// is later restarted from the checkpoint. The restarted node's first
+// sends are the snapshot-restore handshake: every neighbor reintegrates
+// it, and the full membership converges again.
+func TestCrashRestartFromCheckpoint(t *testing.T) {
+	g := topology.Hypercube(4)
+	const victim = 3
+	net := mustNew(t, Config{
+		Graph:       g,
+		NewProtocol: func() gossip.Protocol { return core.NewRobust() },
+		Init:        scalarInit(g.N(), gossip.Average),
+		Seed:        15,
+		Detector:    &DetectorConfig{SuspicionTimeout: 10 * time.Millisecond},
+	})
+	done := make(chan RunResult, 1)
+	go func() {
+		// Spread criterion (OracleFree): state mutated between checkpoint
+		// and crash is lost, so the survivors-plus-revenant may agree on a
+		// slightly biased aggregate rather than the exact oracle target.
+		res, err := net.Run(context.Background(), RunConfig{
+			Eps: 1e-10, Timeout: 30 * time.Second, Stable: 500, OracleFree: true,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	time.Sleep(2 * time.Millisecond)
+	net.CheckpointNode(victim)
+	time.Sleep(2 * time.Millisecond)
+	net.CrashNodeSilent(victim)
+	waitUntil(t, 10*time.Second, "all neighbors to suspect the crashed node", func() bool {
+		for _, j := range g.Neighbors(victim) {
+			if !containsInt(net.Suspects(int(j)), victim) {
+				return false
+			}
+		}
+		return true
+	})
+	net.RestartNode(victim)
+	net.RestartNode(victim) // idempotent on a live node
+	waitUntil(t, 10*time.Second, "all neighbors to reintegrate the restarted node", func() bool {
+		for _, j := range g.Neighbors(victim) {
+			if containsInt(net.Suspects(int(j)), victim) {
+				return false
+			}
+		}
+		return true
+	})
+	res := <-done
+	if !res.Converged {
+		t.Fatalf("did not converge after crash-restart: %.3e", res.FinalMaxError)
+	}
+	if stats := net.DetectorStats(); stats.Reintegrations < g.Degree(victim) {
+		t.Errorf("%d reintegrations, want at least %d (every neighbor heals the revenant)",
+			stats.Reintegrations, g.Degree(victim))
+	}
+	est := net.Estimates()
+	if est[victim] == nil {
+		t.Fatal("restarted node reports no estimate")
+	}
+	// The revenant must agree with the survivors, not just be alive.
+	if diff := est[victim][0] - est[0][0]; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("restarted node disagrees with the network: %g vs %g", est[victim][0], est[0][0])
+	}
+	if err := net.MaxError(); err > 0.2 {
+		t.Errorf("post-restart bias %.3e exceeds what checkpoint staleness explains", err)
+	}
+}
+
+// TestRestartWithoutCheckpoint: a node that never checkpointed restarts
+// from a clean protocol Reset — it rejoins with its initial value and
+// the network still converges.
+func TestRestartWithoutCheckpoint(t *testing.T) {
+	g := topology.Hypercube(3)
+	const victim = 2
+	net := mustNew(t, Config{
+		Graph:       g,
+		NewProtocol: func() gossip.Protocol { return core.NewRobust() },
+		Init:        scalarInit(g.N(), gossip.Average),
+		Seed:        16,
+		Detector:    &DetectorConfig{SuspicionTimeout: 10 * time.Millisecond},
+	})
+	done := make(chan RunResult, 1)
+	go func() {
+		res, err := net.Run(context.Background(), RunConfig{
+			Eps: 1e-10, Timeout: 30 * time.Second, Stable: 500, OracleFree: true,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	time.Sleep(2 * time.Millisecond)
+	net.CrashNodeSilent(victim)
+	waitUntil(t, 10*time.Second, "suspicion of the crashed node", func() bool {
+		for _, j := range g.Neighbors(victim) {
+			if containsInt(net.Suspects(int(j)), victim) {
+				return true
+			}
+		}
+		return false
+	})
+	net.RestartNode(victim)
+	res := <-done
+	if !res.Converged {
+		t.Fatalf("did not converge after checkpoint-less restart: %.3e", res.FinalMaxError)
+	}
+}

@@ -267,6 +267,7 @@ type node struct {
 	canReint   bool
 	lastSent   map[int]float64 // per-neighbor time of last send (detector clock)
 	keepalives int
+	ckpt       *gossip.State // last CheckpointNode state; nil until one is taken
 }
 
 // New builds the network and initializes all protocol instances.
@@ -539,6 +540,70 @@ func (net *Network) ResumeNode(i int) {
 	if was {
 		net.noteEvent(metrics.EvNodeResume, i, -1)
 	}
+}
+
+// CheckpointNode freezes node i's current protocol state as its local
+// crash-restart checkpoint — the save point RestartNode revives from.
+// No-op when the protocol does not implement gossip.Snapshotter.
+func (net *Network) CheckpointNode(i int) {
+	nd := net.nodes[i]
+	nd.mu.Lock()
+	snap, ok := nd.proto.(gossip.Snapshotter)
+	if ok {
+		w := &gossip.StateWriter{}
+		snap.SaveState(w)
+		nd.ckpt = &w.State
+	}
+	nd.mu.Unlock()
+	if ok {
+		net.noteEvent(metrics.EvNodeCheckpoint, i, -1)
+	}
+}
+
+// RestartNode revives a crashed node from its last CheckpointNode state
+// (or from a clean Reset when it never checkpointed) — the restart-
+// from-snapshot recovery mode, to be paired with CrashNodeSilent: a
+// notified CrashNode already tore down the node's links permanently, so
+// a restart after it rejoins nothing. The stale inbox accumulated while
+// the process was down is dropped (a restarted process has a fresh
+// queue), the node's goroutine resumes gossiping from the restored
+// state, and its resumed traffic is the snapshot-restore handshake:
+// neighbors whose detectors evicted the node observe it and reintegrate
+// via OnLinkRecover. The node's own detector restarts fresh, treating
+// the restart moment as last contact with every neighbor. No-op on a
+// node that is not crashed.
+func (net *Network) RestartNode(i int) {
+	nd := net.nodes[i]
+	nd.mu.Lock()
+	if !nd.crashed {
+		nd.mu.Unlock()
+		return
+	}
+	nd.crashed = false
+	nd.silent = false
+	nd.hung = false
+drain:
+	for {
+		select {
+		case <-nd.inbox:
+		default:
+			break drain
+		}
+	}
+	neighbors := net.cfg.Graph.Neighbors(nd.id)
+	nd.proto.Reset(nd.id, neighbors, net.cfg.Init[nd.id].Clone())
+	if nd.ckpt != nil {
+		if snap, ok := nd.proto.(gossip.Snapshotter); ok {
+			snap.LoadState(gossip.NewStateReader(*nd.ckpt))
+		}
+	}
+	if dc := net.cfg.Detector; dc != nil && nd.det != nil {
+		nd.det = detect.New(dc.detectConfig(), neighbors, net.now())
+		nd.lastSent = make(map[int]float64, len(neighbors))
+	}
+	nd.mu.Unlock()
+	net.recomputeTargets()
+	net.noteEvent(metrics.EvNodeRestart, i, -1)
 }
 
 func (nd *node) isCrashed() bool {

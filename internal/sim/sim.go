@@ -140,6 +140,8 @@ type Engine struct {
 	shards int         // 0 = legacy sequential model; ≥ 1 = phase-split model
 	shard  *shardState // executor state of the phase-split model (shard.go)
 
+	nodeCkpt []*gossip.State // per-node crash-restart checkpoints (snapshot.go); nil until CheckpointNode
+
 	msgPool []*gossip.Message // free list of width-sized messages
 	perm    []int             // activation-order scratch
 	errBuf  []float64         // Errors scratch
@@ -336,9 +338,18 @@ func (e *Engine) Reset(seed int64) {
 			e.shard.outbox[s] = e.shard.outbox[s][:0]
 			e.shard.keep[s] = 0
 			if e.shard.events != nil {
+				// Staged-but-unflushed trace events are per-trial state:
+				// drop them so nothing recorded before Reset can leak
+				// into the next trial's event stream.
 				e.shard.events[s] = e.shard.events[s][:0]
 			}
 		}
+	}
+	if e.nodeCkpt != nil {
+		// Per-node crash-restart checkpoints belong to the finished
+		// trial; a RestartNode in the next trial must not revive state
+		// from this one.
+		clear(e.nodeCkpt)
 	}
 	e.recomputeTargets()
 }
@@ -1008,6 +1019,38 @@ type RunConfig struct {
 	// convergence" criterion for the accuracy experiments (Figs. 3/6)
 	// where the achievable floor, not a preset ε, is the measurement.
 	StallRounds int
+	// Resume, when non-nil, continues a run previously interrupted at a
+	// checkpoint: the loop starts at Resume.RoundsDone and the stall
+	// counter, best error and recorded series pick up where they left
+	// off. The engine must have been Restored to the matching snapshot
+	// (its round counter equal to Resume.RoundsDone); the resumed run is
+	// then bit-identical to the uninterrupted one.
+	Resume *RunState
+	// CheckpointEvery, when > 0 and OnCheckpoint is set, invokes
+	// OnCheckpoint after every CheckpointEvery-th completed round
+	// (except the final one — a finished run needs no checkpoint).
+	CheckpointEvery int
+	// OnCheckpoint receives the engine (at a round boundary, ready for
+	// Snapshot) and the RunState that, passed back via Resume after
+	// restoring the matching snapshot, continues the run. The RunState's
+	// Series aliases the live result series — persist it before
+	// returning.
+	OnCheckpoint func(e *Engine, rs RunState)
+}
+
+// RunState is the loop state of a Run at a checkpoint, the companion of
+// an engine Snapshot: the snapshot restores the engine, the RunState
+// restores the Run bookkeeping around it.
+type RunState struct {
+	// RoundsDone is the number of rounds completed when the checkpoint
+	// was taken (the engine's round counter at snapshot time).
+	RoundsDone int
+	// Stalled is the StallRounds counter.
+	Stalled int
+	// BestMax is the best maximal error observed so far.
+	BestMax float64
+	// Series is the recorded error series so far (when Record is set).
+	Series stats.Series
 }
 
 // Result summarizes a Run.
@@ -1032,7 +1075,15 @@ func (e *Engine) Run(cfg RunConfig) Result {
 	}
 	res := Result{BestMax: math.Inf(1)}
 	stalled := 0
-	for r := 0; r < cfg.MaxRounds; r++ {
+	start := 0
+	if cfg.Resume != nil {
+		start = cfg.Resume.RoundsDone
+		stalled = cfg.Resume.Stalled
+		res.BestMax = cfg.Resume.BestMax
+		res.Series = append(res.Series, cfg.Resume.Series...)
+		res.Rounds = start
+	}
+	for r := start; r < cfg.MaxRounds; r++ {
 		if cfg.OnRound != nil {
 			cfg.OnRound(e, e.round)
 		}
@@ -1064,6 +1115,9 @@ func (e *Engine) Run(cfg RunConfig) Result {
 				e.observe(errs)
 			}
 			return res
+		}
+		if cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil && (r+1)%cfg.CheckpointEvery == 0 && r+1 < cfg.MaxRounds {
+			cfg.OnCheckpoint(e, RunState{RoundsDone: r + 1, Stalled: stalled, BestMax: res.BestMax, Series: res.Series})
 		}
 		if cfg.StallRounds > 0 && stalled >= cfg.StallRounds {
 			break

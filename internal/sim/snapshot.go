@@ -1,0 +1,355 @@
+package sim
+
+// Checkpointing: the full deterministic state of a sharded engine
+// frozen at a round boundary and restored bit-for-bit. A Snapshot is
+// nothing but flat-slice copies — the struct-of-arrays protocol state,
+// the per-node splitmix64 streams, the in-flight inboxes, the detector
+// suspicion state and the round counter serialize into the four typed
+// streams of gossip.State — so internal/checkpoint can wrap it in a
+// versioned, checksummed binary codec without knowing anything about
+// protocols or engines. The fault-plan cursor needs no storage of its
+// own: fault.Plan keys events by absolute round and the round counter
+// is part of the snapshot.
+//
+// The determinism contract: Restore(Snapshot()) taken at round R on a
+// sharded engine, followed by stepping to round T, is byte-identical to
+// the uninterrupted run at every shard count — snapshots record no
+// shard layout (node streams are derived from ids, the merge order from
+// ascending node ids), so a snapshot taken at shards=2 restores into a
+// shards=8 engine and continues the same schedule. Only the sharded
+// executor supports this: the legacy sequential model draws from one
+// *math/rand.Rand whose internal state cannot be serialized.
+//
+// This file also hosts the per-node recovery mode: CheckpointNode
+// freezes a single node's protocol state, and RestartNode revives a
+// crashed node from that frozen state (the crash-restart strategy
+// benchmarked against detector-driven reintegration in
+// internal/experiments).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pcfreduce/internal/detect"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/metrics"
+)
+
+// Snapshot is the complete deterministic state of a sharded engine at a
+// round boundary. It is a pure data capture: taking one does not
+// disturb the engine, and restoring one overwrites every piece of
+// evolving state while reusing the engine's allocations.
+type Snapshot struct {
+	// N and Width identify the configuration the snapshot was taken
+	// under; Restore refuses a mismatch.
+	N     int
+	Width int
+	// Round is the round counter at capture time.
+	Round int
+	// State holds the flat serialized streams.
+	State gossip.State
+}
+
+// ErrNotSharded is returned by Snapshot/Restore on an engine running
+// the legacy sequential model, whose *math/rand.Rand schedule state
+// cannot be serialized. Construct the engine with WithShards (1 is
+// enough) to checkpoint it.
+var ErrNotSharded = errors.New("sim: snapshot requires the sharded executor (construct the engine with WithShards)")
+
+// Snapshot captures the engine's full deterministic state. Every
+// protocol must implement gossip.Snapshotter (all four in this
+// repository do). The engine must be at a round boundary, which it
+// always is between Step calls.
+func (e *Engine) Snapshot() (*Snapshot, error) {
+	if e.shards <= 0 {
+		return nil, ErrNotSharded
+	}
+	n := e.graph.N()
+	w := &gossip.StateWriter{}
+	w.PutU64(uint64(e.round))
+	w.PutU64(uint64(e.keepalives))
+	for _, s := range e.shard.nodeRNG {
+		w.PutU64(s)
+	}
+	for i := 0; i < n; i++ {
+		w.PutBool(e.alive[i])
+		w.PutBool(e.hung[i])
+	}
+	putLinkSet(w, e.dead)
+	putLinkSet(w, e.silenced)
+	w.PutBool(e.det != nil)
+	for i := 0; i < n; i++ {
+		w.PutValue(e.init[i])
+	}
+	for i, p := range e.protos {
+		snap, ok := p.(gossip.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("sim: protocol at node %d (%T) does not implement gossip.Snapshotter", i, p)
+		}
+		snap.SaveState(w)
+	}
+	if e.det != nil {
+		for i := 0; i < n; i++ {
+			e.det[i].SaveState(w)
+			for _, j := range e.graph.Neighbors(i) {
+				w.PutU64(uint64(e.lastSent[i][j]))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		w.PutU64(uint64(len(e.inbox[i])))
+		for _, m := range e.inbox[i] {
+			putMessage(w, m)
+		}
+	}
+	e.noteEvent(metrics.Event{Kind: metrics.EvSnapshot, Round: e.round, A: -1, B: -1})
+	return &Snapshot{N: n, Width: e.width, Round: e.round, State: w.State}, nil
+}
+
+// Restore rewinds the engine to the snapshot's state. The engine must
+// be sharded (any shard count) and built over the same graph, protocol
+// kinds, value width and detector configuration the snapshot was taken
+// under — N/width/detector-presence mismatches are detected and
+// reported; a wrong graph or protocol kind surfaces as a stream
+// mismatch error. Like Reset, Restore clears the interceptor and the
+// metrics recorder (per-trial attachments — reattach them afterwards).
+//
+// On error the engine state is unspecified; Reset it before further
+// use.
+func (e *Engine) Restore(s *Snapshot) error {
+	if e.shards <= 0 {
+		return ErrNotSharded
+	}
+	n := e.graph.N()
+	if s.N != n {
+		return fmt.Errorf("sim: snapshot holds %d nodes, engine has %d", s.N, n)
+	}
+	if s.Width != e.width {
+		return fmt.Errorf("sim: snapshot value width %d, engine width %d", s.Width, e.width)
+	}
+	r := gossip.NewStateReader(s.State)
+	e.round = int(r.U64())
+	e.keepalives = int(r.U64())
+	for i := range e.shard.nodeRNG {
+		e.shard.nodeRNG[i] = r.U64()
+	}
+	for i := 0; i < n; i++ {
+		e.alive[i] = r.Bool()
+		e.hung[i] = r.Bool()
+	}
+	readLinkSet(r, e.dead)
+	readLinkSet(r, e.silenced)
+	hasDet := r.Bool()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("sim: corrupt snapshot header: %w", err)
+	}
+	if hasDet != (e.det != nil) {
+		return fmt.Errorf("sim: snapshot detector presence (%v) does not match engine (%v)", hasDet, e.det != nil)
+	}
+	for i := 0; i < n; i++ {
+		r.Value(&e.init[i])
+	}
+	for i, p := range e.protos {
+		snap, ok := p.(gossip.Snapshotter)
+		if !ok {
+			return fmt.Errorf("sim: protocol at node %d (%T) does not implement gossip.Snapshotter", i, p)
+		}
+		p.Reset(i, e.graph.Neighbors(i), e.init[i].Clone())
+		snap.LoadState(r)
+	}
+	if e.det != nil {
+		for i := 0; i < n; i++ {
+			e.det[i] = detect.New(e.detCfg.Detect, e.graph.Neighbors(i), 0)
+			e.det[i].LoadState(r)
+			ls := e.lastSent[i]
+			for j := range ls {
+				ls[j] = 0
+			}
+			for _, j := range e.graph.Neighbors(i) {
+				ls[j] = int(r.U64())
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		e.clearInbox(i)
+		count := int(r.U64())
+		if r.Err() != nil {
+			break
+		}
+		for c := 0; c < count; c++ {
+			m := e.getMsgShard(int(e.shard.shardOf[i]))
+			if !readMessage(r, m, e.width) {
+				break
+			}
+			e.inbox[i] = append(e.inbox[i], m)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("sim: snapshot does not match engine configuration (graph, protocols or detector differ): %w", err)
+	}
+	if !r.Exhausted() {
+		return errors.New("sim: snapshot has trailing state (engine configuration differs from capture)")
+	}
+	// Transient per-trial state: same policy as Reset.
+	e.interceptor = nil
+	e.rec = nil
+	e.inPhase1 = false
+	if e.nodeCkpt != nil {
+		clear(e.nodeCkpt)
+	}
+	for s := 0; s < e.shards; s++ {
+		for _, m := range e.shard.outbox[s] {
+			e.putMsgShard(s, m)
+		}
+		e.shard.outbox[s] = e.shard.outbox[s][:0]
+		e.shard.keep[s] = 0
+		if e.shard.events != nil {
+			e.shard.events[s] = e.shard.events[s][:0]
+		}
+	}
+	e.recomputeTargets()
+	return nil
+}
+
+// putLinkSet serializes an ordered-pair link set in sorted order, so a
+// snapshot never depends on map iteration order.
+func putLinkSet(w *gossip.StateWriter, set map[[2]int]bool) {
+	keys := make([][2]int, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	w.PutU64(uint64(len(keys)))
+	for _, k := range keys {
+		w.PutI32(int32(k[0]))
+		w.PutI32(int32(k[1]))
+	}
+}
+
+// readLinkSet restores a link set written by putLinkSet into set
+// (cleared first).
+func readLinkSet(r *gossip.StateReader, set map[[2]int]bool) {
+	clear(set)
+	count := r.U64()
+	for c := uint64(0); c < count; c++ {
+		a := int(r.I32())
+		b := int(r.I32())
+		if r.Err() != nil {
+			return
+		}
+		set[[2]int{a, b}] = true
+	}
+}
+
+// putMessage serializes one in-flight message, including the exact
+// payload widths (controls carry zero-width flows).
+func putMessage(w *gossip.StateWriter, m *gossip.Message) {
+	w.PutI32(int32(m.From))
+	w.PutI32(int32(m.To))
+	w.PutByte(byte(m.Kind))
+	w.PutByte(m.C)
+	w.PutU64(m.R)
+	for _, f := range []gossip.Value{m.Flow1, m.Flow2} {
+		w.PutU64(uint64(len(f.X)))
+		w.PutF64s(f.X)
+		w.PutF64(f.W)
+	}
+}
+
+// readMessage restores one message into a pooled message whose flow
+// capacity is the engine width. Reports false (and latches the reader
+// error) on truncation or an impossible payload width.
+func readMessage(r *gossip.StateReader, m *gossip.Message, width int) bool {
+	m.From = int(r.I32())
+	m.To = int(r.I32())
+	m.Kind = gossip.Kind(r.Byte())
+	m.C = r.Byte()
+	m.R = r.U64()
+	for _, f := range []*gossip.Value{&m.Flow1, &m.Flow2} {
+		fw := int(r.U64())
+		if r.Err() != nil {
+			return false
+		}
+		if fw != 0 && fw != width {
+			r.Fail()
+			return false
+		}
+		f.X = f.X[:fw]
+		xs := r.F64s(fw)
+		if r.Err() != nil {
+			return false
+		}
+		copy(f.X, xs)
+		f.W = r.F64()
+	}
+	return r.Err() == nil
+}
+
+// CheckpointNode freezes node i's current protocol state as its local
+// checkpoint — the save point of the crash-restart recovery mode. A
+// later RestartNode revives the node from the most recent checkpoint.
+// No-op (and no stored checkpoint) when the protocol does not implement
+// gossip.Snapshotter.
+func (e *Engine) CheckpointNode(i int) {
+	snap, ok := e.protos[i].(gossip.Snapshotter)
+	if !ok {
+		return
+	}
+	if e.nodeCkpt == nil {
+		e.nodeCkpt = make([]*gossip.State, e.graph.N())
+	}
+	w := &gossip.StateWriter{}
+	snap.SaveState(w)
+	e.nodeCkpt[i] = &w.State
+	e.noteEvent(metrics.Event{Kind: metrics.EvNodeCheckpoint, Round: e.round, A: i, B: -1})
+}
+
+// RestartNode revives a crashed node from its last CheckpointNode state
+// (or from a clean Reset when it never checkpointed) — the
+// crash-restart recovery strategy, to be paired with CrashNodeSilent:
+// a notified CrashNode permanently tore down the node's links on both
+// ends, so a restart after it rejoins nothing.
+//
+// The restarted node resumes with the checkpointed flows and live list;
+// its first sends double as the snapshot-restore handshake — neighbors
+// whose detectors evicted it during the outage observe the resumed
+// traffic and reintegrate it via OnLinkRecover, after which the flow
+// exchange reconciles both edge ends (PCF's hard-resync path handles a
+// peer whose handshake state moved on). State mutated after the
+// checkpoint is lost; the resulting residual mass and re-convergence
+// cost versus detector-driven reintegration is exactly what
+// experiments.RecoveryComparison measures. No-op on a live node.
+func (e *Engine) RestartNode(i int) {
+	if e.alive[i] {
+		return
+	}
+	e.alive[i] = true
+	e.hung[i] = false
+	e.clearInbox(i)
+	p := e.protos[i]
+	p.Reset(i, e.graph.Neighbors(i), e.init[i].Clone())
+	if e.nodeCkpt != nil && e.nodeCkpt[i] != nil {
+		if snap, ok := p.(gossip.Snapshotter); ok {
+			snap.LoadState(gossip.NewStateReader(*e.nodeCkpt[i]))
+		}
+	}
+	if e.det != nil {
+		// The revived node starts a fresh detector era: everyone was
+		// "heard" at the restart round, and the zeroed last-sent row
+		// triggers an immediate keepalive burst announcing the rebirth
+		// to every live neighbor.
+		e.det[i] = detect.New(e.detCfg.Detect, e.graph.Neighbors(i), float64(e.round))
+		ls := e.lastSent[i]
+		for j := range ls {
+			ls[j] = 0
+		}
+	}
+	e.recomputeTargets()
+	e.noteEvent(metrics.Event{Kind: metrics.EvNodeRestart, Round: e.round, A: i, B: -1})
+}

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 )
@@ -158,6 +159,58 @@ type ErrorPoint struct {
 	Iteration int
 	Max       float64
 	Median    float64
+}
+
+// jsonFloat marshals like a plain float64 except that non-finite values
+// become null instead of an encoding error, and null unmarshals back to
+// NaN (the same convention as metrics.Float).
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *jsonFloat) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = jsonFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// errorPointJSON is ErrorPoint's wire form. The relative error is
+// legitimately +Inf while a node's aggregate weight is still zero (the
+// estimate is x/0 until the first mass arrives), and encoding/json
+// rejects non-finite values outright — so those serialize as null.
+type errorPointJSON struct {
+	Iteration int
+	Max       jsonFloat
+	Median    jsonFloat
+}
+
+// MarshalJSON writes finite fields exactly as the default encoding
+// would, and non-finite ones as null.
+func (p ErrorPoint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(errorPointJSON{p.Iteration, jsonFloat(p.Max), jsonFloat(p.Median)})
+}
+
+// UnmarshalJSON reads the wire form back; null becomes NaN.
+func (p *ErrorPoint) UnmarshalJSON(data []byte) error {
+	var w errorPointJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*p = ErrorPoint{Iteration: w.Iteration, Max: float64(w.Max), Median: float64(w.Median)}
+	return nil
 }
 
 // Series is a per-iteration error trace.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 	"testing"
@@ -258,5 +259,45 @@ func TestQuickSumPermutationStable(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The per-iteration error series must serialize even when the relative
+// error is transiently infinite (a node's estimate is x/0 until the
+// first mass arrives): non-finite values become null, null reads back
+// as NaN, and finite values render exactly as plain float64 fields
+// would — so golden-file JSON comparisons are unaffected.
+func TestErrorPointJSONNonFinite(t *testing.T) {
+	s := Series{
+		{Iteration: 0, Max: math.Inf(1), Median: math.NaN()},
+		{Iteration: 5, Max: 1e-5, Median: 0.25},
+	}
+	out, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Series
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !math.IsNaN(back[0].Max) || !math.IsNaN(back[0].Median) {
+		t.Fatalf("null did not read back as NaN: %+v", back[0])
+	}
+	if back[1] != s[1] {
+		t.Fatalf("finite point changed across round-trip: %+v vs %+v", back[1], s[1])
+	}
+
+	// Finite values must render byte-identically to the default encoding.
+	type plain struct {
+		Iteration int
+		Max       float64
+		Median    float64
+	}
+	for _, v := range []float64{0, 1e-5, 1e21, 0.1, 6.548e-06, 123456.789} {
+		a, _ := json.Marshal(ErrorPoint{Iteration: 1, Max: v, Median: v / 3})
+		b, _ := json.Marshal(plain{Iteration: 1, Max: v, Median: v / 3})
+		if string(a) != string(b) {
+			t.Fatalf("representation drift for %g: %s vs %s", v, a, b)
+		}
 	}
 }
