@@ -7,8 +7,11 @@
 // # Format (version 1, little-endian)
 //
 //	magic   [8]byte  "PCFSNAP1"
-//	version u32      1
+//	version u32      1 or 2
 //	flags   u32      bit 0: a RunState section follows the streams
+//	                 bit 1 (v2 only): an Overlay section follows the
+//	                 main streams — open-world membership state
+//	                 (sim.Snapshot.Overlay)
 //	n       u64      node count
 //	width   u64      value width
 //	round   u64      round counter
@@ -20,10 +23,17 @@
 //	U64 stream       lenU64 × 8 bytes
 //	I32 stream       lenI32 × 4 bytes
 //	B   stream       lenB bytes
+//	[Overlay]        same four length-prefixed streams for the overlay
+//	                 state (flag bit 1)
 //	[RunState]       roundsDone u64, stalled u64, bestMax f64,
 //	                 points u64, then per point: iteration u64, max f64,
 //	                 median f64
 //	crc     u32      IEEE CRC-32 of everything before this field
+//
+// Version 2 exists only to carry the Overlay section: Encode emits a
+// version-1 file whenever the snapshot has no membership state, so
+// checkpoints of closed-world runs stay byte-identical to what earlier
+// releases wrote, and every old file still decodes.
 //
 // Float64 payloads are stored as raw bits, so estimates, flows and
 // detector statistics round-trip exactly (including NaN payloads) —
@@ -51,9 +61,35 @@ var magic = [8]byte{'P', 'C', 'F', 'S', 'N', 'A', 'P', '1'}
 
 const (
 	version     = 1
+	version2    = 2
 	flagRun     = 1 << 0
+	flagOverlay = 1 << 1
 	headerBytes = 8 + 4 + 4 + 7*8 // magic, version, flags, n/width/round + 4 lengths
 )
+
+// stateLen is the combined element count of a gossip.State's streams.
+func stateLen(s gossip.State) int {
+	return len(s.F64) + len(s.U64) + len(s.I32) + len(s.B)
+}
+
+// appendState writes one length-prefixed stream section: the four
+// stream lengths followed by the four payloads.
+func appendState(buf []byte, s gossip.State) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.F64)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.U64)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.I32)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.B)))
+	for _, x := range s.F64 {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	for _, x := range s.U64 {
+		buf = binary.LittleEndian.AppendUint64(buf, x)
+	}
+	for _, x := range s.I32 {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	return append(buf, s.B...)
+}
 
 // Checkpoint is the unit of durability: a full engine snapshot plus,
 // for mid-run checkpoints, the Run loop state around it.
@@ -64,18 +100,30 @@ type Checkpoint struct {
 	Run *sim.RunState
 }
 
-// Encode serializes the checkpoint into the version-1 binary format.
+// Encode serializes the checkpoint. Snapshots without membership state
+// get the version-1 format (byte-identical to earlier releases);
+// snapshots of engines that churned carry the Overlay section and are
+// stamped version 2.
 func Encode(c *Checkpoint) []byte {
 	s := c.Snap
+	hasOverlay := stateLen(s.Overlay) > 0
 	size := headerBytes + 8*len(s.State.F64) + 8*len(s.State.U64) + 4*len(s.State.I32) + len(s.State.B)
+	if hasOverlay {
+		size += 4*8 + 8*len(s.Overlay.F64) + 8*len(s.Overlay.U64) + 4*len(s.Overlay.I32) + len(s.Overlay.B)
+	}
 	if c.Run != nil {
 		size += 4*8 + 24*len(c.Run.Series)
 	}
 	size += 4 // crc
 	buf := make([]byte, 0, size)
 	buf = append(buf, magic[:]...)
-	buf = binary.LittleEndian.AppendUint32(buf, version)
+	ver := uint32(version)
 	var flags uint32
+	if hasOverlay {
+		ver = version2
+		flags |= flagOverlay
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, ver)
 	if c.Run != nil {
 		flags |= flagRun
 	}
@@ -83,20 +131,10 @@ func Encode(c *Checkpoint) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.N))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Width))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Round))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.State.F64)))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.State.U64)))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.State.I32)))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.State.B)))
-	for _, x := range s.State.F64 {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	buf = appendState(buf, s.State)
+	if hasOverlay {
+		buf = appendState(buf, s.Overlay)
 	}
-	for _, x := range s.State.U64 {
-		buf = binary.LittleEndian.AppendUint64(buf, x)
-	}
-	for _, x := range s.State.I32 {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
-	}
-	buf = append(buf, s.State.B...)
 	if c.Run != nil {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Run.RoundsDone))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Run.Stalled))
@@ -155,6 +193,40 @@ func (d *decoder) count(elemBytes int) int {
 	return int(n)
 }
 
+// state reads one length-prefixed stream section (the inverse of
+// appendState). The per-count guard bounds each stream against the
+// remaining input; the combined check below keeps the sum honest.
+func (d *decoder) state() (gossip.State, error) {
+	nF := d.count(8)
+	nU := d.count(8)
+	nI := d.count(4)
+	nB := d.count(1)
+	if !d.ok {
+		return gossip.State{}, fmt.Errorf("%w: invalid section lengths", ErrCorrupt)
+	}
+	if need := 8*nF + 8*nU + 4*nI + nB; len(d.data)-d.pos < need {
+		return gossip.State{}, fmt.Errorf("%w: payload shorter than declared sections", ErrCorrupt)
+	}
+	st := gossip.State{
+		F64: make([]float64, nF),
+		U64: make([]uint64, nU),
+		I32: make([]int32, nI),
+		B:   make([]byte, nB),
+	}
+	for i := range st.F64 {
+		st.F64[i] = math.Float64frombits(d.u64())
+	}
+	for i := range st.U64 {
+		st.U64[i] = d.u64()
+	}
+	for i := range st.I32 {
+		st.I32[i] = int32(d.u32())
+	}
+	copy(st.B, d.data[d.pos:d.pos+nB])
+	d.pos += nB
+	return st, nil
+}
+
 // Decode parses data produced by Encode. It validates structure and
 // checksum and returns ErrCorrupt-wrapped errors on any mismatch; it
 // never panics on malformed input.
@@ -172,46 +244,31 @@ func Decode(data []byte) (*Checkpoint, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	d.pos = 8
-	if v := d.u32(); v != version {
+	v := d.u32()
+	if v != version && v != version2 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
 	}
 	flags := d.u32()
+	if v == version && flags&flagOverlay != 0 {
+		return nil, fmt.Errorf("%w: overlay section in a version-1 file", ErrCorrupt)
+	}
 	snap := &sim.Snapshot{
 		N:     int(d.u64()),
 		Width: int(d.u64()),
 		Round: int(d.u64()),
 	}
-	nF := d.count(8)
-	// The remaining-length guard in count is per-section; re-checking
-	// after each section's cursor advance keeps the combined lengths
-	// honest too.
-	nU := d.count(8)
-	nI := d.count(4)
-	nB := d.count(1)
-	if !d.ok {
-		return nil, fmt.Errorf("%w: invalid section lengths", ErrCorrupt)
+	st, err := d.state()
+	if err != nil {
+		return nil, err
 	}
-	if need := 8*nF + 8*nU + 4*nI + nB; len(body)-d.pos < need {
-		return nil, fmt.Errorf("%w: payload shorter than declared sections", ErrCorrupt)
-	}
-	st := gossip.State{
-		F64: make([]float64, nF),
-		U64: make([]uint64, nU),
-		I32: make([]int32, nI),
-		B:   make([]byte, nB),
-	}
-	for i := range st.F64 {
-		st.F64[i] = math.Float64frombits(d.u64())
-	}
-	for i := range st.U64 {
-		st.U64[i] = d.u64()
-	}
-	for i := range st.I32 {
-		st.I32[i] = int32(d.u32())
-	}
-	copy(st.B, body[d.pos:d.pos+nB])
-	d.pos += nB
 	snap.State = st
+	if flags&flagOverlay != 0 {
+		ov, err := d.state()
+		if err != nil {
+			return nil, err
+		}
+		snap.Overlay = ov
+	}
 	ck := &Checkpoint{Snap: snap}
 	if flags&flagRun != 0 {
 		rs := &sim.RunState{}

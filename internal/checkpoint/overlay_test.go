@@ -1,0 +1,178 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"pcfreduce/internal/fault"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/pushflow"
+	"pcfreduce/internal/sim"
+	"pcfreduce/internal/topology"
+)
+
+// churnedSnapshot takes a snapshot of an engine whose roster churned —
+// joins, a leave, a rewire and a live loss table — so the Overlay
+// section carries every kind of membership state.
+func churnedSnapshot(t *testing.T) *sim.Snapshot {
+	t.Helper()
+	g := topology.Hypercube(4)
+	mk := func() gossip.Protocol { return pushflow.New() }
+	protos := make([]gossip.Protocol, g.N())
+	for i := range protos {
+		protos[i] = mk()
+	}
+	inputs := make([]float64, g.N())
+	for i := range inputs {
+		inputs[i] = float64(i)*0.75 + 0.5
+	}
+	e := sim.NewScalar(g, protos, inputs, gossip.Average, 3,
+		sim.WithShards(2), sim.WithJoinFactory(mk))
+	plan := fault.NewPlan(
+		fault.NodeJoin(3, 16, 2.5, 0, 5),
+		fault.NodeLeave(6, 9),
+		fault.EdgeRewire(9, 0, 1, 6),
+		fault.SetLinkLoss(12, 2, 3, 0.3),
+	)
+	e.Run(sim.RunConfig{MaxRounds: 20, OnRound: plan.OnRound})
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if stateLen(snap.Overlay) == 0 {
+		t.Fatal("churned snapshot has no overlay section — the test exercises nothing")
+	}
+	return snap
+}
+
+func headerVersionFlags(data []byte) (version, flags uint32) {
+	return binary.LittleEndian.Uint32(data[8:]), binary.LittleEndian.Uint32(data[12:])
+}
+
+// TestOverlayRoundTrip: a churned snapshot encodes as version 2 with
+// the overlay flag, round-trips every stream bitwise (sameSnapshot
+// covers the main section; the overlay streams are compared here), and
+// restores into a working engine via the sim-level path.
+func TestOverlayRoundTrip(t *testing.T) {
+	snap := churnedSnapshot(t)
+	data := Encode(&Checkpoint{Snap: snap})
+	ver, flags := headerVersionFlags(data)
+	if ver != version2 || flags&flagOverlay == 0 {
+		t.Fatalf("churned checkpoint header (v=%d flags=%#x), want v2 with overlay flag", ver, flags)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	sameSnapshot(t, snap, got.Snap)
+	w, g := snap.Overlay, got.Snap.Overlay
+	if len(g.F64) != len(w.F64) || len(g.U64) != len(w.U64) ||
+		len(g.I32) != len(w.I32) || !bytes.Equal(g.B, w.B) {
+		t.Fatal("overlay stream lengths differ after round trip")
+	}
+	for i, x := range w.U64 {
+		if g.U64[i] != x {
+			t.Fatalf("overlay U64[%d] differs", i)
+		}
+	}
+	for i, x := range w.I32 {
+		if g.I32[i] != x {
+			t.Fatalf("overlay I32[%d] differs", i)
+		}
+	}
+}
+
+// TestV1ByteStability: a snapshot without membership state must encode
+// as a version-1 file with no overlay flag — byte-compatible with
+// checkpoints written before the open-world extension existed.
+func TestV1ByteStability(t *testing.T) {
+	snap := testSnapshot(t) // closed-world: no churn
+	if stateLen(snap.Overlay) != 0 {
+		t.Fatal("closed-world snapshot grew an overlay section")
+	}
+	data := Encode(&Checkpoint{Snap: snap})
+	ver, flags := headerVersionFlags(data)
+	if ver != version || flags != 0 {
+		t.Fatalf("closed-world checkpoint header (v=%d flags=%#x), want v1 with no flags", ver, flags)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if stateLen(got.Snap.Overlay) != 0 {
+		t.Fatal("v1 decode produced overlay state from nowhere")
+	}
+}
+
+// TestV1OverlayFlagRejected: the overlay flag on a version-1 header is
+// structurally impossible (v2 exists only to carry that section) and
+// must be rejected even when the checksum is valid.
+func TestV1OverlayFlagRejected(t *testing.T) {
+	data := Encode(&Checkpoint{Snap: testSnapshot(t)})
+	body := bytes.Clone(data[:len(data)-4])
+	binary.LittleEndian.PutUint32(body[12:], flagOverlay)
+	if _, err := Decode(appendCRC(body)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("v1 header with overlay flag: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestOverlayCorruptionRejected runs the truncation/bit-flip gauntlet
+// over a version-2 encoding: the overlay section is covered by the same
+// checksum and count guards as the rest of the file.
+func TestOverlayCorruptionRejected(t *testing.T) {
+	data := Encode(&Checkpoint{Snap: churnedSnapshot(t)})
+	for cut := 0; cut < len(data); cut += 13 {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", cut)
+		}
+	}
+	for pos := 0; pos < len(data); pos += 17 {
+		mut := bytes.Clone(data)
+		mut[pos] ^= 0x10
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("bit flip at byte %d decoded successfully", pos)
+		}
+	}
+}
+
+// TestChurnedCheckpointRestores closes the loop: WriteFile/ReadFile a
+// churned checkpoint and restore it into a fresh engine, which must
+// carry the joined node and the overlay mutations.
+func TestChurnedCheckpointRestores(t *testing.T) {
+	snap := churnedSnapshot(t)
+	path := t.TempDir() + "/churned.ckpt"
+	if err := WriteFile(path, &Checkpoint{Snap: snap}); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	g := topology.Hypercube(4)
+	mk := func() gossip.Protocol { return pushflow.New() }
+	protos := make([]gossip.Protocol, g.N())
+	for i := range protos {
+		protos[i] = mk()
+	}
+	inputs := make([]float64, g.N())
+	e := sim.NewScalar(g, protos, inputs, gossip.Average, 999,
+		sim.WithShards(2), sim.WithJoinFactory(mk))
+	if err := e.Restore(got.Snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if e.N() != 17 {
+		t.Fatalf("restored engine has %d nodes, want 17 (one joined)", e.N())
+	}
+	if e.Alive(9) {
+		t.Fatal("restored engine resurrected the departed node")
+	}
+	o := e.Overlay()
+	if o == nil || o.HasEdge(0, 1) || !o.HasEdge(0, 6) {
+		t.Fatal("restored overlay lost the rewire")
+	}
+	if e.LinkLossRate(2, 3) != 0.3 {
+		t.Fatalf("restored loss rate %v, want 0.3", e.LinkLossRate(2, 3))
+	}
+}

@@ -516,6 +516,52 @@ func (n *Node) SlotViews(neighbor int) (f [2]gossip.Value, ok bool) {
 // allocation.
 func (n *Node) LocalValueInto(dst *gossip.Value) { n.localInto(dst) }
 
+// OnNeighborJoin implements gossip.OpenMembership: admit a brand-new
+// neighbor with a clean edge — zero slots, active slot 0, role counter
+// 1. A zero slot pair carries no mass, so edge admission is
+// mass-neutral. When a rewire recreates an edge onto a neighbor we
+// already know (both endpoints were evicted together when the edge was
+// removed, so both receive this call), the edge restarts clean on both
+// sides instead of reinstating the frozen pre-eviction snapshot: the
+// slot mass stays absorbed in ϕ on each side, which is exactly where
+// OnLinkFailure left it, and the fresh zero pair is trivially
+// antisymmetric.
+func (n *Node) OnNeighborJoin(neighbor int) {
+	if k := n.edgeIndex(neighbor); k >= 0 {
+		if contains(n.live, int32(neighbor)) {
+			return
+		}
+		n.slots[2*k].Zero()
+		n.slots[2*k+1].Zero()
+		n.c[k] = 0
+		n.r[k] = 1
+		n.saved[k] = nil
+		n.live = append(n.live, int32(neighbor))
+		return
+	}
+	deg := len(n.neighbors)
+	grown := make([]float64, 2*(deg+1)*n.width)
+	copy(grown, n.backing)
+	n.backing = grown
+	n.neighbors = append(n.neighbors, int32(neighbor))
+	n.slots = append(n.slots, gossip.Value{}, gossip.Value{})
+	for s := range n.slots {
+		n.slots[s].X = n.backing[s*n.width : (s+1)*n.width]
+	}
+	n.c = append(n.c, 0)
+	n.r = append(n.r, 1)
+	n.saved = append(n.saved, nil)
+	n.idx[int32(neighbor)] = deg
+	n.live = append(n.live, int32(neighbor))
+}
+
+// AbsorbMass implements gossip.OpenMembership: fold a gracefully
+// departing neighbor's surplus into this node's own contribution. ϕ and
+// the slots are untouched, so the local estimate rises by exactly v.
+func (n *Node) AbsorbMass(v gossip.Value) {
+	n.init.AddInPlace(v)
+}
+
 func remove(list []int32, x int32) []int32 {
 	out := list[:0]
 	for _, v := range list {

@@ -295,6 +295,20 @@ func (d *Detector) Suspects() []int {
 	return out
 }
 
+// AddNeighbor starts monitoring a new neighbor as of time now — the
+// open-membership path, when a node joins the overlay or an edge is
+// rewired onto us mid-run. The neighbor starts with a fresh arrival
+// model, exactly as if it had been present at construction time. A
+// neighbor that is already monitored is left untouched; one that was
+// withdrawn via Remove is resurrected fresh (a rewire may legitimately
+// recreate a previously failed edge).
+func (d *Detector) AddNeighbor(neighbor int, now float64) {
+	if ns, ok := d.nbrs[neighbor]; ok && !ns.removed {
+		return
+	}
+	d.nbrs[neighbor] = &neighborState{lastHeard: now}
+}
+
 // Remove withdraws a neighbor permanently: an authoritative failure
 // notification (the oracle path) confirmed it is gone, so it is neither
 // monitored nor probed any more and can never be reintegrated.

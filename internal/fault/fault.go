@@ -270,6 +270,22 @@ const (
 	// OpNodeRestart revives a crashed node from its last checkpoint via
 	// the snapshot-restore handshake (engines' RestartNode).
 	OpNodeRestart
+	// OpNodeJoin admits a brand-new node into the open-world overlay:
+	// Node is its id (always the current node count, keeping ids dense),
+	// Value its scalar input, Peers the existing nodes it wires to.
+	OpNodeJoin
+	// OpNodeLeave removes node Node gracefully: its in-flight messages
+	// are flushed, its links torn down on both sides, and its surplus
+	// mass handed to a live neighbor, so global mass over the live
+	// roster is conserved exactly.
+	OpNodeLeave
+	// OpEdgeRewire is a Watts–Strogatz rewire step: overlay edge (A, B)
+	// is replaced by (A, C), both sides mass-exactly.
+	OpEdgeRewire
+	// OpSetLinkLoss sets the heterogeneous loss rate of link (A, B) to
+	// P (0 removes the entry) — the per-link replacement for the single
+	// global Loss probability.
+	OpSetLinkLoss
 )
 
 // Event is one scheduled failure (permanent, silent, or transient).
@@ -288,6 +304,14 @@ type Event struct {
 	// Op selects the operation explicitly; OpAuto (the zero value) keeps
 	// the legacy Node/Abrupt encoding above.
 	Op Op
+	// C is the new far endpoint of an OpEdgeRewire: (A, B) → (A, C).
+	C int
+	// Value is the joining node's scalar input (OpNodeJoin).
+	Value float64
+	// Peers are the existing nodes a joining node wires to (OpNodeJoin).
+	Peers []int
+	// P is the per-link loss probability (OpSetLinkLoss).
+	P float64
 }
 
 // op resolves the effective operation of the event.
@@ -385,6 +409,85 @@ func CheckpointEvery(every, until, node int) []Event {
 	return out
 }
 
+// NodeJoin returns an open-world join event: a brand-new node with the
+// given id (which must equal the node count at the moment the event
+// fires — ids stay dense), scalar input value, and edges to the given
+// existing peers.
+func NodeJoin(round, id int, value float64, peers ...int) Event {
+	return Event{Round: round, Node: id, A: -1, B: -1, Op: OpNodeJoin,
+		Value: value, Peers: append([]int(nil), peers...)}
+}
+
+// NodeLeave returns a graceful-departure event: the node flushes its
+// in-flight flows, tears down its links on both sides, and hands its
+// surplus mass to a live neighbor before going away.
+func NodeLeave(round, node int) Event {
+	return Event{Round: round, Node: node, A: -1, B: -1, Op: OpNodeLeave}
+}
+
+// EdgeRewire returns a Watts–Strogatz rewire event: overlay edge (a, b)
+// is replaced by (a, c).
+func EdgeRewire(round, a, b, c int) Event {
+	return Event{Round: round, A: a, B: b, C: c, Node: -1, Op: OpEdgeRewire}
+}
+
+// SetLinkLoss returns a per-link loss-rate change: messages on link
+// (a, b) are henceforth dropped independently with probability p in
+// each direction (0 restores a loss-free link).
+func SetLinkLoss(round, a, b int, p float64) Event {
+	return Event{Round: round, A: a, B: b, Node: -1, Op: OpSetLinkLoss, P: p}
+}
+
+// LinkLoss is a per-link heterogeneous loss table: rates keyed by the
+// ordered link (min, max). It supersedes the single global Loss
+// probability for experiments that need per-edge transmission-failure
+// rates (the arXiv 1504.08193 model). Events renders the table as
+// schedule events so one Plan carries the whole loss configuration.
+type LinkLoss map[[2]int]float64
+
+// Set records the loss rate of the undirected link (a, b).
+func (l LinkLoss) Set(a, b int, p float64) {
+	if p < 0 || p > 1 {
+		panic("fault: link loss probability out of [0,1]")
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if p == 0 {
+		delete(l, [2]int{a, b})
+		return
+	}
+	l[[2]int{a, b}] = p
+}
+
+// Rate returns the loss rate of link (a, b) (0 when absent).
+func (l LinkLoss) Rate(a, b int) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	return l[[2]int{a, b}]
+}
+
+// Events renders the table as SetLinkLoss events at the given round, in
+// deterministic (sorted link) order.
+func (l LinkLoss) Events(round int) []Event {
+	keys := make([][2]int, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	out := make([]Event, len(keys))
+	for i, k := range keys {
+		out[i] = SetLinkLoss(round, k[0], k[1], l[k])
+	}
+	return out
+}
+
 // CrashRestart returns the crash-recovery pair of the restart-from-
 // snapshot strategy: the node crashes silently at crashRound and
 // restarts from its last checkpoint at restartRound. Combine with
@@ -399,6 +502,7 @@ func CrashRestart(crashRound, restartRound, node int) []Event {
 // engines: sim.Engine and runtime.Network implement it, so one Plan can
 // drive a round-based simulation and a live concurrent run. The methods
 // mirror the engines' documented semantics; see their doc comments.
+// The last four are the open-world membership operations.
 type Runner interface {
 	FailLink(i, j int)
 	CrashNode(i int)
@@ -409,6 +513,10 @@ type Runner interface {
 	ResumeNode(i int)
 	CheckpointNode(i int)
 	RestartNode(i int)
+	JoinNode(id int, value float64, peers []int)
+	LeaveNode(i int)
+	RewireEdge(a, b, c int)
+	SetLinkLoss(a, b int, p float64)
 }
 
 // Plan is a schedule of failures. Its OnRound method plugs into
@@ -473,6 +581,14 @@ func apply(r Runner, ev Event) {
 		r.CheckpointNode(ev.Node)
 	case OpNodeRestart:
 		r.RestartNode(ev.Node)
+	case OpNodeJoin:
+		r.JoinNode(ev.Node, ev.Value, ev.Peers)
+	case OpNodeLeave:
+		r.LeaveNode(ev.Node)
+	case OpEdgeRewire:
+		r.RewireEdge(ev.A, ev.B, ev.C)
+	case OpSetLinkLoss:
+		r.SetLinkLoss(ev.A, ev.B, ev.P)
 	}
 }
 

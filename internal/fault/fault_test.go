@@ -295,6 +295,16 @@ func (r *recorder) HangNode(i int)        { r.ops = append(r.ops, fmt.Sprintf("h
 func (r *recorder) ResumeNode(i int)      { r.ops = append(r.ops, fmt.Sprintf("resume %d", i)) }
 func (r *recorder) CheckpointNode(i int)  { r.ops = append(r.ops, fmt.Sprintf("ckpt %d", i)) }
 func (r *recorder) RestartNode(i int)     { r.ops = append(r.ops, fmt.Sprintf("restart %d", i)) }
+func (r *recorder) JoinNode(id int, value float64, peers []int) {
+	r.ops = append(r.ops, fmt.Sprintf("join %d v=%g peers=%v", id, value, peers))
+}
+func (r *recorder) LeaveNode(i int)       { r.ops = append(r.ops, fmt.Sprintf("leave %d", i)) }
+func (r *recorder) RewireEdge(a, b, c int) {
+	r.ops = append(r.ops, fmt.Sprintf("rewire %d-%d>%d", a, b, c))
+}
+func (r *recorder) SetLinkLoss(a, b int, p float64) {
+	r.ops = append(r.ops, fmt.Sprintf("loss %d-%d=%g", a, b, p))
+}
 
 // Both engines satisfy the Runner surface (runtime.Network is asserted
 // in the runtime package to keep import directions clean).

@@ -262,6 +262,40 @@ func (n *Node) FlowView(neighbor int) (gossip.Value, bool) {
 // allocation.
 func (n *Node) LocalValueInto(dst *gossip.Value) { n.localInto(dst) }
 
+// OnNeighborJoin implements gossip.OpenMembership: admit a brand-new
+// neighbor with a zero flow and no remembered estimate (mass-neutral by
+// construction). The backing stores flows then estimates, so growing
+// the degree shifts the estimate region; both regions are copied into
+// place and every view is rebuilt. An edge recreated onto a neighbor we
+// already know reduces to reintegration.
+func (n *Node) OnNeighborJoin(neighbor int) {
+	if n.indexOf(neighbor) >= 0 {
+		n.OnLinkRecover(neighbor)
+		return
+	}
+	deg := len(n.neighbors)
+	grown := make([]float64, 2*(deg+1)*n.width)
+	copy(grown, n.backing[:deg*n.width])                    // flows
+	copy(grown[(deg+1)*n.width:], n.backing[deg*n.width:]) // estimates
+	n.backing = grown
+	n.neighbors = append(n.neighbors, int32(neighbor))
+	n.flowList = append(n.flowList, gossip.Value{})
+	n.lastEst = append(n.lastEst, gossip.Value{})
+	n.known = append(n.known, false)
+	for k := range n.flowList {
+		n.flowList[k].X = n.backing[k*n.width : (k+1)*n.width]
+		n.lastEst[k].X = n.backing[(deg+1+k)*n.width : (deg+2+k)*n.width]
+	}
+	n.idx[int32(neighbor)] = deg
+	n.live = append(n.live, int32(neighbor))
+}
+
+// AbsorbMass implements gossip.OpenMembership: fold a gracefully
+// departing neighbor's surplus into this node's own contribution.
+func (n *Node) AbsorbMass(v gossip.Value) {
+	n.init.AddInPlace(v)
+}
+
 func remove(list []int32, x int32) []int32 {
 	out := list[:0]
 	for _, v := range list {

@@ -1,0 +1,27 @@
+package gossip
+
+// OpenMembership is the optional Protocol extension for open-world
+// churn: topologies whose node roster and edge set change mid-run.
+//
+// OnNeighborJoin admits a brand-new neighbor (one that was NOT in the
+// Reset neighbor list): the protocol grows its per-edge state by one
+// zero-flow edge and appends the neighbor to its live list. A zero flow
+// carries no mass, so admitting an edge is mass-neutral by
+// construction. Engines call it on both endpoints of every edge created
+// by a join or a rewire.
+//
+// AbsorbMass folds v into the node's own initial contribution, raising
+// its local mass (and nothing else — flows, ϕ and live lists are
+// untouched). Engines use it to hand a gracefully departing neighbor's
+// surplus to a survivor, keeping the global mass over the live roster
+// exact across the departure. It differs from DynamicInput.SetInput,
+// which *replaces* the input for live monitoring; AbsorbMass adds to
+// it, and the engine's oracle keeps attributing the mass to the node
+// that first contributed it.
+//
+// All four reduction protocols in this repository implement it; the
+// engines' membership ops (join, graceful leave, rewire) require it.
+type OpenMembership interface {
+	OnNeighborJoin(neighbor int)
+	AbsorbMass(v Value)
+}

@@ -58,6 +58,20 @@ const (
 	// at this round.
 	EvReplay
 
+	// EvNodeJoin: node A joined the open-world overlay with its own
+	// initial mass.
+	EvNodeJoin
+	// EvNodeLeave: node A left gracefully, flushing its surplus to a
+	// live neighbor (B) before removal; B is -1 when no live neighbor
+	// remained and the surplus was lost.
+	EvNodeLeave
+	// EvEdgeRewire: the overlay edge (A, B) was rewired away (the new
+	// endpoint is traced by the engine alongside).
+	EvEdgeRewire
+	// EvSetLinkLoss: the per-link loss rate of link (A, B) changed to
+	// the event Value.
+	EvSetLinkLoss
+
 	numEventKinds int = iota
 )
 
@@ -78,6 +92,10 @@ var eventKindNames = [numEventKinds]string{
 	"snapshot",
 	"restore",
 	"replay",
+	"node-join",
+	"node-leave",
+	"edge-rewire",
+	"set-link-loss",
 }
 
 func (k EventKind) String() string {

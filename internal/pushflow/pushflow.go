@@ -229,6 +229,36 @@ func (n *Node) FlowView(neighbor int) (gossip.Value, bool) {
 // allocation.
 func (n *Node) LocalValueInto(dst *gossip.Value) { n.localInto(dst) }
 
+// OnNeighborJoin implements gossip.OpenMembership: admit a brand-new
+// neighbor with a zero-flow edge (mass-neutral by construction). The
+// flow backing grows by one slot; all X views are rebuilt over the new
+// backing. An edge recreated onto a neighbor we already know reduces to
+// reintegration (zero-flow restart).
+func (n *Node) OnNeighborJoin(neighbor int) {
+	if n.indexOf(neighbor) >= 0 {
+		n.OnLinkRecover(neighbor)
+		return
+	}
+	deg := len(n.neighbors)
+	grown := make([]float64, (deg+1)*n.width)
+	copy(grown, n.backing)
+	n.backing = grown
+	n.neighbors = append(n.neighbors, int32(neighbor))
+	n.flowList = append(n.flowList, gossip.Value{})
+	for k := range n.flowList {
+		n.flowList[k].X = n.backing[k*n.width : (k+1)*n.width]
+	}
+	n.idx[int32(neighbor)] = deg
+	n.live = append(n.live, int32(neighbor))
+}
+
+// AbsorbMass implements gossip.OpenMembership: fold a gracefully
+// departing neighbor's surplus into this node's own contribution. Flows
+// are untouched, so the local estimate rises by exactly v.
+func (n *Node) AbsorbMass(v gossip.Value) {
+	n.init.AddInPlace(v)
+}
+
 func remove(list []int32, x int32) []int32 {
 	out := list[:0]
 	for _, v := range list {

@@ -128,6 +128,29 @@ func remove(list []int32, x int32) []int32 {
 	return out
 }
 
+// OnNeighborJoin implements gossip.OpenMembership. Push-sum keeps no
+// per-edge state, so admitting a brand-new neighbor is pure membership;
+// an edge recreated onto a previously failed neighbor reduces to
+// reintegration.
+func (n *Node) OnNeighborJoin(neighbor int) {
+	t := int32(neighbor)
+	for _, v := range n.neighbors {
+		if v == t {
+			n.OnLinkRecover(neighbor)
+			return
+		}
+	}
+	n.neighbors = append(n.neighbors, t)
+	n.live = append(n.live, t)
+}
+
+// AbsorbMass implements gossip.OpenMembership: fold a gracefully
+// departing neighbor's surplus into the local mass, keeping the global
+// sum over the live roster exact.
+func (n *Node) AbsorbMass(v gossip.Value) {
+	n.mass.AddInPlace(v)
+}
+
 // SetInput implements gossip.DynamicInput: the input delta is added to
 // the current mass (push-sum keeps no input/flow separation). Note that
 // the adjustment inherits push-sum's fragility: if any message carrying

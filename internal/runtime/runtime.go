@@ -231,14 +231,22 @@ func (cfg *Config) validate() error {
 // Network is a running (or runnable) concurrent gossip system.
 type Network struct {
 	cfg     Config
-	n       int
-	nodes   []*node
 	targets []float64
+
+	// nodesMu guards the nodes slice header and the topology overlay:
+	// open-world joins append nodes and mutate the overlay mid-run.
+	// Node *elements* are immutable pointers; their state is guarded by
+	// the per-node mutex as before.
+	nodesMu sync.RWMutex
+	nodes   []*node
+	overlay *topology.Overlay // nil until the first membership operation
+	running bool              // set by Run under nodesMu; JoinNode spawns its own goroutine after this
 
 	start time.Time // set by Run; base of the detectors' clock
 
 	ctxMu  sync.Mutex
 	runCtx context.Context // set by Run; bounds async notification retries
+	runWG  *sync.WaitGroup // set by Run; joined nodes register here
 
 	targetsMu  sync.RWMutex
 	failedMu   sync.RWMutex
@@ -246,16 +254,57 @@ type Network struct {
 	silencedMu sync.RWMutex
 	silenced   map[[2]int]bool
 
+	departedMu sync.RWMutex
+	departed   map[int]bool // gracefully departed nodes; late traffic ignored
+
+	lossMu    sync.Mutex
+	lossRates map[[2]int]float64 // per-link heterogeneous loss rates
+	lossRng   *rand.Rand
+
 	metricsMu   sync.Mutex
 	metricsAddr string // bound address of the Run-scoped metrics endpoint
 
 	drops atomic.Int64 // messages lost to full inboxes
 }
 
+// allNodes returns the current node slice header. Elements are
+// immutable pointers and joins replace the header under nodesMu, so a
+// returned header is a consistent snapshot of the membership at call
+// time.
+func (net *Network) allNodes() []*node {
+	net.nodesMu.RLock()
+	defer net.nodesMu.RUnlock()
+	return net.nodes
+}
+
+// node returns node i, or nil when i is out of range.
+func (net *Network) node(i int) *node {
+	nodes := net.allNodes()
+	if i < 0 || i >= len(nodes) {
+		return nil
+	}
+	return nodes[i]
+}
+
+// N returns the current node count, including nodes joined mid-run.
+func (net *Network) N() int { return len(net.allNodes()) }
+
+// neighborRow returns a copy of node i's current neighbor row —
+// overlay-aware once a membership operation has fired.
+func (net *Network) neighborRow(i int) []int32 {
+	net.nodesMu.RLock()
+	defer net.nodesMu.RUnlock()
+	if net.overlay != nil {
+		return append([]int32(nil), net.overlay.Neighbors(i)...)
+	}
+	return append([]int32(nil), net.cfg.Graph.Neighbors(i)...)
+}
+
 type node struct {
 	id         int
-	mu         sync.Mutex // guards proto, crashed, silent, hung, det, lastSent, keepalives
+	mu         sync.Mutex // guards proto, init, crashed, silent, hung, det, lastSent, keepalives
 	proto      gossip.Protocol
+	init       gossip.Value // oracle initial value; a leave's heir absorbs the surplus here
 	inbox      chan gossip.Message
 	rng        *rand.Rand
 	sends      int // written only by the node goroutine; read after Run returns
@@ -291,10 +340,11 @@ func New(cfg Config) (*Network, error) {
 	n := cfg.Graph.N()
 	net := &Network{
 		cfg:      cfg,
-		n:        n,
 		nodes:    make([]*node, n),
 		failed:   make(map[[2]int]bool),
 		silenced: make(map[[2]int]bool),
+		departed: make(map[int]bool),
+		lossRng:  rand.New(rand.NewSource(cfg.Seed ^ 0x5bd1e995)),
 	}
 	for i := 0; i < n; i++ {
 		p := cfg.NewProtocol()
@@ -302,6 +352,7 @@ func New(cfg Config) (*Network, error) {
 		net.nodes[i] = &node{
 			id:    i,
 			proto: p,
+			init:  cfg.Init[i].Clone(),
 			inbox: make(chan gossip.Message, cfg.InboxCapacity),
 			rng:   rand.New(rand.NewSource(cfg.Seed + int64(i))),
 			rec:   cfg.Metrics,
@@ -313,13 +364,21 @@ func New(cfg Config) (*Network, error) {
 }
 
 // recomputeTargets refreshes the oracle aggregate over the non-crashed
-// nodes (convergence monitoring only — no protocol ever sees it).
+// nodes (convergence monitoring only — no protocol ever sees it). The
+// per-node init values — not Config.Init — are the source of truth:
+// joined nodes extend the roster and a leave's heir absorbs the
+// departing surplus into its init, keeping the oracle aligned with the
+// mass the protocols actually hold.
 func (net *Network) recomputeTargets() {
 	width := len(net.targets)
 	sums := make([]stats.Sum2, width)
 	var wsum stats.Sum2
-	for i, v := range net.cfg.Init {
-		if net.nodes[i].isCrashed() {
+	for _, nd := range net.allNodes() {
+		nd.mu.Lock()
+		down := nd.crashed
+		v := nd.init.Clone()
+		nd.mu.Unlock()
+		if down {
 			continue
 		}
 		wsum.Add(v.W)
@@ -391,7 +450,10 @@ func (net *Network) FailLink(i, j int) {
 // rather than blocking the caller; silently crashed nodes no longer
 // drain their inbox and are skipped.
 func (net *Network) notifyLinkDown(to, from int) {
-	nd := net.nodes[to]
+	nd := net.node(to)
+	if nd == nil {
+		return
+	}
 	nd.mu.Lock()
 	dead := nd.silent
 	nd.mu.Unlock()
@@ -472,7 +534,7 @@ func (net *Network) CrashNode(i int) {
 		return
 	}
 	net.noteEvent(metrics.EvNodeCrash, i, -1)
-	for _, j32 := range net.cfg.Graph.Neighbors(i) {
+	for _, j32 := range net.neighborRow(i) {
 		j := int(j32)
 		key := linkKey(i, j)
 		net.failedMu.Lock()
@@ -503,7 +565,10 @@ func (net *Network) CrashNodeSilent(i int) {
 // markCrashed transitions node i to crashed (and silent, for the
 // oracle-free variant); it reports false if the node was already down.
 func (net *Network) markCrashed(i int, silent bool) bool {
-	nd := net.nodes[i]
+	nd := net.node(i)
+	if nd == nil {
+		return false
+	}
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	if nd.crashed {
@@ -520,7 +585,10 @@ func (net *Network) markCrashed(i int, silent bool) bool {
 // suspicion threshold; once ResumeNode is called its traffic resumes and
 // the neighbors reintegrate it.
 func (net *Network) HangNode(i int) {
-	nd := net.nodes[i]
+	nd := net.node(i)
+	if nd == nil {
+		return
+	}
 	nd.mu.Lock()
 	was := nd.hung
 	nd.hung = true
@@ -532,7 +600,10 @@ func (net *Network) HangNode(i int) {
 
 // ResumeNode unfreezes a node frozen by HangNode.
 func (net *Network) ResumeNode(i int) {
-	nd := net.nodes[i]
+	nd := net.node(i)
+	if nd == nil {
+		return
+	}
 	nd.mu.Lock()
 	was := nd.hung
 	nd.hung = false
@@ -546,7 +617,10 @@ func (net *Network) ResumeNode(i int) {
 // crash-restart checkpoint — the save point RestartNode revives from.
 // No-op when the protocol does not implement gossip.Snapshotter.
 func (net *Network) CheckpointNode(i int) {
-	nd := net.nodes[i]
+	nd := net.node(i)
+	if nd == nil {
+		return
+	}
 	nd.mu.Lock()
 	snap, ok := nd.proto.(gossip.Snapshotter)
 	if ok {
@@ -573,9 +647,14 @@ func (net *Network) CheckpointNode(i int) {
 // the restart moment as last contact with every neighbor. No-op on a
 // node that is not crashed.
 func (net *Network) RestartNode(i int) {
-	nd := net.nodes[i]
+	nd := net.node(i)
+	if nd == nil {
+		return
+	}
 	nd.mu.Lock()
-	if !nd.crashed {
+	if !nd.crashed || net.isDeparted(i) {
+		// Departure is permanent: the surplus handoff already moved the
+		// node's mass to an heir, so reviving it would double-count.
 		nd.mu.Unlock()
 		return
 	}
@@ -590,8 +669,8 @@ drain:
 			break drain
 		}
 	}
-	neighbors := net.cfg.Graph.Neighbors(nd.id)
-	nd.proto.Reset(nd.id, neighbors, net.cfg.Init[nd.id].Clone())
+	neighbors := net.neighborRow(nd.id)
+	nd.proto.Reset(nd.id, neighbors, nd.init.Clone())
 	if nd.ckpt != nil {
 		if snap, ok := nd.proto.(gossip.Snapshotter); ok {
 			snap.LoadState(gossip.NewStateReader(*nd.ckpt))
@@ -615,9 +694,10 @@ func (nd *node) isCrashed() bool {
 // Estimates snapshots every node's current estimate; crashed nodes
 // report NaN in every component.
 func (net *Network) Estimates() [][]float64 {
-	out := make([][]float64, net.n)
+	nodes := net.allNodes()
+	out := make([][]float64, len(nodes))
 	width := len(net.cfg.Init[0].X)
-	for i, nd := range net.nodes {
+	for i, nd := range nodes {
 		nd.mu.Lock()
 		if nd.crashed {
 			est := make([]float64, width)
@@ -636,7 +716,10 @@ func (net *Network) Estimates() [][]float64 {
 // Suspects returns the neighbors node i currently suspects (empty when
 // no detector is configured or the run has not started).
 func (net *Network) Suspects(i int) []int {
-	nd := net.nodes[i]
+	nd := net.node(i)
+	if nd == nil {
+		return nil
+	}
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	if nd.det == nil {
@@ -659,7 +742,7 @@ type DetectorStats struct {
 // DetectorStats sums the per-node detector counters.
 func (net *Network) DetectorStats() DetectorStats {
 	var out DetectorStats
-	for _, nd := range net.nodes {
+	for _, nd := range net.allNodes() {
 		nd.mu.Lock()
 		if nd.det != nil {
 			out.Suspicions += nd.det.Suspicions
@@ -676,8 +759,9 @@ func (net *Network) DetectorStats() DetectorStats {
 func (net *Network) MaxError() float64 {
 	worst := 0.0
 	targets := net.Targets()
+	nodes := net.allNodes()
 	for i, est := range net.Estimates() {
-		if net.nodes[i].isCrashed() {
+		if i >= len(nodes) || nodes[i].isCrashed() {
 			continue
 		}
 		for k, t := range targets {
@@ -698,12 +782,13 @@ func (net *Network) MaxError() float64 {
 // the component magnitude. Unlike MaxError it requires no oracle.
 func (net *Network) Spread() float64 {
 	ests := net.Estimates()
+	nodes := net.allNodes()
 	worst := 0.0
 	width := len(net.cfg.Init[0].X)
 	for k := 0; k < width; k++ {
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for i, est := range ests {
-			if net.nodes[i].isCrashed() {
+			if i >= len(nodes) || nodes[i].isCrashed() {
 				continue
 			}
 			v := est[k]
@@ -786,8 +871,10 @@ func (net *Network) Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 	}
 	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
+	var wg sync.WaitGroup
 	net.ctxMu.Lock()
 	net.runCtx = ctx
+	net.runWG = &wg
 	net.start = time.Now()
 	net.ctxMu.Unlock()
 
@@ -798,20 +885,19 @@ func (net *Network) Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		}
 		defer srv.Close()
 	}
-	if dc := net.cfg.Detector; dc != nil {
-		for _, nd := range net.nodes {
-			nd.mu.Lock()
-			neighbors := net.cfg.Graph.Neighbors(nd.id)
-			nd.det = detect.New(dc.detectConfig(), neighbors, 0)
-			_, reint := nd.proto.(gossip.Reintegrator)
-			nd.canReint = reint && !dc.DisableReintegration
-			nd.lastSent = make(map[int]float64, len(neighbors))
-			nd.mu.Unlock()
-		}
-	}
+	// Mark the network running and snapshot the membership under one
+	// lock: a concurrent JoinNode either lands in this snapshot (and is
+	// spawned below) or observes running==true (and spawns its own
+	// goroutine) — never both, never neither.
+	net.nodesMu.Lock()
+	net.running = true
+	spawn := net.nodes
+	net.nodesMu.Unlock()
 
-	var wg sync.WaitGroup
-	for _, nd := range net.nodes {
+	for _, nd := range spawn {
+		net.setupDetector(nd, 0)
+	}
+	for _, nd := range spawn {
 		wg.Add(1)
 		go func(nd *node) {
 			defer wg.Done()
@@ -855,7 +941,7 @@ monitor:
 	cancel()
 	wg.Wait()
 	res.Elapsed = time.Since(net.start)
-	for _, nd := range net.nodes {
+	for _, nd := range net.allNodes() {
 		res.TotalSends += nd.sends
 	}
 	return res, nil
@@ -934,9 +1020,10 @@ func (net *Network) recordSample(tick int) {
 func (net *Network) nodeErrors() []float64 {
 	targets := net.Targets()
 	ests := net.Estimates()
-	errs := make([]float64, 0, net.n)
+	nodes := net.allNodes()
+	errs := make([]float64, 0, len(nodes))
 	for i, est := range ests {
-		if net.nodes[i].isCrashed() {
+		if i >= len(nodes) || nodes[i].isCrashed() {
 			continue
 		}
 		worst := 0.0
@@ -964,7 +1051,7 @@ func (net *Network) massResidual() (mass, inflight float64) {
 	sums := make([]stats.Sum2, len(targets))
 	var wsum, w0 stats.Sum2
 	var local gossip.Value
-	for i, nd := range net.nodes {
+	for _, nd := range net.allNodes() {
 		nd.mu.Lock()
 		if nd.crashed {
 			nd.mu.Unlock()
@@ -975,8 +1062,9 @@ func (net *Network) massResidual() (mass, inflight float64) {
 		} else {
 			local = nd.proto.LocalValue()
 		}
+		initW := nd.init.W
 		nd.mu.Unlock()
-		w0.Add(net.cfg.Init[i].W)
+		w0.Add(initW)
 		wsum.Add(local.W)
 		for k, x := range local.X {
 			sums[k].Add(x)
@@ -1104,6 +1192,12 @@ func (nd *node) appendKeepalives(out []gossip.Message, now float64, dc *Detector
 // processes data on an edge it currently considers failed.
 func (net *Network) receive(nd *node, msg gossip.Message) {
 	now := net.now()
+	if net.isDeparted(msg.From) {
+		// Late traffic from a gracefully departed node: its mass was
+		// already handed to an heir, so absorbing the message would
+		// double-count. The flush in LeaveNode makes this rare.
+		return
+	}
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	if nd.crashed {
@@ -1158,12 +1252,21 @@ func (net *Network) deliver(from *node, msg gossip.Message) {
 		rec.IncShared(metrics.MsgsLost)
 		return
 	}
+	if net.lossDrop(msg.From, msg.To) {
+		rec.IncShared(metrics.MsgsLost)
+		return
+	}
 	if ic := net.cfg.Interceptor; ic != nil && !ic.Intercept(from.sends, &msg) {
 		rec.IncShared(metrics.MsgsDropped)
 		return
 	}
+	to := net.node(msg.To)
+	if to == nil {
+		rec.IncShared(metrics.MsgsLost)
+		return
+	}
 	select {
-	case net.nodes[msg.To].inbox <- msg:
+	case to.inbox <- msg:
 		rec.IncShared(metrics.MsgsDelivered)
 	default:
 		// Inbox full: the message is lost. Flow-based protocols heal at

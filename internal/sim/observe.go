@@ -178,7 +178,7 @@ func (e *Engine) massResidual() (mass, inflight float64) {
 // most meaningful after Drain on the legacy engine (where it must be
 // zero for flow protocols) and as a churn trend under failures.
 func (e *Engine) antiSymViolations() int {
-	n := e.graph.N()
+	n := len(e.protos)
 	if n == 0 {
 		return -1
 	}
@@ -197,7 +197,7 @@ func (e *Engine) antiSymViolations() int {
 		if !isSlots && !isFlow {
 			continue
 		}
-		for _, j32 := range e.graph.Neighbors(i) {
+		for _, j32 := range e.neighbors(i) {
 			j := int(j32)
 			if j <= i || !e.alive[j] {
 				continue

@@ -396,6 +396,14 @@ func (e *Engine) routeMerged(msg *gossip.Message) {
 		e.putMsgShard(dst, msg)
 		return
 	}
+	// Per-link heterogeneous loss: drawn here, in the serial merge whose
+	// order is a pure function of the round's sends, so the draw sequence
+	// is identical for every shard count.
+	if e.lossRates != nil && e.lossDrop(key) {
+		e.rec.Bank(0).Inc(metrics.MsgsLost)
+		e.putMsgShard(dst, msg)
+		return
+	}
 	if e.interceptor == nil {
 		e.rec.Bank(0).Inc(metrics.MsgsDelivered)
 		e.inbox[msg.To] = append(e.inbox[msg.To], msg)

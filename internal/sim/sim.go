@@ -112,6 +112,15 @@ type Engine struct {
 	width  int // shared value width of all initial values
 	rng    *rand.Rand
 	order  Order
+	seed   int64 // construction/Reset seed (join streams derive from it)
+
+	// Open-world membership state (membership.go); all nil/zero until
+	// the first membership operation.
+	overlay     *topology.Overlay
+	joinFactory func() gossip.Protocol
+	lossRates   map[[2]int]float64 // per-link loss rates, ordered pairs i<j
+	lossRNG     uint64             // dedicated splitmix64 stream for loss draws
+	layout      map[int][]int32    // protocol storage rows that diverged from the overlay (membership.go)
 
 	inbox    [][]*gossip.Message // pooled; recycled after dispatch
 	alive    []bool
@@ -229,6 +238,7 @@ func New(g *topology.Graph, protos []gossip.Protocol, init []gossip.Value, seed 
 		init:     make([]gossip.Value, n),
 		width:    width,
 		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
 		inbox:    make([][]*gossip.Message, n),
 		alive:    make([]bool, n),
 		hung:     make([]bool, n),
@@ -268,6 +278,7 @@ func New(g *topology.Graph, protos []gossip.Protocol, init []gossip.Value, seed 
 	if e.shards > 0 {
 		e.initShards(seed)
 	}
+	e.seedLossRNG(seed)
 	e.recomputeTargets()
 	return e
 }
@@ -299,7 +310,10 @@ func (e *Engine) SetInterceptor(ic Interceptor) { e.interceptor = ic }
 // metrics recorder are cleared, since fault injectors and observation
 // are per-trial state.
 func (e *Engine) Reset(seed int64) {
+	e.dropMembership() // joined nodes, overlay and loss table are per-trial state
 	e.rng = rand.New(rand.NewSource(seed))
+	e.seed = seed
+	e.seedLossRNG(seed)
 	e.round = 0
 	e.keepalives = 0
 	e.interceptor = nil
@@ -357,8 +371,10 @@ func (e *Engine) Reset(seed int64) {
 // Round returns the number of completed rounds.
 func (e *Engine) Round() int { return e.round }
 
-// N returns the number of nodes.
-func (e *Engine) N() int { return e.graph.N() }
+// N returns the current number of nodes, including any that joined the
+// open-world overlay mid-run (ids are dense and never reused, so this
+// grows monotonically within a trial).
+func (e *Engine) N() int { return len(e.protos) }
 
 // Graph returns the engine's topology.
 func (e *Engine) Graph() *topology.Graph { return e.graph }
@@ -599,6 +615,11 @@ func (e *Engine) send(msg *gossip.Message) {
 		e.putMsg(msg)
 		return // sent into a broken, silenced or dead destination: lost
 	}
+	if e.lossRates != nil && e.lossDrop(key) {
+		e.rec.Bank(0).Inc(metrics.MsgsLost)
+		e.putMsg(msg)
+		return // heterogeneous per-link loss (SetLinkLoss)
+	}
 	if e.interceptor == nil {
 		e.rec.Bank(0).Inc(metrics.MsgsDelivered)
 		e.inbox[msg.To] = append(e.inbox[msg.To], msg)
@@ -695,7 +716,7 @@ func (e *Engine) FailLinkAbrupt(i, j int) {
 }
 
 func (e *Engine) failLink(i, j int, abrupt bool) {
-	if !e.graph.HasEdge(i, j) {
+	if !e.hasEdge(i, j) {
 		panic(fmt.Sprintf("sim: no link (%d,%d) to fail", i, j))
 	}
 	key := linkKey(i, j)
@@ -708,24 +729,27 @@ func (e *Engine) failLink(i, j int, abrupt bool) {
 	}
 	e.noteEvent(metrics.Event{Kind: kind, Round: e.round, A: i, B: j})
 	if abrupt {
+		// Abrupt failures destroy in-flight state by design: notify the
+		// endpoints without measuring what the teardown strands.
 		e.dead[key] = true
 		e.purgeLink(i, j)
-	} else {
-		e.flushLink(i, j)
-		e.dead[key] = true
-	}
-	if e.alive[i] {
-		e.protos[i].OnLinkFailure(j)
-		if e.det != nil {
-			e.det[i].Remove(j)
+		if e.alive[i] {
+			e.protos[i].OnLinkFailure(j)
+			if e.det != nil {
+				e.det[i].Remove(j)
+			}
 		}
-	}
-	if e.alive[j] {
-		e.protos[j].OnLinkFailure(i)
-		if e.det != nil {
-			e.det[j].Remove(i)
+		if e.alive[j] {
+			e.protos[j].OnLinkFailure(i)
+			if e.det != nil {
+				e.det[j].Remove(i)
+			}
 		}
+		return
 	}
+	e.flushLink(i, j)
+	e.dead[key] = true
+	e.teardownPair(i, j)
 }
 
 // flushLink delivers the in-flight messages between i and j (in queue
@@ -760,7 +784,7 @@ func (e *Engine) CrashNode(i int) {
 	}
 	e.noteEvent(metrics.Event{Kind: metrics.EvNodeCrash, Round: e.round, A: i, B: -1})
 	e.alive[i] = false
-	for _, j32 := range e.graph.Neighbors(i) {
+	for _, j32 := range e.neighbors(i) {
 		j := int(j32)
 		key := linkKey(i, j)
 		if e.dead[key] {
@@ -800,7 +824,7 @@ func (e *Engine) purgeLink(i, j int) {
 // endpoint — the oracle-free outage model. Only a failure detector
 // (WithDetector) can react to it. RestoreLink heals the outage.
 func (e *Engine) SilenceLink(i, j int) {
-	if !e.graph.HasEdge(i, j) {
+	if !e.hasEdge(i, j) {
 		panic(fmt.Sprintf("sim: no link (%d,%d) to silence", i, j))
 	}
 	if !e.silenced[linkKey(i, j)] {

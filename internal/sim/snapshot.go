@@ -34,6 +34,7 @@ import (
 	"pcfreduce/internal/detect"
 	"pcfreduce/internal/gossip"
 	"pcfreduce/internal/metrics"
+	"pcfreduce/internal/topology"
 )
 
 // Snapshot is the complete deterministic state of a sharded engine at a
@@ -42,13 +43,22 @@ import (
 // evolving state while reusing the engine's allocations.
 type Snapshot struct {
 	// N and Width identify the configuration the snapshot was taken
-	// under; Restore refuses a mismatch.
+	// under; Restore refuses a mismatch. N counts every node, including
+	// ones that joined the open-world overlay mid-run.
 	N     int
 	Width int
 	// Round is the round counter at capture time.
 	Round int
 	// State holds the flat serialized streams.
 	State gossip.State
+	// Overlay is the open-world membership section: the topology
+	// overlay delta (appended nodes, dirty rows), the per-link loss
+	// table and the loss-draw stream state. It is decoded BEFORE State,
+	// because restoring the overlay is what tells the engine how many
+	// nodes the main stream describes. Empty on engines that never
+	// churned — such snapshots are byte-identical to pre-overlay ones,
+	// and old serialized snapshots (no section) still restore.
+	Overlay gossip.State
 }
 
 // ErrNotSharded is returned by Snapshot/Restore on an engine running
@@ -65,7 +75,7 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 	if e.shards <= 0 {
 		return nil, ErrNotSharded
 	}
-	n := e.graph.N()
+	n := len(e.protos)
 	w := &gossip.StateWriter{}
 	w.PutU64(uint64(e.round))
 	w.PutU64(uint64(e.keepalives))
@@ -92,7 +102,7 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 	if e.det != nil {
 		for i := 0; i < n; i++ {
 			e.det[i].SaveState(w)
-			for _, j := range e.graph.Neighbors(i) {
+			for _, j := range e.neighbors(i) {
 				w.PutU64(uint64(e.lastSent[i][j]))
 			}
 		}
@@ -103,8 +113,176 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 			putMessage(w, m)
 		}
 	}
+	snap := &Snapshot{N: n, Width: e.width, Round: e.round, State: w.State}
+	if e.overlay != nil || e.lossRates != nil {
+		ow := &gossip.StateWriter{}
+		e.saveMembership(ow)
+		snap.Overlay = ow.State
+	}
 	e.noteEvent(metrics.Event{Kind: metrics.EvSnapshot, Round: e.round, A: -1, B: -1})
-	return &Snapshot{N: n, Width: e.width, Round: e.round, State: w.State}, nil
+	return snap, nil
+}
+
+// saveMembership serializes the overlay section: base/total node
+// counts, the overlay's dirty rows (sorted by id — deterministic), the
+// loss table (sorted by link), the loss stream state and the pinned
+// protocol storage rows (sorted by id).
+func (e *Engine) saveMembership(w *gossip.StateWriter) {
+	w.PutU64(uint64(e.graph.N()))
+	if e.overlay != nil {
+		w.PutU64(uint64(e.overlay.N()))
+		ids := e.overlay.DirtyIDs()
+		w.PutU64(uint64(len(ids)))
+		for _, id := range ids {
+			w.PutI32(id)
+			w.PutI32s(e.overlay.Neighbors(int(id)))
+		}
+	} else {
+		w.PutU64(uint64(e.graph.N()))
+		w.PutU64(0)
+	}
+	keys := make([][2]int, 0, len(e.lossRates))
+	for k := range e.lossRates {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	w.PutU64(uint64(len(keys)))
+	for _, k := range keys {
+		w.PutI32(int32(k[0]))
+		w.PutI32(int32(k[1]))
+		w.PutF64(e.lossRates[k])
+	}
+	w.PutU64(e.lossRNG)
+	// The trial seed: node-join RNG streams derive from it, so a restored
+	// engine must adopt the capture seed for post-restore joins to replay
+	// identically.
+	w.PutU64(uint64(e.seed))
+	ids := make([]int, 0, len(e.layout))
+	for id := range e.layout {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	w.PutU64(uint64(len(ids)))
+	for _, id := range ids {
+		w.PutI32(int32(id))
+		w.PutI32s(e.layout[id])
+	}
+}
+
+// loadMembership rebuilds the overlay, the per-node scaffolding of any
+// appended nodes, the loss table, the trial seed and the pinned storage
+// rows from a snapshot's overlay section.
+// Called before the main stream is decoded (the section determines the
+// node count the stream describes). Restoring appended nodes requires
+// WithJoinFactory.
+func (e *Engine) loadMembership(r *gossip.StateReader) error {
+	baseN := int(r.U64())
+	if r.Err() == nil && baseN != e.graph.N() {
+		return fmt.Errorf("sim: snapshot overlay base %d nodes, engine graph has %d", baseN, e.graph.N())
+	}
+	totalN := int(r.U64())
+	dirty := int(r.U64())
+	if r.Err() != nil {
+		return fmt.Errorf("sim: corrupt snapshot overlay section: %w", r.Err())
+	}
+	if totalN != e.graph.N() || dirty > 0 {
+		o := topology.NewOverlay(e.graph)
+		o.Grow(totalN)
+		for c := 0; c < dirty; c++ {
+			id := int(r.I32())
+			row := r.I32s()
+			if r.Err() != nil {
+				return fmt.Errorf("sim: corrupt snapshot overlay section: %w", r.Err())
+			}
+			if id < 0 || id >= totalN {
+				return fmt.Errorf("sim: snapshot overlay row id %d out of range [0,%d)", id, totalN)
+			}
+			o.SetRow(int(id), row)
+		}
+		if err := o.Validate(); err != nil {
+			return fmt.Errorf("sim: snapshot overlay invalid: %w", err)
+		}
+		e.overlay = o
+		for id := e.graph.N(); id < totalN; id++ {
+			if e.joinFactory == nil {
+				return errors.New("sim: restoring a snapshot with joined nodes requires WithJoinFactory")
+			}
+			e.appendNodeScaffold(id)
+		}
+	}
+	lossCount := int(r.U64())
+	for c := 0; c < lossCount; c++ {
+		a := int(r.I32())
+		b := int(r.I32())
+		p := r.F64()
+		if r.Err() != nil {
+			break
+		}
+		if e.lossRates == nil {
+			e.lossRates = make(map[[2]int]float64, lossCount)
+		}
+		e.lossRates[[2]int{a, b}] = p
+	}
+	e.lossRNG = r.U64()
+	e.seed = int64(r.U64())
+	layoutCount := int(r.U64())
+	for c := 0; c < layoutCount; c++ {
+		id := int(r.I32())
+		row := append([]int32(nil), r.I32s()...)
+		if r.Err() != nil {
+			break
+		}
+		if id < 0 || id >= totalN {
+			return fmt.Errorf("sim: snapshot layout row id %d out of range [0,%d)", id, totalN)
+		}
+		if e.layout == nil {
+			e.layout = make(map[int][]int32, layoutCount)
+		}
+		e.layout[id] = row
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("sim: corrupt snapshot overlay section: %w", err)
+	}
+	if !r.Exhausted() {
+		return errors.New("sim: snapshot overlay section has trailing state")
+	}
+	return nil
+}
+
+// appendNodeScaffold grows every per-node engine structure for an
+// appended node being restored from a snapshot. Unlike JoinNode it
+// performs no protocol handshake — the main snapshot stream overwrites
+// the protocol, detector, alive and init state right after.
+func (e *Engine) appendNodeScaffold(id int) {
+	p := e.joinFactory()
+	e.protos = append(e.protos, p)
+	e.init = append(e.init, gossip.NewValue(e.width))
+	e.alive = append(e.alive, true)
+	e.hung = append(e.hung, false)
+	e.inbox = append(e.inbox, make([]*gossip.Message, 0, 8))
+	e.perm = append(e.perm, id)
+	if e.nodeCkpt != nil {
+		e.nodeCkpt = append(e.nodeCkpt, nil)
+	}
+	if e.det != nil {
+		e.det = append(e.det, nil) // rebuilt from the main stream
+		_, reint := p.(gossip.Reintegrator)
+		e.canReint = append(e.canReint, reint && !e.detCfg.DisableReintegration)
+		for i := range e.lastSent {
+			e.lastSent[i] = append(e.lastSent[i], 0)
+		}
+		e.lastSent = append(e.lastSent, make([]int, id+1))
+	}
+	if e.shard != nil {
+		e.shard.nodeRNG = append(e.shard.nodeRNG, 0) // overwritten by the main stream
+		e.shard.shardOf = append(e.shard.shardOf, int32(e.shards-1))
+		e.shard.bounds[e.shards]++
+	}
 }
 
 // Restore rewinds the engine to the snapshot's state. The engine must
@@ -121,7 +299,17 @@ func (e *Engine) Restore(s *Snapshot) error {
 	if e.shards <= 0 {
 		return ErrNotSharded
 	}
-	n := e.graph.N()
+	// Rewind any membership state of the current trial, then rebuild the
+	// snapshot's overlay — the section determines how many nodes the
+	// main stream describes, so it decodes first.
+	e.dropMembership()
+	ov := s.Overlay
+	if len(ov.F64) > 0 || len(ov.U64) > 0 || len(ov.I32) > 0 || len(ov.B) > 0 {
+		if err := e.loadMembership(gossip.NewStateReader(ov)); err != nil {
+			return err
+		}
+	}
+	n := len(e.protos)
 	if s.N != n {
 		return fmt.Errorf("sim: snapshot holds %d nodes, engine has %d", s.N, n)
 	}
@@ -155,18 +343,20 @@ func (e *Engine) Restore(s *Snapshot) error {
 		if !ok {
 			return fmt.Errorf("sim: protocol at node %d (%T) does not implement gossip.Snapshotter", i, p)
 		}
-		p.Reset(i, e.graph.Neighbors(i), e.init[i].Clone())
+		// The storage row, not the overlay row: positional protocol
+		// state keeps slots for removed neighbors (see layoutRow).
+		p.Reset(i, e.layoutRow(i), e.init[i].Clone())
 		snap.LoadState(r)
 	}
 	if e.det != nil {
 		for i := 0; i < n; i++ {
-			e.det[i] = detect.New(e.detCfg.Detect, e.graph.Neighbors(i), 0)
+			e.det[i] = detect.New(e.detCfg.Detect, e.layoutRow(i), 0)
 			e.det[i].LoadState(r)
 			ls := e.lastSent[i]
 			for j := range ls {
 				ls[j] = 0
 			}
-			for _, j := range e.graph.Neighbors(i) {
+			for _, j := range e.neighbors(i) {
 				ls[j] = int(r.U64())
 			}
 		}
@@ -333,7 +523,7 @@ func (e *Engine) RestartNode(i int) {
 	e.hung[i] = false
 	e.clearInbox(i)
 	p := e.protos[i]
-	p.Reset(i, e.graph.Neighbors(i), e.init[i].Clone())
+	p.Reset(i, e.layoutRow(i), e.init[i].Clone())
 	if e.nodeCkpt != nil && e.nodeCkpt[i] != nil {
 		if snap, ok := p.(gossip.Snapshotter); ok {
 			snap.LoadState(gossip.NewStateReader(*e.nodeCkpt[i]))
@@ -344,7 +534,7 @@ func (e *Engine) RestartNode(i int) {
 		// "heard" at the restart round, and the zeroed last-sent row
 		// triggers an immediate keepalive burst announcing the rebirth
 		// to every live neighbor.
-		e.det[i] = detect.New(e.detCfg.Detect, e.graph.Neighbors(i), float64(e.round))
+		e.det[i] = detect.New(e.detCfg.Detect, e.neighbors(i), float64(e.round))
 		ls := e.lastSent[i]
 		for j := range ls {
 			ls[j] = 0

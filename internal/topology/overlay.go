@@ -1,0 +1,270 @@
+package topology
+
+// Overlay is a mutable adjacency view over an immutable CSR Graph: the
+// base stays shared and untouched (zero-copy rows for every node the
+// overlay has not mutated), and membership churn — appended nodes,
+// added and removed edges — lives in a per-node delta of replacement
+// rows. The accessors keep the Graph contract: rows are sorted,
+// deduplicated, symmetric and self-loop-free, Neighbors returns a view
+// the caller must not mutate, and HasEdge binary-searches the row.
+//
+// The delta is bounded by the churned region, not the graph: a
+// million-node torus with a handful of joins costs a handful of copied
+// rows, and Compact folds the overlay back into a fresh CSR graph when
+// the churned epoch becomes the new baseline.
+//
+// An Overlay is not safe for concurrent mutation; the engines mutate it
+// only from their serial control paths.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Overlay is a mutable graph: an immutable CSR base plus a delta of
+// replacement adjacency rows. The zero value is not usable; call
+// NewOverlay.
+type Overlay struct {
+	base  *Graph
+	dirty map[int32][]int32 // replacement rows, keyed by node id (sorted rows)
+	n     int               // current node count, ≥ base.N()
+	ends  int               // current edge-endpoint count (Σ row lengths)
+}
+
+// NewOverlay returns an overlay over base with an empty delta: every
+// accessor initially agrees with the base graph.
+func NewOverlay(base *Graph) *Overlay {
+	return &Overlay{
+		base:  base,
+		dirty: make(map[int32][]int32),
+		n:     base.N(),
+		ends:  len(base.neighbors),
+	}
+}
+
+// Base returns the immutable graph the overlay was built on.
+func (o *Overlay) Base() *Graph { return o.base }
+
+// N returns the current node count (base nodes plus appended ones).
+func (o *Overlay) N() int { return o.n }
+
+// BaseN returns the node count of the immutable base.
+func (o *Overlay) BaseN() int { return o.base.N() }
+
+// Mutated reports whether the overlay differs from its base at all —
+// the predicate the snapshot layer uses to keep churn-free checkpoints
+// in the old format.
+func (o *Overlay) Mutated() bool { return o.n != o.base.N() || len(o.dirty) > 0 }
+
+// Neighbors returns node i's current adjacency row: the overlay's
+// replacement row when the node was touched by churn, the zero-copy
+// base row otherwise. The returned slice is owned by the overlay and
+// must not be mutated.
+func (o *Overlay) Neighbors(i int) []int32 {
+	if row, ok := o.dirty[int32(i)]; ok {
+		return row
+	}
+	if i < o.base.N() {
+		return o.base.Neighbors(i)
+	}
+	return nil // appended node with no edges yet
+}
+
+// Degree returns the number of neighbors of node i.
+func (o *Overlay) Degree(i int) int { return len(o.Neighbors(i)) }
+
+// HasEdge reports whether nodes i and j are currently adjacent, by
+// binary search on i's sorted row (the hot predicate of delta checks on
+// high-degree graphs).
+func (o *Overlay) HasEdge(i, j int) bool {
+	row := o.Neighbors(i)
+	t := int32(j)
+	k := sort.Search(len(row), func(m int) bool { return row[m] >= t })
+	return k < len(row) && row[k] == t
+}
+
+// NumEdges returns the current number of undirected edges.
+func (o *Overlay) NumEdges() int { return o.ends / 2 }
+
+// row returns a private, mutable copy-on-write row for node i.
+func (o *Overlay) row(i int32) []int32 {
+	if r, ok := o.dirty[i]; ok {
+		return r
+	}
+	var base []int32
+	if int(i) < o.base.N() {
+		base = o.base.Neighbors(int(i))
+	}
+	r := append(make([]int32, 0, len(base)+1), base...)
+	o.dirty[i] = r
+	return r
+}
+
+// insert adds t into node i's row, keeping it sorted.
+func (o *Overlay) insert(i, t int32) {
+	row := o.row(i)
+	k := sort.Search(len(row), func(m int) bool { return row[m] >= t })
+	row = append(row, 0)
+	copy(row[k+1:], row[k:])
+	row[k] = t
+	o.dirty[i] = row
+	o.ends++
+}
+
+// cut removes t from node i's row.
+func (o *Overlay) cut(i, t int32) {
+	row := o.row(i)
+	k := sort.Search(len(row), func(m int) bool { return row[m] >= t })
+	o.dirty[i] = append(row[:k], row[k+1:]...)
+	o.ends--
+}
+
+// AddNode appends a new node adjacent to the given peers (each an
+// existing node, no duplicates) and returns its id — always the current
+// N, so ids stay dense. A node may join with no peers and be wired up
+// later via AddEdge.
+func (o *Overlay) AddNode(peers ...int) int {
+	id := o.n
+	for k, p := range peers {
+		if p < 0 || p >= id {
+			panic(fmt.Sprintf("topology: overlay join peer %d out of range [0,%d)", p, id))
+		}
+		for _, q := range peers[:k] {
+			if q == p {
+				panic(fmt.Sprintf("topology: overlay join peer %d duplicated", p))
+			}
+		}
+	}
+	o.n++
+	row := make([]int32, len(peers))
+	for k, p := range peers {
+		row[k] = int32(p)
+	}
+	sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+	o.dirty[int32(id)] = row
+	o.ends += len(row)
+	for _, p := range peers {
+		o.insert(int32(p), int32(id))
+	}
+	return id
+}
+
+// AddEdge inserts the undirected edge (i, j). It panics on self-loops,
+// out-of-range ids or an edge that already exists — callers (the fault
+// plan validator, the engines' membership ops) check first via HasEdge.
+func (o *Overlay) AddEdge(i, j int) {
+	o.checkIDs("AddEdge", i, j)
+	if i == j {
+		panic(fmt.Sprintf("topology: overlay self-loop %d-%d", i, j))
+	}
+	if o.HasEdge(i, j) {
+		panic(fmt.Sprintf("topology: overlay edge (%d,%d) already present", i, j))
+	}
+	o.insert(int32(i), int32(j))
+	o.insert(int32(j), int32(i))
+}
+
+// RemoveEdge deletes the undirected edge (i, j), panicking if absent —
+// the in-place counterpart of Graph.RemoveEdge.
+func (o *Overlay) RemoveEdge(i, j int) {
+	o.checkIDs("RemoveEdge", i, j)
+	if !o.HasEdge(i, j) {
+		panic(fmt.Sprintf("topology: overlay edge (%d,%d) not present", i, j))
+	}
+	o.cut(int32(i), int32(j))
+	o.cut(int32(j), int32(i))
+}
+
+func (o *Overlay) checkIDs(op string, ids ...int) {
+	for _, i := range ids {
+		if i < 0 || i >= o.n {
+			panic(fmt.Sprintf("topology: overlay %s: node %d out of range [0,%d)", op, i, o.n))
+		}
+	}
+}
+
+// DirtyIDs returns the ids of every node whose row the overlay replaces
+// (mutated base nodes and appended nodes), in ascending order — the
+// deterministic iteration the snapshot layer serializes.
+func (o *Overlay) DirtyIDs() []int32 {
+	ids := make([]int32, 0, len(o.dirty))
+	for i := range o.dirty {
+		ids = append(ids, i)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// Grow raises the node count to n without wiring any edges, and SetRow
+// installs a verbatim replacement row. Together they are the snapshot
+// restore path: a saved overlay is rebuilt by Grow(totalN) followed by
+// SetRow for each saved dirty row. SetRow trusts its input (sorted,
+// symmetric rows come from a snapshot this package wrote); Validate
+// checks the result when in doubt.
+func (o *Overlay) Grow(n int) {
+	if n < o.n {
+		panic(fmt.Sprintf("topology: overlay Grow(%d) below current n=%d", n, o.n))
+	}
+	o.n = n
+}
+
+// SetRow installs row as node i's adjacency (see Grow).
+func (o *Overlay) SetRow(i int, row []int32) {
+	o.checkIDs("SetRow", i)
+	o.ends -= len(o.Neighbors(i))
+	o.dirty[int32(i)] = append([]int32(nil), row...)
+	o.ends += len(row)
+}
+
+// FootprintBytes returns the memory consumed by the adjacency data: the
+// shared base CSR plus the overlay delta (replacement rows at 4 bytes
+// per id, plus the map entry and slice header holding each row).
+func (o *Overlay) FootprintBytes() int {
+	const perRowOverhead = 4 + 24 + 16 // map key+header slot, slice header, bucket share (approx.)
+	total := o.base.FootprintBytes()
+	for _, row := range o.dirty {
+		total += 4*len(row) + perRowOverhead
+	}
+	return total
+}
+
+// Compact folds the overlay into a fresh immutable CSR graph containing
+// every current node and edge. The overlay remains usable afterwards;
+// the compacted graph shares no storage with it.
+func (o *Overlay) Compact() *Graph {
+	b := newBuilder(o.base.name+"+overlay", o.n).grow(o.ends)
+	for i := 0; i < o.n; i++ {
+		b.g.neighbors = append(b.g.neighbors, o.Neighbors(i)...)
+		b.g.offsets = append(b.g.offsets, int32(len(b.g.neighbors)))
+	}
+	return b.finish()
+}
+
+// Validate checks the Graph structural invariants on the overlay's
+// current view: sorted, deduplicated, symmetric, self-loop-free rows
+// with in-range ids, and a consistent edge-endpoint count.
+func (o *Overlay) Validate() error {
+	ends := 0
+	for i := 0; i < o.n; i++ {
+		row := o.Neighbors(i)
+		ends += len(row)
+		for k, j := range row {
+			if j < 0 || int(j) >= o.n {
+				return fmt.Errorf("topology overlay: node %d has out-of-range neighbor %d", i, j)
+			}
+			if int(j) == i {
+				return fmt.Errorf("topology overlay: node %d has a self-loop", i)
+			}
+			if k > 0 && row[k-1] >= j {
+				return fmt.Errorf("topology overlay: node %d row not sorted/deduplicated", i)
+			}
+			if !o.HasEdge(int(j), i) {
+				return fmt.Errorf("topology overlay: edge %d→%d not symmetric", i, j)
+			}
+		}
+	}
+	if ends != o.ends {
+		return fmt.Errorf("topology overlay: endpoint count %d inconsistent with tracked %d", ends, o.ends)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package topology_test
+
+import (
+	"sort"
+	"testing"
+
+	"pcfreduce/internal/topology"
+)
+
+// shadowGraph is the naive adjacency-map model the overlay is fuzzed
+// against: a map of neighbor sets with none of the CSR/delta machinery.
+type shadowGraph struct {
+	adj []map[int]bool
+}
+
+func newShadow(g *topology.Graph) *shadowGraph {
+	s := &shadowGraph{adj: make([]map[int]bool, g.N())}
+	for i := 0; i < g.N(); i++ {
+		s.adj[i] = make(map[int]bool)
+		for _, j := range g.Neighbors(i) {
+			s.adj[i][int(j)] = true
+		}
+	}
+	return s
+}
+
+func (s *shadowGraph) addNode(peers []int) {
+	id := len(s.adj)
+	s.adj = append(s.adj, make(map[int]bool))
+	for _, p := range peers {
+		s.adj[id][p] = true
+		s.adj[p][id] = true
+	}
+}
+
+func (s *shadowGraph) row(i int) []int32 {
+	out := make([]int32, 0, len(s.adj[i]))
+	for j := range s.adj[i] {
+		out = append(out, int32(j))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// FuzzOverlay applies a fuzzed mutation stream to an Overlay and the
+// shadow model in lockstep and requires them to agree on every
+// accessor, and the compaction to be a valid CSR graph with identical
+// rows. Op encoding (3 bytes per op): opcode, then two operand bytes
+// reduced mod the current node count.
+func FuzzOverlay(f *testing.F) {
+	f.Add(uint8(0), []byte{0, 1, 2, 1, 0, 3, 2, 0, 3})
+	f.Add(uint8(1), []byte{2, 0, 1, 2, 1, 2, 0, 5, 5, 1, 0, 1})
+	f.Add(uint8(2), []byte{0, 0, 0, 0, 1, 1, 1, 2, 3, 2, 2, 3})
+	f.Add(uint8(3), []byte{1, 4, 2, 2, 4, 2, 0, 7, 7, 1, 7, 0})
+	f.Fuzz(func(t *testing.T, baseKind uint8, ops []byte) {
+		var g *topology.Graph
+		switch baseKind % 4 {
+		case 0:
+			g = topology.Ring(6)
+		case 1:
+			g = topology.Path(5)
+		case 2:
+			g = topology.Hypercube(3)
+		default:
+			g = topology.Grid2D(3, 3)
+		}
+		o := topology.NewOverlay(g)
+		s := newShadow(g)
+
+		for len(ops) >= 3 && o.N() < 64 {
+			op, a, b := ops[0], int(ops[1]), int(ops[2])
+			ops = ops[3:]
+			n := o.N()
+			a, b = a%n, b%n
+			switch op % 3 {
+			case 0: // add a node joined to up to two distinct peers
+				peers := []int{a}
+				if b != a {
+					peers = append(peers, b)
+				}
+				o.AddNode(peers...)
+				s.addNode(peers)
+			case 1: // add edge (a,b) when legal
+				if a != b && !o.HasEdge(a, b) {
+					o.AddEdge(a, b)
+					s.adj[a][b] = true
+					s.adj[b][a] = true
+				}
+			case 2: // remove edge (a,b) when present
+				if o.HasEdge(a, b) {
+					o.RemoveEdge(a, b)
+					delete(s.adj[a], b)
+					delete(s.adj[b], a)
+				}
+			}
+		}
+
+		if o.N() != len(s.adj) {
+			t.Fatalf("N=%d, shadow %d", o.N(), len(s.adj))
+		}
+		edges := 0
+		for i := 0; i < o.N(); i++ {
+			want := s.row(i)
+			if !sameRow(o.Neighbors(i), want) {
+				t.Fatalf("row %d: overlay %v, shadow %v", i, o.Neighbors(i), want)
+			}
+			if o.Degree(i) != len(want) {
+				t.Fatalf("Degree(%d)=%d, shadow %d", i, o.Degree(i), len(want))
+			}
+			for j := 0; j < o.N(); j++ {
+				if o.HasEdge(i, j) != s.adj[i][j] {
+					t.Fatalf("HasEdge(%d,%d)=%v, shadow %v", i, j, o.HasEdge(i, j), s.adj[i][j])
+				}
+			}
+			edges += len(want)
+		}
+		if o.NumEdges() != edges/2 {
+			t.Fatalf("NumEdges=%d, shadow %d", o.NumEdges(), edges/2)
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("overlay Validate: %v", err)
+		}
+		c := o.Compact()
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Compact Validate: %v", err)
+		}
+		for i := 0; i < o.N(); i++ {
+			if !sameRow(c.Neighbors(i), o.Neighbors(i)) {
+				t.Fatalf("compacted row %d differs", i)
+			}
+		}
+	})
+}

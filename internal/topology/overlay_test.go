@@ -1,0 +1,171 @@
+package topology_test
+
+import (
+	"testing"
+
+	"pcfreduce/internal/topology"
+)
+
+func sameRow(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOverlayAgreesWithBase(t *testing.T) {
+	g := topology.Hypercube(4)
+	o := topology.NewOverlay(g)
+	if o.N() != g.N() || o.BaseN() != g.N() || o.NumEdges() != g.NumEdges() {
+		t.Fatalf("fresh overlay shape mismatch: N=%d edges=%d", o.N(), o.NumEdges())
+	}
+	if o.Mutated() {
+		t.Fatal("fresh overlay reports Mutated")
+	}
+	for i := 0; i < g.N(); i++ {
+		if !sameRow(o.Neighbors(i), g.Neighbors(i)) {
+			t.Fatalf("row %d differs from base", i)
+		}
+		if o.Degree(i) != g.Degree(i) {
+			t.Fatalf("degree %d differs from base", i)
+		}
+		for j := 0; j < g.N(); j++ {
+			if o.HasEdge(i, j) != g.HasEdge(i, j) {
+				t.Fatalf("HasEdge(%d,%d) differs from base", i, j)
+			}
+		}
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestOverlayMutations(t *testing.T) {
+	g := topology.Ring(6)
+	o := topology.NewOverlay(g)
+
+	id := o.AddNode(0, 3)
+	if id != 6 {
+		t.Fatalf("AddNode returned %d, want 6", id)
+	}
+	if !o.HasEdge(6, 0) || !o.HasEdge(0, 6) || !o.HasEdge(6, 3) {
+		t.Fatal("join edges missing")
+	}
+	o.AddEdge(6, 2)
+	o.RemoveEdge(0, 1)
+	if o.HasEdge(0, 1) || o.HasEdge(1, 0) {
+		t.Fatal("removed edge still present")
+	}
+	if !o.Mutated() {
+		t.Fatal("overlay not marked Mutated after churn")
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("Validate after churn: %v", err)
+	}
+	// Ring(6) has 6 edges; +2 join edges +1 added −1 removed = 8.
+	if o.NumEdges() != 8 {
+		t.Fatalf("NumEdges=%d, want 8", o.NumEdges())
+	}
+
+	c := o.Compact()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Compact().Validate: %v", err)
+	}
+	if c.N() != o.N() || c.NumEdges() != o.NumEdges() {
+		t.Fatalf("compacted shape mismatch: N=%d edges=%d", c.N(), c.NumEdges())
+	}
+	for i := 0; i < o.N(); i++ {
+		if !sameRow(c.Neighbors(i), o.Neighbors(i)) {
+			t.Fatalf("compacted row %d differs from overlay", i)
+		}
+	}
+}
+
+func TestOverlayGrowSetRowRestore(t *testing.T) {
+	g := topology.Path(4)
+	src := topology.NewOverlay(g)
+	src.AddNode(1, 3)
+	src.RemoveEdge(0, 1)
+
+	dst := topology.NewOverlay(g)
+	dst.Grow(src.N())
+	for _, id := range src.DirtyIDs() {
+		dst.SetRow(int(id), src.Neighbors(int(id)))
+	}
+	if err := dst.Validate(); err != nil {
+		t.Fatalf("restored overlay invalid: %v", err)
+	}
+	for i := 0; i < src.N(); i++ {
+		if !sameRow(dst.Neighbors(i), src.Neighbors(i)) {
+			t.Fatalf("restored row %d differs", i)
+		}
+	}
+	if dst.NumEdges() != src.NumEdges() {
+		t.Fatalf("restored NumEdges=%d, want %d", dst.NumEdges(), src.NumEdges())
+	}
+}
+
+func TestOverlayFootprintGrows(t *testing.T) {
+	g := topology.Torus2D(8, 8)
+	o := topology.NewOverlay(g)
+	base := o.FootprintBytes()
+	if base < g.FootprintBytes() {
+		t.Fatalf("overlay footprint %d below base %d", base, g.FootprintBytes())
+	}
+	o.AddNode(0, 1, 2)
+	if o.FootprintBytes() <= base {
+		t.Fatal("footprint did not grow with the delta")
+	}
+}
+
+func TestOverlayPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	g := topology.Ring(4)
+	o := topology.NewOverlay(g)
+	mustPanic("AddEdge existing", func() { o.AddEdge(0, 1) })
+	mustPanic("AddEdge self-loop", func() { o.AddEdge(2, 2) })
+	mustPanic("AddEdge out of range", func() { o.AddEdge(0, 99) })
+	mustPanic("RemoveEdge absent", func() { o.RemoveEdge(0, 2) })
+	mustPanic("AddNode bad peer", func() { o.AddNode(99) })
+	mustPanic("AddNode dup peer", func() { o.AddNode(1, 1) })
+}
+
+// TestChurnDisconnection pins the documented behavior of IsConnected and
+// Diameter on graphs that churn has split: removing a bridge leaves
+// IsConnected false and Diameter −1, on both the live overlay's
+// compaction and Graph.RemoveEdge.
+func TestChurnDisconnection(t *testing.T) {
+	g := topology.Path(6) // every edge is a bridge
+	o := topology.NewOverlay(g)
+	o.RemoveEdge(2, 3)
+	c := o.Compact()
+	if c.IsConnected() {
+		t.Fatal("overlay-split path reports connected")
+	}
+	if d := c.Diameter(); d != -1 {
+		t.Fatalf("Diameter on disconnected graph = %d, want -1", d)
+	}
+	r := g.RemoveEdge(2, 3)
+	if r.IsConnected() || r.Diameter() != -1 {
+		t.Fatal("RemoveEdge-split path not reported disconnected")
+	}
+	// Leaf departure via overlay: node 5 loses its only edge.
+	o2 := topology.NewOverlay(g)
+	o2.RemoveEdge(4, 5)
+	if c2 := o2.Compact(); c2.IsConnected() || c2.Diameter() != -1 {
+		t.Fatal("leaf-isolated path not reported disconnected")
+	}
+}
