@@ -3,14 +3,19 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
 	"testing"
+	"time"
 
 	"pcfreduce/internal/checkpoint"
+	"pcfreduce/internal/core"
+	"pcfreduce/internal/dmgs"
 	"pcfreduce/internal/experiments"
 	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/linalg"
 	"pcfreduce/internal/sim"
 	"pcfreduce/internal/topology"
 )
@@ -37,11 +42,16 @@ type benchEntry struct {
 }
 
 // scalingEntry is one point of the n-scaling series: the same PCF round
-// on the sequential executor and on the sharded one.
+// on the sequential executor and on the sharded one. GoMaxProcs records
+// the core budget the row was measured under — a sharded_speedup above 1
+// with gomaxprocs=1 is a schedule win (no shuffle pass), not parallel
+// scaling, and the gate uses the field to grant leniency when it runs
+// on fewer cores than the recorder.
 type scalingEntry struct {
 	Topology          string  `json:"topology"`
 	N                 int     `json:"n"`
 	Shards            int     `json:"shards"`
+	GoMaxProcs        int     `json:"gomaxprocs"`
 	SequentialNsPerOp float64 `json:"sequential_ns_per_op"`
 	ShardedNsPerOp    float64 `json:"sharded_ns_per_op"`
 	Speedup           float64 `json:"sharded_speedup"`
@@ -63,8 +73,61 @@ type millionEntry struct {
 	N           int     `json:"n"`
 	Algorithm   string  `json:"algorithm"`
 	Shards      int     `json:"shards"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
 	StepNsPerOp float64 `json:"step_ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// kValueEntry is one row of the k-value batching series: the per-round
+// cost of ONE width-k engine (k values reduced together) against k
+// independent width-1 rounds of the same algorithm on the same graph.
+// batched_speedup = k·scalar_ns / batched_ns; it is a same-machine
+// ratio, so unlike raw ns it transfers across hosts and core counts,
+// which is what lets the gate hold it to a floor.
+type kValueEntry struct {
+	Topology          string  `json:"topology"`
+	N                 int     `json:"n"`
+	Algorithm         string  `json:"algorithm"`
+	K                 int     `json:"k"`
+	GoMaxProcs        int     `json:"gomaxprocs"`
+	ScalarNsPerRound  float64 `json:"scalar_ns_per_round"`
+	BatchedNsPerRound float64 `json:"batched_ns_per_round"`
+	BatchedSpeedup    float64 `json:"batched_speedup"`
+}
+
+// dmgsBatchEntry compares the classic dmGS reduction schedule (2m−1
+// scalar-family reductions per factorization) against the batched one
+// (m fused width-(m−k) reductions) end to end: wall clock, reduction
+// count and total gossip rounds. The round counts are deterministic for
+// a fixed seed, so the gate re-derives and pins them exactly; the wall
+// clock is the headline "k-batching makes QR cheaper" number.
+type dmgsBatchEntry struct {
+	Topology           string  `json:"topology"`
+	N                  int     `json:"n"`
+	M                  int     `json:"m"`
+	Seed               int64   `json:"seed"`
+	GoMaxProcs         int     `json:"gomaxprocs"`
+	LegacyReductions   int     `json:"legacy_reductions"`
+	BatchedReductions  int     `json:"batched_reductions"`
+	LegacyTotalRounds  int     `json:"legacy_total_rounds"`
+	BatchedTotalRounds int     `json:"batched_total_rounds"`
+	LegacyMs           float64 `json:"legacy_ms"`
+	BatchedMs          float64 `json:"batched_ms"`
+	WallClockSpeedup   float64 `json:"wall_clock_speedup"`
+}
+
+// partitionEntry records the cut-edge quality of the two shard layouts
+// on one topology family. Both partitioners are deterministic, so these
+// numbers are exactly reproducible and the gate re-derives them; the
+// contract under test is CacheAwareCut ≤ ContiguousCut on every graph.
+type partitionEntry struct {
+	Topology      string `json:"topology"`
+	N             int    `json:"n"`
+	Shards        int    `json:"shards"`
+	TotalEdges    int    `json:"total_edges"`
+	ContiguousCut int    `json:"contiguous_cut_edges"`
+	CacheAwareCut int    `json:"cache_aware_cut_edges"`
+	Strategy      string `json:"cache_aware_strategy"`
 }
 
 // snapshotCost records what a full-state checkpoint costs at
@@ -105,6 +168,14 @@ type benchReport struct {
 	MillionNode *millionEntry    `json:"million_node,omitempty"`
 	Footprint   []footprintEntry `json:"memory_footprint,omitempty"`
 
+	// KValueBatching measures reducing k values in one width-k run
+	// against k scalar runs; DmgsBatching is the end-to-end dmGS
+	// payoff; PartitionQuality is the deterministic cut-edge table of
+	// the contiguous vs cache-aware shard layouts.
+	KValueBatching   []kValueEntry    `json:"k_value_batching,omitempty"`
+	DmgsBatching     *dmgsBatchEntry  `json:"dmgs_batching,omitempty"`
+	PartitionQuality []partitionEntry `json:"partition_quality,omitempty"`
+
 	// SnapshotCost is the checkpoint subsystem's price tag, recorded by
 	// -bench-snapshot and re-checked by -bench-gate.
 	SnapshotCost *snapshotCost `json:"snapshot_cost,omitempty"`
@@ -139,6 +210,115 @@ func benchRound(e *sim.Engine) testing.BenchmarkResult {
 			e.Errors()
 		}
 	})
+}
+
+// vecInputs builds n width-k input vectors whose component c is the
+// scalar UniformInputs series with seed+c — k unrelated reductions
+// riding in one engine, the batching scenario.
+func vecInputs(n, k int, seed int64) []gossip.Value {
+	cols := make([][]float64, k)
+	for c := range cols {
+		cols[c] = experiments.UniformInputs(n, seed+int64(c))
+	}
+	init := make([]gossip.Value, n)
+	for i := range init {
+		v := gossip.NewValue(k)
+		for c := 0; c < k; c++ {
+			v.X[c] = cols[c][i]
+		}
+		v.W = gossip.Average.InitialWeight(i)
+		init[i] = v
+	}
+	return init
+}
+
+// measureKRound measures one Step+Errors round of a width-k PCF engine
+// on g, in ns. Shared between -bench-json, -bench-gate and -bench-smoke
+// so all three time exactly the same operation.
+func measureKRound(g *topology.Graph, k int, seed int64) float64 {
+	n := g.N()
+	e := sim.New(g, experiments.PCF.Protos(n), vecInputs(n, k, seed), seed)
+	defer e.Close()
+	return float64(benchRound(e).NsPerOp())
+}
+
+// measureDmgsBatching factorizes one fixed 64×8 matrix on the
+// 6-hypercube with the classic and the batched dmGS schedule (best of
+// three wall-clock runs each). The reduction and round counts are
+// seed-deterministic, which is what lets the gate pin them bitwise.
+func measureDmgsBatching(seed int64) *dmgsBatchEntry {
+	g := topology.Hypercube(6)
+	const m = 8
+	v := linalg.Random(g.N(), m, seed)
+	run := func(batched bool) (dmgs.Result, float64) {
+		var res dmgs.Result
+		best := math.Inf(1)
+		for rep := 0; rep < 3; rep++ {
+			cfg := dmgs.Config{
+				Topology:    g,
+				NewProtocol: func() gossip.Protocol { return core.NewEfficient() },
+				Eps:         1e-15,
+				MaxRounds:   3000,
+				StallRounds: 60,
+				Seed:        seed,
+				Batched:     batched,
+			}
+			start := time.Now()
+			r, err := dmgs.Factorize(v, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if el := float64(time.Since(start).Nanoseconds()); el < best {
+				best = el
+				res = r
+			}
+		}
+		return res, best
+	}
+	legacy, legacyNs := run(false)
+	batched, batchedNs := run(true)
+	return &dmgsBatchEntry{
+		Topology:           g.Name(),
+		N:                  g.N(),
+		M:                  m,
+		Seed:               seed,
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		LegacyReductions:   legacy.Reductions,
+		BatchedReductions:  batched.Reductions,
+		LegacyTotalRounds:  legacy.TotalRounds,
+		BatchedTotalRounds: batched.TotalRounds,
+		LegacyMs:           legacyNs / 1e6,
+		BatchedMs:          batchedNs / 1e6,
+		WallClockSpeedup:   legacyNs / batchedNs,
+	}
+}
+
+// partitionQualityRows derives the deterministic cut-edge table for the
+// families where layout matters: lattices and trees, where the BFS
+// graph-growing pass beats contiguous id ranges, plus the hypercube,
+// where contiguous blocks are already subcubes and CacheAware must fall
+// back to them rather than make things worse.
+func partitionQualityRows(shards int) []partitionEntry {
+	var rows []partitionEntry
+	for _, g := range []*topology.Graph{
+		topology.Hypercube(10),
+		topology.Grid2D(256, 256),
+		topology.Torus2D(128, 128),
+		topology.BinaryTree(1<<15 - 1),
+	} {
+		contig := topology.Contiguous(g, shards)
+		ca := topology.CacheAware(g, shards)
+		rows = append(rows, partitionEntry{
+			Topology:      g.Name(),
+			N:             g.N(),
+			Shards:        shards,
+			TotalEdges:    contig.Stats.TotalEdges,
+			ContiguousCut: contig.Stats.CutEdges,
+			CacheAwareCut: ca.Stats.CutEdges,
+			Strategy:      ca.Stats.Strategy,
+		})
+	}
+	return rows
 }
 
 // writeBenchJSON measures the simulator hot path — the per-algorithm
@@ -200,6 +380,7 @@ func writeBenchJSON(path string, seed int64, shards int) {
 			Topology:          sg.Name(),
 			N:                 n,
 			Shards:            shards,
+			GoMaxProcs:        rep.GoMaxProcs,
 			SequentialNsPerOp: float64(seq.NsPerOp()),
 			ShardedNsPerOp:    float64(shd.NsPerOp()),
 			Speedup:           float64(seq.NsPerOp()) / float64(shd.NsPerOp()),
@@ -208,6 +389,45 @@ func writeBenchJSON(path string, seed int64, shards int) {
 		rep.NScaling = append(rep.NScaling, ent)
 		fmt.Fprintf(os.Stderr, "scale %-16s n=%-7d seq %12.0f ns/op  sharded(%d) %12.0f ns/op  %.2fx\n",
 			ent.Topology, n, ent.SequentialNsPerOp, shards, ent.ShardedNsPerOp, ent.Speedup)
+	}
+
+	// k-value batching: one width-k round vs k width-1 rounds on the
+	// n=1024 hypercube. The scalar reference is measured once through
+	// the same sim.New construction path as the batched engines.
+	kg := topology.Hypercube(10)
+	scalarNs := measureKRound(kg, 1, seed)
+	for _, k := range []int{1, 4, 16} {
+		batchedNs := scalarNs
+		if k > 1 {
+			batchedNs = measureKRound(kg, k, seed)
+		}
+		ent := kValueEntry{
+			Topology:          kg.Name(),
+			N:                 kg.N(),
+			Algorithm:         experiments.PCF.Name,
+			K:                 k,
+			GoMaxProcs:        rep.GoMaxProcs,
+			ScalarNsPerRound:  scalarNs,
+			BatchedNsPerRound: batchedNs,
+			BatchedSpeedup:    float64(k) * scalarNs / batchedNs,
+		}
+		rep.KValueBatching = append(rep.KValueBatching, ent)
+		fmt.Fprintf(os.Stderr, "k-batch k=%-3d scalar %10.0f ns/round  batched %10.0f ns/round  %.2fx\n",
+			k, ent.ScalarNsPerRound, ent.BatchedNsPerRound, ent.BatchedSpeedup)
+	}
+
+	// End-to-end dmGS: classic 2m−1-reduction schedule vs m fused ones.
+	rep.DmgsBatching = measureDmgsBatching(seed)
+	db := rep.DmgsBatching
+	fmt.Fprintf(os.Stderr, "dmgs %s m=%d: legacy %d reductions/%d rounds/%.0f ms, batched %d/%d/%.0f ms, %.2fx\n",
+		db.Topology, db.M, db.LegacyReductions, db.LegacyTotalRounds, db.LegacyMs,
+		db.BatchedReductions, db.BatchedTotalRounds, db.BatchedMs, db.WallClockSpeedup)
+
+	// Deterministic partition-quality table.
+	rep.PartitionQuality = partitionQualityRows(shards)
+	for _, p := range rep.PartitionQuality {
+		fmt.Fprintf(os.Stderr, "partition %-18s shards=%d cut %6d (contiguous) vs %6d (%s)\n",
+			p.Topology, p.Shards, p.ContiguousCut, p.CacheAwareCut, p.Strategy)
 	}
 
 	// Million-node round: one PCF Step+Errors on the 100x100x100 torus.
@@ -221,6 +441,7 @@ func writeBenchJSON(path string, seed int64, shards int) {
 		N:           mn,
 		Algorithm:   experiments.PCF.Name,
 		Shards:      shards,
+		GoMaxProcs:  rep.GoMaxProcs,
 		StepNsPerOp: float64(mr.NsPerOp()),
 		AllocsPerOp: mr.AllocsPerOp(),
 	}

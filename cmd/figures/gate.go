@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"os"
+	"runtime"
 
 	"pcfreduce/internal/experiments"
 	"pcfreduce/internal/gossip"
@@ -29,6 +30,20 @@ const gateTolerance = 1.05
 // node) cost 5–10×. The byte-size check below is the tight one: the
 // encoding is deterministic, so any growth is a real format change.
 const snapshotGateTolerance = 2.0
+
+// kValueGateFloor is the minimum batched speedup (k·scalar_ns /
+// batched_ns) the largest recorded k row must reproduce on the gate
+// machine. The ratio compares two measurements taken on the SAME host,
+// so unlike raw ns it is machine-independent: a width-16 round doing
+// 16 reductions' worth of work must beat 16 separate rounds by at
+// least this factor on any hardware, or per-value overhead has crept
+// into the batched path.
+const kValueGateFloor = 1.5
+
+// kValueDriftTolerance bounds how far the measured batched speedup may
+// fall below the recorded one before the gate fails (ratio-of-ratios;
+// loose because best-of-3 ratios still carry scheduling noise).
+const kValueDriftTolerance = 1.4
 
 // runBenchGate is the CI regression gate: it re-measures the largest
 // n-scaling point of the recorded baseline (the sharded PCF round at
@@ -77,6 +92,20 @@ func runBenchGate(path string, seed int64) {
 	allowed := base.ShardedNsPerOp * scale * gateTolerance
 	measured := float64(shd.NsPerOp())
 	fmt.Printf("bench-gate %s n=%d shards=%d (metrics disabled)\n", g.Name(), n, base.Shards)
+	// The sequential calibration captures single-core speed only. When
+	// the baseline was recorded on more usable cores than this host has,
+	// its sharded round genuinely ran in parallel and ours cannot; widen
+	// the budget by the lost parallel-slot ratio (leniency only — extra
+	// cores on the gate machine never tighten the gate).
+	if base.GoMaxProcs > 0 {
+		recordedSlots := min(base.GoMaxProcs, base.Shards)
+		gateSlots := min(runtime.GOMAXPROCS(0), base.Shards)
+		if gateSlots < recordedSlots {
+			allowed *= float64(recordedSlots) / float64(gateSlots)
+			fmt.Printf("  multicore leniency: baseline recorded with %d shard slots, gate host has %d — budget ×%.2f\n",
+				recordedSlots, gateSlots, float64(recordedSlots)/float64(gateSlots))
+		}
+	}
 	fmt.Printf("  sequential calibration: measured %.0f ns/op vs recorded %.0f (machine scale %.3f)\n",
 		float64(seq.NsPerOp()), base.SequentialNsPerOp, scale)
 	fmt.Printf("  sharded round: measured %.0f ns/op, allowed %.0f (recorded %.0f × scale × %.2f)\n",
@@ -118,6 +147,84 @@ func runBenchGate(path string, seed int64) {
 			failed = true
 		}
 	}
+	// k-value batching gate: re-measure the largest recorded k and hold
+	// the batched speedup to max(floor, recorded/drift). Both sides of
+	// the ratio come from this host, so no machine normalization is
+	// needed or applied.
+	var kv *kValueEntry
+	for i := range rep.KValueBatching {
+		if kv == nil || rep.KValueBatching[i].K > kv.K {
+			kv = &rep.KValueBatching[i]
+		}
+	}
+	if kv != nil && kv.K > 1 {
+		if kv.N&(kv.N-1) != 0 {
+			fatal(fmt.Errorf("%s: k_value_batching n=%d is not a hypercube size", path, kv.N))
+		}
+		kg := topology.Hypercube(bits.Len(uint(kv.N)) - 1)
+		scalarNs := measureKRound(kg, 1, seed)
+		batchedNs := measureKRound(kg, kv.K, seed)
+		speedup := float64(kv.K) * scalarNs / batchedNs
+		floor := kValueGateFloor
+		if rec := kv.BatchedSpeedup / kValueDriftTolerance; rec > floor {
+			floor = rec
+		}
+		fmt.Printf("  k-value batching k=%d: measured %.2fx (scalar %.0f ns, batched %.0f ns), floor %.2fx (recorded %.2fx)\n",
+			kv.K, speedup, scalarNs, batchedNs, floor, kv.BatchedSpeedup)
+		if speedup < floor {
+			fmt.Printf("FAIL: width-%d batched round is only %.2fx faster than %d scalar rounds (floor %.2fx)\n",
+				kv.K, speedup, kv.K, floor)
+			failed = true
+		}
+	}
+
+	// dmGS batching gate: the schedule is seed-deterministic, so the
+	// reduction and round counts must reproduce the baseline bitwise,
+	// and the batched schedule must stay strictly cheaper in rounds.
+	if db := rep.DmgsBatching; db != nil {
+		m := measureDmgsBatching(db.Seed)
+		fmt.Printf("  dmgs batching %s m=%d: legacy %d reductions/%d rounds, batched %d/%d (%.2fx wall clock)\n",
+			m.Topology, m.M, m.LegacyReductions, m.LegacyTotalRounds,
+			m.BatchedReductions, m.BatchedTotalRounds, m.WallClockSpeedup)
+		if m.LegacyReductions != db.LegacyReductions || m.BatchedReductions != db.BatchedReductions ||
+			m.LegacyTotalRounds != db.LegacyTotalRounds || m.BatchedTotalRounds != db.BatchedTotalRounds {
+			fmt.Printf("FAIL: dmGS schedule drifted from the recorded deterministic counts (recorded legacy %d/%d, batched %d/%d)\n",
+				db.LegacyReductions, db.LegacyTotalRounds, db.BatchedReductions, db.BatchedTotalRounds)
+			failed = true
+		}
+		if m.BatchedTotalRounds >= m.LegacyTotalRounds {
+			fmt.Printf("FAIL: batched dmGS used %d gossip rounds, not fewer than the classic schedule's %d\n",
+				m.BatchedTotalRounds, m.LegacyTotalRounds)
+			failed = true
+		}
+	}
+
+	// Partition-quality gate: both layouts are deterministic, so the
+	// recorded table must reproduce exactly, and the cache-aware cut
+	// may never exceed the contiguous one.
+	if len(rep.PartitionQuality) > 0 {
+		rows := partitionQualityRows(rep.PartitionQuality[0].Shards)
+		if len(rows) != len(rep.PartitionQuality) {
+			fmt.Printf("FAIL: partition_quality has %d recorded rows, gate derives %d\n",
+				len(rep.PartitionQuality), len(rows))
+			failed = true
+		} else {
+			for i, row := range rows {
+				if row != rep.PartitionQuality[i] {
+					fmt.Printf("FAIL: partition row %s/%d drifted: recorded %+v, derived %+v\n",
+						row.Topology, row.Shards, rep.PartitionQuality[i], row)
+					failed = true
+				}
+				if row.CacheAwareCut > row.ContiguousCut {
+					fmt.Printf("FAIL: cache-aware layout cuts %d edges on %s, contiguous cuts %d\n",
+						row.CacheAwareCut, row.Topology, row.ContiguousCut)
+					failed = true
+				}
+			}
+		}
+		fmt.Printf("  partition quality: %d rows reproduced deterministically\n", len(rows))
+	}
+
 	if failed {
 		os.Exit(1)
 	}

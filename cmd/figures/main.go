@@ -41,6 +41,8 @@ func main() {
 		benchGate = flag.String("bench-gate", "", "re-measure the sharded PCF round (metrics disabled) against the recorded baseline in this JSON file and exit non-zero on a >5% ns/op or any allocs/op regression")
 		benchSnap = flag.String("bench-snapshot", "", "measure the million-node snapshot/encode cost and merge it into this JSON file, preserving the other recorded baselines")
 
+		benchSmoke = flag.Bool("bench-smoke", false, "fast machine-independent CI check: cross-layout bitwise identity, k-value batching speedup floor and the cache-aware partition contract")
+
 		shards     = flag.Int("shards", 8, "shard count for the sharded-executor series of -bench-json")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -148,6 +150,10 @@ func main() {
 	}
 	if *benchGate != "" {
 		runBenchGate(*benchGate, *seed)
+		ran = true
+	}
+	if *benchSmoke {
+		runBenchSmoke(*seed)
 		ran = true
 	}
 	if !ran {

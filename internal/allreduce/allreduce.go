@@ -113,6 +113,121 @@ func TreeReduceBroadcast(values []float64, drop DropFunc) Result {
 	return res
 }
 
+// VecResult describes one vector-valued (batched) allreduce execution.
+type VecResult struct {
+	// Values holds each node's final width-k result vector.
+	Values [][]float64
+	// Steps is the number of communication steps executed.
+	Steps int
+	// Messages is the total number of point-to-point messages sent —
+	// each carrying all k components, which is the point of batching:
+	// the message count matches the scalar algorithm's while moving k
+	// values per message.
+	Messages int
+}
+
+// RecursiveDoublingVec is the vector-valued (batched) form of
+// RecursiveDoubling: every node contributes a width-k vector and each
+// exchange moves the whole vector in one message. Component c of the
+// result equals a scalar RecursiveDoubling over component c with the
+// same DropFunc — a dropped message loses all k components at once.
+// All vectors must share one width; n must be a power of two.
+func RecursiveDoublingVec(values [][]float64, drop DropFunc) VecResult {
+	n := len(values)
+	if n == 0 || n&(n-1) != 0 {
+		panic("allreduce: recursive doubling requires a power-of-two node count")
+	}
+	k := width(values)
+	cur := cloneVecs(values, k)
+	next := make([][]float64, n)
+	for i := range next {
+		next[i] = make([]float64, k)
+	}
+	res := VecResult{Steps: bits.Len(uint(n)) - 1}
+	for s := 0; s < res.Steps; s++ {
+		for i := 0; i < n; i++ {
+			partner := i ^ (1 << uint(s))
+			res.Messages++ // one message partner→i carries all k components
+			lost := drop != nil && drop(s, partner, i)
+			for c := 0; c < k; c++ {
+				recv := 0.0
+				if !lost {
+					recv = cur[partner][c]
+				}
+				next[i][c] = cur[i][c] + recv
+			}
+		}
+		cur, next = next, cur
+	}
+	res.Values = cur
+	return res
+}
+
+// TreeReduceBroadcastVec is the vector-valued (batched) form of
+// TreeReduceBroadcast. Works for any n ≥ 1; all vectors must share one
+// width.
+func TreeReduceBroadcastVec(values [][]float64, drop DropFunc) VecResult {
+	n := len(values)
+	if n == 0 {
+		panic("allreduce: empty input")
+	}
+	k := width(values)
+	cur := cloneVecs(values, k)
+	res := VecResult{}
+	logn := 0
+	for 1<<uint(logn) < n {
+		logn++
+	}
+	for s := 0; s < logn; s++ {
+		for i := 0; i < n; i++ {
+			if i&(1<<uint(s)) == 0 || i&((1<<uint(s))-1) != 0 {
+				continue
+			}
+			parent := i &^ (1 << uint(s))
+			res.Messages++
+			if drop == nil || !drop(s, i, parent) {
+				for c := 0; c < k; c++ {
+					cur[parent][c] += cur[i][c]
+				}
+			}
+		}
+	}
+	for s := logn - 1; s >= 0; s-- {
+		for i := 0; i < n; i++ {
+			if i&(1<<uint(s)) == 0 || i&((1<<uint(s))-1) != 0 {
+				continue
+			}
+			parent := i &^ (1 << uint(s))
+			res.Messages++
+			if drop == nil || !drop(logn+(logn-1-s), parent, i) {
+				copy(cur[i], cur[parent])
+			}
+		}
+	}
+	res.Steps = 2 * logn
+	res.Values = cur
+	return res
+}
+
+// width returns the shared vector width, panicking on a ragged input.
+func width(values [][]float64) int {
+	k := len(values[0])
+	for _, v := range values {
+		if len(v) != k {
+			panic("allreduce: ragged vector widths")
+		}
+	}
+	return k
+}
+
+func cloneVecs(values [][]float64, k int) [][]float64 {
+	out := make([][]float64, len(values))
+	for i, v := range values {
+		out[i] = append(make([]float64, 0, k), v...)
+	}
+	return out
+}
+
 // WrongNodes counts how many entries of got differ from want by more
 // than tol in relative terms — the "wrong result on many nodes" metric
 // of the fragility experiment.

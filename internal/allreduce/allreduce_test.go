@@ -142,3 +142,75 @@ func TestQuickAgreesWithOracle(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// vecInput builds n width-k vectors with distinct per-component values.
+func vecInput(n, k int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, k)
+		for c := 0; c < k; c++ {
+			out[i][c] = float64(i+1) * float64(c+1)
+		}
+	}
+	return out
+}
+
+// Each component of a batched run must be bitwise identical to a scalar
+// run over that component with the same drop schedule — including k=1,
+// which pins the batched path as a strict generalization. Message counts
+// must match the scalar algorithm's: batching moves k values per
+// message, not k messages.
+func TestVecMatchesScalarPerComponent(t *testing.T) {
+	drop := func(step, from, to int) bool { return to == 0 && step == 1 }
+	for _, k := range []int{1, 2, 4, 16} {
+		for _, d := range []DropFunc{nil, drop} {
+			n := 64
+			in := vecInput(n, k)
+			rd := RecursiveDoublingVec(in, d)
+			tr := TreeReduceBroadcastVec(in, d)
+			for c := 0; c < k; c++ {
+				comp := make([]float64, n)
+				for i := range comp {
+					comp[i] = in[i][c]
+				}
+				srd := RecursiveDoubling(comp, d)
+				str := TreeReduceBroadcast(comp, d)
+				for i := 0; i < n; i++ {
+					if rd.Values[i][c] != srd.Values[i] {
+						t.Fatalf("k=%d comp %d node %d: vec RD %g, scalar %g", k, c, i, rd.Values[i][c], srd.Values[i])
+					}
+					if tr.Values[i][c] != str.Values[i] {
+						t.Fatalf("k=%d comp %d node %d: vec tree %g, scalar %g", k, c, i, tr.Values[i][c], str.Values[i])
+					}
+				}
+				if rd.Messages != srd.Messages || rd.Steps != srd.Steps {
+					t.Fatalf("k=%d: vec RD moved %d msgs/%d steps, scalar %d/%d", k, rd.Messages, rd.Steps, srd.Messages, srd.Steps)
+				}
+				if tr.Messages != str.Messages || tr.Steps != str.Steps {
+					t.Fatalf("k=%d: vec tree moved %d msgs/%d steps, scalar %d/%d", k, tr.Messages, tr.Steps, str.Messages, str.Steps)
+				}
+			}
+		}
+	}
+}
+
+func TestVecPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"non-power-of-two": func() { RecursiveDoublingVec(vecInput(6, 2), nil) },
+		"empty":            func() { TreeReduceBroadcastVec(nil, nil) },
+		"ragged": func() {
+			in := vecInput(4, 2)
+			in[2] = in[2][:1]
+			RecursiveDoublingVec(in, nil)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

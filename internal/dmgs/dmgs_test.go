@@ -252,3 +252,115 @@ func TestDeterminism(t *testing.T) {
 		t.Fatal("round counts differ")
 	}
 }
+
+// Batched mode: m reductions instead of 2m−1, same factorization
+// quality, and a strictly smaller total round count (the fused
+// reductions amortize the per-reduction convergence tail).
+func TestBatchedFactorize(t *testing.T) {
+	g := topology.Hypercube(4)
+	v := linalg.Random(16, 6, 2)
+	legacy, err := Factorize(v, pcfConfig(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pcfConfig(g)
+	cfg.Batched = true
+	res, err := Factorize(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reductions != 6 {
+		t.Fatalf("batched reductions = %d, want m=6", res.Reductions)
+	}
+	if fe := linalg.FactorizationError(v, res.Q, res.R); fe > 1e-12 {
+		t.Fatalf("batched factorization error %.3e", fe)
+	}
+	if oe := linalg.OrthogonalityError(res.Q); oe > 1e-12 {
+		t.Fatalf("batched orthogonality error %.3e", oe)
+	}
+	ref, err := linalg.MGS(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.R.Equal(ref.R, 1e-11) || !res.Q.Equal(ref.Q, 1e-11) {
+		t.Fatal("batched factors deviate from sequential MGS")
+	}
+	if res.TotalRounds >= legacy.TotalRounds {
+		t.Fatalf("batched mode did not reduce gossip rounds: %d vs legacy %d",
+			res.TotalRounds, legacy.TotalRounds)
+	}
+	// Most fused reductions hit Eps; a few may stall at an accuracy
+	// floor marginally above the 1e-15 target — the factorization-error
+	// bound above is the real quality gate.
+	if res.ConvergedReductions == 0 {
+		t.Fatal("batched: no reduction converged")
+	}
+}
+
+// The batched schedule survives message loss exactly like the classic
+// one — the fused reduction is still the same fault-tolerant black box.
+func TestBatchedUnderMessageLoss(t *testing.T) {
+	g := topology.Hypercube(4)
+	v := linalg.Random(16, 4, 21)
+	cfg := pcfConfig(g)
+	cfg.Batched = true
+	nextSeed := int64(0)
+	cfg.Interceptor = func() sim.Interceptor {
+		nextSeed++
+		return fault.NewLoss(0.1, nextSeed)
+	}
+	res, err := Factorize(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe := linalg.FactorizationError(v, res.Q, res.R); fe > 1e-11 {
+		t.Fatalf("batched factorization error under loss %.3e", fe)
+	}
+}
+
+// A multi-shard cache-aware engine under the batched schedule is
+// byte-identical to the single-shard reference — the executor
+// determinism contract carries through the dmGS caller, options and
+// all. (The reference is WithShards(1), not the legacy unsharded
+// executor, whose global-RNG schedule is intentionally different.)
+func TestBatchedShardedDeterminism(t *testing.T) {
+	g := topology.Hypercube(4)
+	v := linalg.Random(16, 5, 9)
+	seq := pcfConfig(g)
+	seq.Batched = true
+	seq.Engine = []sim.EngineOption{sim.WithShards(1)}
+	a, err := Factorize(v, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := pcfConfig(g)
+	shard.Batched = true
+	shard.Engine = []sim.EngineOption{sim.WithPartition(topology.CacheAware(g, 3))}
+	b, err := Factorize(v, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.R.Equal(b.R, 0) || !a.Q.Equal(b.Q, 0) {
+		t.Fatal("sharded batched factorization deviates from sequential")
+	}
+	if a.TotalRounds != b.TotalRounds || a.RDisagreement != b.RDisagreement {
+		t.Fatalf("counters diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestBatchedOnReductionHook(t *testing.T) {
+	g := topology.Hypercube(3)
+	v := linalg.Random(8, 3, 2)
+	cfg := pcfConfig(g)
+	cfg.Batched = true
+	var seen []int
+	cfg.OnReduction = func(index int, res sim.Result) {
+		seen = append(seen, index)
+	}
+	if _, err := Factorize(v, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 { // m with m=3
+		t.Fatalf("hook saw %d reductions, want 3", len(seen))
+	}
+}

@@ -130,13 +130,28 @@ func Solve(a *linalg.Matrix, cfg Config) (Result, error) {
 	res := Result{}
 	// reduce performs one vector-valued gossip SUM; every node gets its
 	// own estimate, and node 0's estimate is used for the replicated
-	// quantities (all copies agree to ReductionEps).
+	// quantities (all copies agree to ReductionEps). One engine serves
+	// every iteration: the width n·m never changes, so ResetWithInputs
+	// rewinds it with the next seed and partials while keeping the
+	// message pools and width-n·m scratch buffers allocated — the
+	// dominant allocation of the solver.
+	var eng *sim.Engine
+	defer func() {
+		if eng != nil {
+			eng.Close()
+		}
+	}()
 	reduce := func(partials []gossip.Value) [][]float64 {
-		e := sim.New(cfg.Topology, protos, partials, cfg.Seed+int64(res.Reductions), sim.WithVectorScaleErrors())
-		r := e.Run(sim.RunConfig{MaxRounds: cfg.ReductionMaxRounds, Eps: cfg.ReductionEps, StallRounds: 60})
+		seed := cfg.Seed + int64(res.Reductions)
+		if eng == nil {
+			eng = sim.New(cfg.Topology, protos, partials, seed, sim.WithVectorScaleErrors())
+		} else {
+			eng.ResetWithInputs(seed, partials)
+		}
+		r := eng.Run(sim.RunConfig{MaxRounds: cfg.ReductionMaxRounds, Eps: cfg.ReductionEps, StallRounds: 60})
 		res.Reductions++
 		res.TotalRounds += r.Rounds
-		return e.Estimates()
+		return eng.Estimates()
 	}
 
 	// Deterministic full-rank start: V = the first m columns of the

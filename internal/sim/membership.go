@@ -10,7 +10,9 @@ package sim
 //
 // Determinism: membership operations fire between rounds (fault.Plan
 // applies them in the serial OnRound phase), joined nodes are appended
-// to the LAST shard so the contiguous shard layout is preserved, the
+// to the LAST shard so every shard list stays ascending (a join's id is
+// always the current maximum, and under the default layout the
+// concatenation stays contiguous), the
 // joined node's RNG stream is derived from (seed, id) exactly like
 // every construction-time stream, and per-link loss draws happen in the
 // serial merge phase from a dedicated splitmix64 stream — so a churned
@@ -147,11 +149,12 @@ func (e *Engine) JoinNode(id int, value float64, peers []int) {
 		e.lastSent = append(e.lastSent, make([]int, id+1))
 	}
 	if e.shard != nil {
-		// Appending to the last shard preserves the contiguous layout, and
-		// the id-derived stream makes the node's schedule P-independent.
+		// Appending to the last shard keeps its id list ascending (a join's
+		// id is always the current maximum), and the id-derived stream makes
+		// the node's schedule P-independent.
 		e.shard.nodeRNG = append(e.shard.nodeRNG, mix64(uint64(e.seed)^(uint64(id)+1)*0x632BE59BD9B4E019))
 		e.shard.shardOf = append(e.shard.shardOf, int32(e.shards-1))
-		e.shard.bounds[e.shards]++
+		e.shard.nodes[e.shards-1] = append(e.shard.nodes[e.shards-1], int32(id))
 	}
 	for _, j := range peers {
 		e.membership(j).OnNeighborJoin(id)
@@ -483,7 +486,7 @@ func (e *Engine) dropMembership() {
 		if e.shard != nil {
 			e.shard.nodeRNG = e.shard.nodeRNG[:n]
 			e.shard.shardOf = e.shard.shardOf[:n]
-			e.shard.bounds[e.shards] = n
+			e.shard.nodes[e.shards-1] = e.shard.nodes[e.shards-1][:e.shard.baseLast]
 		}
 	}
 	e.overlay = nil

@@ -1,0 +1,244 @@
+package sim_test
+
+// Cross-path differential suite for the parallel executor: every
+// combination of worker parallelism (GOMAXPROCS raised so the pool
+// actually fans out, exercised under -race), shard count ∈ {1,2,3,8}
+// and partitioner ∈ {contiguous, cache-aware} must produce
+// byte-identical state to the sequential WithShards(1) reference, under
+// a fault-free run, a silent-crash + transient-outage plan observed
+// only through the failure detector, and an open-world churn plan with
+// per-link loss. The topology is a heap-ordered binary tree — the
+// family where the cache-aware BFS layout actually diverges from the
+// contiguous one (on hypercubes it falls back) — plus a hypercube for
+// the fallback path.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"pcfreduce/internal/detect"
+	"pcfreduce/internal/fault"
+	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/sim"
+	"pcfreduce/internal/topology"
+)
+
+// withParallelWorkers raises GOMAXPROCS for the duration of a test so
+// the sharded engine's worker pool genuinely runs phase 1 on multiple
+// goroutines even on a single-core host (the results are identical
+// either way — that is the property under test; raising it makes the
+// -race run exercise the real cross-goroutine paths).
+func withParallelWorkers(t *testing.T, procs int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(procs)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// layoutVariants enumerates the executor configurations under test for
+// a graph: every shard count with the contiguous layout and with the
+// cache-aware partition.
+func layoutVariants(g *topology.Graph) []struct {
+	label string
+	opt   sim.EngineOption
+} {
+	var out []struct {
+		label string
+		opt   sim.EngineOption
+	}
+	for _, p := range shardCounts {
+		out = append(out, struct {
+			label string
+			opt   sim.EngineOption
+		}{fmt.Sprintf("contiguous/P=%d", p), sim.WithShards(p)})
+		pt := topology.CacheAware(g, p)
+		out = append(out, struct {
+			label string
+			opt   sim.EngineOption
+		}{fmt.Sprintf("%s/P=%d", pt.Stats.Strategy, p), sim.WithPartition(pt)})
+	}
+	return out
+}
+
+// TestPartitionDeterminismPlain: fault-free differential over both
+// topologies, all four protocols, all layouts.
+func TestPartitionDeterminismPlain(t *testing.T) {
+	withParallelWorkers(t, 4)
+	for _, g := range []*topology.Graph{topology.BinaryTree(63), topology.Hypercube(5)} {
+		for _, tc := range allProtocols {
+			t.Run(g.Name()+"/"+tc.name, func(t *testing.T) {
+				n := g.N()
+				inputs := make([]float64, n)
+				for i := range inputs {
+					inputs[i] = float64(3*i%11) + 0.25
+				}
+				ref := sim.NewScalar(g, fuzzProtos(n, tc.mk), inputs, gossip.Average, 7, sim.WithShards(1))
+				want := fingerprintEngine(ref, 200, nil)
+				for _, v := range layoutVariants(g) {
+					eng := sim.NewScalar(g, fuzzProtos(n, tc.mk), inputs, gossip.Average, 7, v.opt)
+					got := fingerprintEngine(eng, 200, nil)
+					sameFingerprint(t, v.label+" vs sequential", want, got)
+					eng.Close()
+				}
+			})
+		}
+	}
+}
+
+// TestPartitionDeterminismFaults: silent crash + transient outage,
+// detector-observed, across all layouts on the tree topology (where the
+// cache-aware layout is genuinely non-contiguous).
+func TestPartitionDeterminismFaults(t *testing.T) {
+	withParallelWorkers(t, 4)
+	g := topology.BinaryTree(63)
+	n := g.N()
+	const crash = 9
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = float64(5*i%13) + 0.5
+	}
+	mk := allProtocols[0].mk // PCF
+	events := append(fault.LinkOutage(10, 120, 0, 1), fault.SilentNodeCrash(40, crash))
+
+	build := func(opt sim.EngineOption) shardFingerprint {
+		plan := fault.NewPlan(events...)
+		eng := sim.NewScalar(g, fuzzProtos(n, mk), inputs, gossip.Average, 11,
+			opt, sim.WithDetector(sim.DetectorConfig{Detect: detect.Config{Timeout: 30}}))
+		defer eng.Close()
+		return fingerprintEngine(eng, 400, plan.OnRound)
+	}
+
+	want := build(sim.WithShards(1))
+	if want.stats.Suspicions == 0 {
+		t.Fatal("reference run registered no suspicions — fault plan inert")
+	}
+	for _, v := range layoutVariants(g) {
+		sameFingerprint(t, v.label+" vs sequential", want, build(v.opt))
+	}
+}
+
+// TestPartitionDeterminismChurn: the open-world plan (joins, leaves,
+// rewires, per-link loss) across all layouts — joins append to the last
+// shard regardless of the layout, so churned runs stay byte-identical.
+func TestPartitionDeterminismChurn(t *testing.T) {
+	withParallelWorkers(t, 4)
+	g := topology.BinaryTree(31)
+	inputs := churnInputs(g.N())
+	for _, tc := range allProtocols {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := fault.ChurnSchedule(g, fault.ChurnOptions{Rounds: 60, Every: 6, Losses: 2}, 17)
+			build := func(opt sim.EngineOption) *sim.Engine {
+				e := sim.NewScalar(g, fuzzProtos(g.N(), tc.mk), inputs, gossip.Average, 17,
+					sim.WithJoinFactory(tc.mk), opt)
+				e.Run(sim.RunConfig{MaxRounds: 80, OnRound: plan.OnRound})
+				e.Drain()
+				return e
+			}
+			want := churnFingerprintOf(build(sim.WithShards(1)))
+			for _, v := range layoutVariants(g) {
+				e := build(v.opt)
+				sameChurnFingerprint(t, v.label+" vs sequential", want, churnFingerprintOf(e))
+				e.Close()
+			}
+		})
+	}
+}
+
+// TestPartitionSnapshotRoundTrip proves snapshots are layout-agnostic:
+// a snapshot taken mid-run on a cache-aware engine restores into a
+// contiguous engine (different shard count, too) and continues
+// byte-identically to the uninterrupted cache-aware run.
+func TestPartitionSnapshotRoundTrip(t *testing.T) {
+	withParallelWorkers(t, 4)
+	g := topology.BinaryTree(63)
+	n := g.N()
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = float64(7*i%17) + 0.125
+	}
+	mk := allProtocols[0].mk
+	pt := topology.CacheAware(g, 8)
+	if pt.Stats.Strategy != "bfs" {
+		t.Fatal("expected a genuinely non-contiguous layout on the tree")
+	}
+
+	full := sim.NewScalar(g, fuzzProtos(n, mk), inputs, gossip.Average, 23, sim.WithPartition(pt))
+	half := sim.NewScalar(g, fuzzProtos(n, mk), inputs, gossip.Average, 23, sim.WithPartition(pt))
+	for r := 0; r < 100; r++ {
+		full.Step()
+		half.Step()
+	}
+	snap, err := half.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 100; r++ {
+		full.Step()
+	}
+	want := fingerprintEngine(full, 0, nil)
+
+	restored := sim.NewScalar(g, fuzzProtos(n, mk), inputs, gossip.Average, 99, sim.WithShards(3))
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	got := fingerprintEngine(restored, 100, nil)
+	sameFingerprint(t, "restore into contiguous P=3 from bfs P=8", want, got)
+}
+
+// TestEngineCloseAndReuse: Close is idempotent and a closed engine
+// transparently restarts its worker pool on the next parallel round.
+func TestEngineCloseAndReuse(t *testing.T) {
+	withParallelWorkers(t, 4)
+	g := topology.Hypercube(4)
+	n := g.N()
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = float64(i)
+	}
+	mk := allProtocols[0].mk
+	eng := sim.NewScalar(g, fuzzProtos(n, mk), inputs, gossip.Average, 3, sim.WithShards(4))
+	want := fingerprintEngine(eng, 50, nil)
+	eng.Close()
+	eng.Close() // idempotent
+	eng.Reset(3)
+	got := fingerprintEngine(eng, 50, nil) // pool restarts lazily
+	sameFingerprint(t, "after Close+Reset", want, got)
+	eng.Close()
+}
+
+// TestResetWithInputs: ResetWithInputs must behave exactly like a
+// freshly constructed engine with the new inputs — including when the
+// value width changes between reductions (the batched-caller pattern).
+func TestResetWithInputs(t *testing.T) {
+	withParallelWorkers(t, 4)
+	g := topology.Hypercube(4)
+	n := g.N()
+	mk := allProtocols[0].mk
+
+	makeInit := func(width int, salt float64) []gossip.Value {
+		init := make([]gossip.Value, n)
+		for i := range init {
+			v := gossip.NewValue(width)
+			for k := range v.X {
+				v.X[k] = salt + float64(i*width+k)
+			}
+			v.W = gossip.Average.InitialWeight(i)
+			init[i] = v
+		}
+		return init
+	}
+
+	reused := sim.New(g, fuzzProtos(n, mk), makeInit(2, 0.5), 5, sim.WithShards(4))
+	fingerprintEngine(reused, 60, nil) // advance, then rewind with new inputs
+
+	for trial, width := range []int{2, 5, 1} {
+		seed := int64(100 + trial)
+		init := makeInit(width, float64(trial)+0.25)
+		reused.ResetWithInputs(seed, init)
+		fresh := sim.New(g, fuzzProtos(n, mk), init, seed, sim.WithShards(4))
+		wantFP := fingerprintEngine(fresh, 120, nil)
+		gotFP := fingerprintEngine(reused, 120, nil)
+		sameFingerprint(t, fmt.Sprintf("width=%d reuse vs fresh", width), wantFP, gotFP)
+	}
+	reused.Close()
+}

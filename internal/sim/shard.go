@@ -4,8 +4,8 @@ package sim
 //
 // WithShards(P) switches the engine from the legacy sequential-activation
 // round model to a *phase-split* model designed to parallelize across P
-// contiguous node shards while producing byte-identical results for every
-// shard count (including P=1):
+// node shards while producing byte-identical results for every shard
+// count (including P=1) and every shard layout:
 //
 //	Phase 1 (parallel, one worker per shard): every live node, in
 //	ascending id order within its shard, drains the inbox it was left
@@ -14,19 +14,32 @@ package sim
 //	node's own splitmix64 stream. Outgoing messages are appended to the
 //	shard's ordered outbox; nothing is delivered yet.
 //
-//	Phase 2 (serial): the shard outboxes are merged in ascending shard
-//	order — hence ascending source id order — and each message is routed
-//	through the usual dead/silenced/alive checks and the interceptor
-//	into its destination inbox, to be processed next round.
+//	Phase 2 (serial): the shard outboxes are merged in ascending GLOBAL
+//	source id order — a cursor walks every shard's outbox and the merge
+//	visits node ids 0..n−1, taking each node's sends from its owning
+//	shard's cursor — and each message is routed through the usual
+//	dead/silenced/alive checks and the interceptor into its destination
+//	inbox, to be processed next round.
 //
-// Why this is P-invariant: during phase 1 a node reads and writes only
-// its own state (protocol, detector, RNG stream, frozen inbox), so the
-// activation interleaving across shards is unobservable; and because the
-// merge runs in a fixed order that equals the single-shard order, inbox
-// contents, interceptor call sequences and message pooling are identical
-// no matter how phase 1 was scheduled. The per-node RNG streams are
-// derived from (seed, node id) alone, so the communication schedule
-// itself is P-independent.
+// Why this is invariant under both P and the shard layout: during phase
+// 1 a node reads and writes only its own state (protocol, detector, RNG
+// stream, frozen inbox), so the activation interleaving across shards is
+// unobservable; and because the merge runs in ascending source id order
+// — which is independent of how the ids were grouped into shards — inbox
+// contents, interceptor call sequences, loss draws and message pooling
+// are identical no matter how phase 1 was scheduled. The per-node RNG
+// streams are derived from (seed, node id) alone, so the communication
+// schedule itself is layout-independent. Contiguous layouts additionally
+// satisfy "ascending shard order = ascending id order", which the merge
+// exploits as a cursor-free fast path.
+//
+// Parallelism uses a persistent worker pool: the first parallel round
+// starts P−1 worker goroutines that block on a task channel; each round
+// the caller dispatches one phase-1 task per shard (running shard 0
+// itself), and the WaitGroup barrier before the merge is the round
+// barrier. Workers live until Engine.Close — or, for abandoned engines,
+// until a GC cleanup reclaims them — so steady-state rounds pay two
+// channel operations per shard instead of a goroutine spawn.
 //
 // The phase-split model is deliberately NOT schedule-compatible with the
 // legacy engine: sequential activation delivers a message sent earlier
@@ -47,6 +60,7 @@ import (
 
 	"pcfreduce/internal/gossip"
 	"pcfreduce/internal/metrics"
+	"pcfreduce/internal/topology"
 )
 
 // WithShards runs the engine's rounds in the deterministic phase-split
@@ -61,7 +75,22 @@ func WithShards(p int) EngineOption {
 	if p < 1 {
 		panic(fmt.Sprintf("sim: WithShards requires p >= 1, got %d", p))
 	}
-	return func(e *Engine) { e.shards = p }
+	return func(e *Engine) { e.shards = p; e.partition = nil }
+}
+
+// WithPartition runs the phase-split model over an explicit shard
+// layout, e.g. topology.CacheAware's minimized-cut grouping. The layout
+// is a pure performance knob: any valid partition of the engine's graph
+// produces byte-identical results to WithShards(len(pt.Shards)) — the
+// merge order is ascending global id either way — so goldens, snapshots
+// and differential suites carry over unchanged. The partition must be a
+// disjoint exact cover of the graph's nodes in ascending order per
+// shard (topology.Partition.Validate; New panics otherwise).
+func WithPartition(pt *topology.Partition) EngineOption {
+	if pt == nil || len(pt.Shards) == 0 {
+		panic("sim: WithPartition requires a non-empty partition")
+	}
+	return func(e *Engine) { e.shards = len(pt.Shards); e.partition = pt }
 }
 
 // Shards returns the configured shard count (0 when the engine runs the
@@ -72,55 +101,166 @@ func (e *Engine) Shards() int { return e.shards }
 // slices indexed by shard are touched only by the owning worker during
 // phase 1 and only by the merge loop (single-threaded) during phase 2.
 type shardState struct {
-	bounds  []int    // len shards+1; shard s owns nodes [bounds[s], bounds[s+1])
-	shardOf []int32  // node id → shard index (for pool routing at merge time)
-	nodeRNG []uint64 // per-node splitmix64 state
+	nodes    [][]int32 // per-shard ascending node-id lists
+	shardOf  []int32   // node id → shard index
+	nodeRNG  []uint64  // per-node splitmix64 state
+	contig   bool      // concatenated shard lists == 0..n−1 (merge fast path)
+	baseLast int       // len(nodes[last]) before any joins (dropMembership rewind)
 
 	outbox [][]*gossip.Message // per-shard ordered sends of the current round
 	pool   [][]*gossip.Message // per-shard message free lists
 	keep   []int               // per-shard keepalive counters, folded in at merge
+	cursor []int               // per-shard merge cursors (non-contiguous layouts)
 
 	errs [][]float64 // per-shard Errors scratch
 	est  [][]float64 // per-shard estimate scratch
 
 	// events stages per-shard trace events emitted during phase 1
 	// (detector evictions, reintegrations); they are flushed into the
-	// recorder's ring at merge time in shard order, so the recorded
-	// sequence is identical for every shard count. nil until SetMetrics.
+	// recorder's ring at merge time in ascending node order, so the
+	// recorded sequence is identical for every shard count and layout.
+	// nil until SetMetrics.
 	events [][]metrics.Event
 
 	surplus []*gossip.Message // rebalancePools scratch
 
-	wg sync.WaitGroup
+	workers *workerPool // persistent phase-1 workers; nil until first parallel round
+}
+
+// workerPool is the persistent goroutine pool behind parallel phase-1
+// execution: size-fixed, fed through a buffered task channel, joined at
+// the round barrier via wg. It holds no engine reference of its own —
+// tasks are closures — so a GC cleanup can shut it down once its engine
+// is unreachable.
+type workerPool struct {
+	tasks chan shardTask
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+type shardTask struct {
+	f func(int)
+	s int
+}
+
+func newWorkerPool(workers int) *workerPool {
+	w := &workerPool{tasks: make(chan shardTask, workers), stop: make(chan struct{})}
+	for k := 0; k < workers; k++ {
+		go w.run()
+	}
+	return w
+}
+
+func (w *workerPool) run() {
+	for {
+		select {
+		case t := <-w.tasks:
+			t.f(t.s)
+			w.wg.Done()
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+func (w *workerPool) close() { w.once.Do(func() { close(w.stop) }) }
+
+// Close releases the engine's worker goroutines (started lazily by the
+// first parallel round). Optional: an unreachable engine's pool is
+// closed by a GC cleanup, and a closed engine restarts its pool on the
+// next parallel round — Close is for callers that want deterministic
+// goroutine lifetimes (tests, long-lived processes cycling engines).
+func (e *Engine) Close() {
+	if e.shard != nil && e.shard.workers != nil {
+		e.shard.workers.close()
+		e.shard.workers = nil
+	}
+}
+
+// runShards executes f(s) for every shard. With one shard, one
+// available CPU, or within a nested call it runs inline (identical
+// results — phase 1 is order-independent across shards); otherwise
+// shards 1..p−1 are dispatched to the persistent pool while the caller
+// runs shard 0, and the WaitGroup barrier joins the round.
+func (e *Engine) runShards(f func(int)) {
+	p := e.shards
+	if p == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for s := 0; s < p; s++ {
+			f(s)
+		}
+		return
+	}
+	w := e.shard.workers
+	if w == nil {
+		w = newWorkerPool(p - 1)
+		e.shard.workers = w
+		// Reclaim the pool when the engine is dropped without Close. The
+		// cleanup must not reference e (it would never become unreachable);
+		// the pool itself holds no engine reference.
+		runtime.AddCleanup(e, func(pw *workerPool) { pw.close() }, w)
+	}
+	w.wg.Add(p - 1)
+	for s := 1; s < p; s++ {
+		w.tasks <- shardTask{f, s}
+	}
+	f(0)
+	w.wg.Wait()
 }
 
 // initShards builds the shard structures; called from New and only when
 // e.shards > 0.
 func (e *Engine) initShards(seed int64) {
 	n := e.graph.N()
-	if e.shards > n && n > 0 {
+	if e.partition != nil {
+		if err := e.partition.Validate(e.graph); err != nil {
+			panic(err)
+		}
+		e.shards = len(e.partition.Shards)
+	} else if e.shards > n && n > 0 {
 		e.shards = n // more workers than nodes is pure overhead
 	}
 	p := e.shards
 	ss := &shardState{
-		bounds:  make([]int, p+1),
+		nodes:   make([][]int32, p),
 		shardOf: make([]int32, n),
 		nodeRNG: make([]uint64, n),
 		outbox:  make([][]*gossip.Message, p),
 		pool:    make([][]*gossip.Message, p),
 		keep:    make([]int, p),
+		cursor:  make([]int, p),
 		errs:    make([][]float64, p),
 		est:     make([][]float64, p),
 	}
-	for s := 0; s <= p; s++ {
-		ss.bounds[s] = s * n / p
+	if e.partition != nil {
+		for s, list := range e.partition.Shards {
+			// Private copies: joins append to the last shard's list, which
+			// must not scribble on the caller's (possibly shared) partition.
+			ss.nodes[s] = append(make([]int32, 0, len(list)), list...)
+		}
+	} else {
+		backing := make([]int32, n)
+		for i := range backing {
+			backing[i] = int32(i)
+		}
+		for s := 0; s < p; s++ {
+			lo, hi := s*n/p, (s+1)*n/p
+			ss.nodes[s] = backing[lo:hi:hi]
+		}
 	}
+	prev := int32(-1)
+	ss.contig = true
 	for s := 0; s < p; s++ {
-		for i := ss.bounds[s]; i < ss.bounds[s+1]; i++ {
+		for _, i := range ss.nodes[s] {
 			ss.shardOf[i] = int32(s)
+			if i != prev+1 {
+				ss.contig = false
+			}
+			prev = i
 		}
 		ss.est[s] = make([]float64, e.width)
 	}
+	ss.baseLast = len(ss.nodes[p-1])
 	// Pre-size the inboxes for the expected per-round load (one data
 	// message in expectation, Poisson tail, plus keepalives from every
 	// neighbor under a detector): without this, millions of nodes keep
@@ -199,33 +339,15 @@ func (e *Engine) putMsgShard(s int, m *gossip.Message) {
 	e.shard.pool[s] = append(e.shard.pool[s], m)
 }
 
-// stepSharded executes one phase-split round. Worker goroutines are
-// spawned only when they can actually run in parallel: with a single
-// available CPU the shards execute inline, which produces the exact
-// same results (phase 1 is order-independent across shards and the
-// merge order is fixed) without per-round scheduling cost.
+// stepSharded executes one phase-split round: phase 1 on the worker
+// pool (inline when it cannot actually run in parallel — exact same
+// results without the dispatch cost), then the serial merge.
 func (e *Engine) stepSharded() {
-	p := e.shards
 	e.inPhase1 = true
-	if p == 1 || runtime.GOMAXPROCS(0) == 1 {
-		for s := 0; s < p; s++ {
-			e.shardPhase1(s)
-		}
-	} else {
-		e.shard.wg.Add(p)
-		for s := 0; s < p; s++ {
-			go e.shardWorker(s)
-		}
-		e.shard.wg.Wait()
-	}
+	e.runShards(e.shardPhase1)
 	e.inPhase1 = false
 	e.mergeOutboxes()
 	e.round++
-}
-
-func (e *Engine) shardWorker(s int) {
-	defer e.shard.wg.Done()
-	e.shardPhase1(s)
 }
 
 // shardPhase1 runs the local half-round of every node in shard s, in
@@ -233,8 +355,8 @@ func (e *Engine) shardWorker(s int) {
 // outbox, pool and keepalive counter — the invariant that makes the
 // phase embarrassingly parallel.
 func (e *Engine) shardPhase1(s int) {
-	lo, hi := e.shard.bounds[s], e.shard.bounds[s+1]
-	for i := lo; i < hi; i++ {
+	for _, i32 := range e.shard.nodes[s] {
+		i := int(i32)
 		if !e.alive[i] || e.hung[i] {
 			continue
 		}
@@ -320,28 +442,94 @@ func (e *Engine) makeControlShard(from, to int, kind gossip.Kind, s int) *gossip
 }
 
 // mergeOutboxes is phase 2: route every queued message into its
-// destination inbox in ascending shard — hence ascending source id —
-// order. The order is a pure function of the round's sends, so inbox
-// contents and stateful-interceptor call sequences are identical for
-// every shard count.
+// destination inbox in ascending GLOBAL source id order. On contiguous
+// layouts that order is exactly "shard 0's outbox, then shard 1's, …",
+// so the merge walks the outboxes directly; on an arbitrary partition a
+// cursor per shard walks the outboxes while the loop visits node ids in
+// ascending order (each shard's outbox is already id-sorted — phase 1
+// activates ascending — so each node's sends sit at its shard's
+// cursor). Either way the order is a pure function of the round's
+// sends, so inbox contents, loss draws and stateful-interceptor call
+// sequences are identical for every shard count and layout.
 func (e *Engine) mergeOutboxes() {
-	for s := 0; s < e.shards; s++ {
+	p := e.shards
+	for s := 0; s < p; s++ {
 		e.keepalives += e.shard.keep[s]
 		e.shard.keep[s] = 0
-		for _, m := range e.shard.outbox[s] {
-			e.routeMerged(m)
-		}
-		e.shard.outbox[s] = e.shard.outbox[s][:0]
 	}
-	if e.shard.events != nil {
-		for s := 0; s < e.shards; s++ {
+	if e.shard.contig {
+		for s := 0; s < p; s++ {
+			for _, m := range e.shard.outbox[s] {
+				e.routeMerged(m)
+			}
+			e.shard.outbox[s] = e.shard.outbox[s][:0]
+		}
+	} else {
+		cur := e.shard.cursor
+		for s := 0; s < p; s++ {
+			cur[s] = 0
+		}
+		for i := 0; i < len(e.protos); i++ {
+			s := e.shard.shardOf[i]
+			out := e.shard.outbox[s]
+			c := cur[s]
+			for c < len(out) && out[c].From == i {
+				e.routeMerged(out[c])
+				c++
+			}
+			cur[s] = c
+		}
+		for s := 0; s < p; s++ {
+			if cur[s] != len(e.shard.outbox[s]) {
+				panic(fmt.Sprintf("sim: shard %d outbox not fully merged (%d of %d) — outbox out of id order", s, cur[s], len(e.shard.outbox[s])))
+			}
+			e.shard.outbox[s] = e.shard.outbox[s][:0]
+		}
+	}
+	e.flushShardEvents()
+	e.rebalancePools()
+}
+
+// flushShardEvents moves phase-1-staged trace events into the
+// recorder's ring in ascending emitting-node order — the same cursor
+// merge as the outboxes, so the recorded stream is identical for every
+// shard count and layout.
+func (e *Engine) flushShardEvents() {
+	if e.shard.events == nil {
+		return
+	}
+	p := e.shards
+	total := 0
+	for s := 0; s < p; s++ {
+		total += len(e.shard.events[s])
+	}
+	if total == 0 {
+		return
+	}
+	if e.shard.contig {
+		for s := 0; s < p; s++ {
 			if len(e.shard.events[s]) > 0 {
 				e.rec.RecordEvents(e.shard.events[s])
-				e.shard.events[s] = e.shard.events[s][:0]
+			}
+		}
+	} else {
+		cur := e.shard.cursor
+		for s := 0; s < p; s++ {
+			cur[s] = 0
+		}
+		for i := 0; i < len(e.protos) && total > 0; i++ {
+			s := e.shard.shardOf[i]
+			evs := e.shard.events[s]
+			for cur[s] < len(evs) && evs[cur[s]].A == i {
+				e.rec.RecordEvent(evs[cur[s]])
+				cur[s]++
+				total--
 			}
 		}
 	}
-	e.rebalancePools()
+	for s := 0; s < p; s++ {
+		e.shard.events[s] = e.shard.events[s][:0]
+	}
 }
 
 // rebalancePools evens out the per-shard free lists after the merge.
@@ -454,39 +642,41 @@ func (e *Engine) cloneMsgShard(m *gossip.Message, s int) *gossip.Message {
 }
 
 // errorsSharded computes the per-node oracle errors with one worker per
-// shard, then concatenates the per-shard slices in shard order — the
-// same ascending-id, skip-dead sequence (and bit-identical values) as
-// the serial scan.
+// shard, then merges the per-shard slices in ascending node id order —
+// the same skip-dead sequence (and bit-identical values) as the serial
+// scan, for every shard layout.
 func (e *Engine) errorsSharded() []float64 {
 	p := e.shards
-	if p == 1 || runtime.GOMAXPROCS(0) == 1 {
-		for s := 0; s < p; s++ {
-			e.shard.errs[s] = e.errorsRange(s, e.shard.errs[s][:0])
-		}
-	} else {
-		e.shard.wg.Add(p)
-		for s := 0; s < p; s++ {
-			go e.errorsWorker(s)
-		}
-		e.shard.wg.Wait()
-	}
+	e.runShards(func(s int) {
+		e.shard.errs[s] = e.errorsRange(s, e.shard.errs[s][:0])
+	})
 	e.errBuf = e.errBuf[:0]
+	if e.shard.contig {
+		for s := 0; s < p; s++ {
+			e.errBuf = append(e.errBuf, e.shard.errs[s]...)
+		}
+		return e.errBuf
+	}
+	cur := e.shard.cursor
 	for s := 0; s < p; s++ {
-		e.errBuf = append(e.errBuf, e.shard.errs[s]...)
+		cur[s] = 0
+	}
+	for i := 0; i < len(e.protos); i++ {
+		if !e.alive[i] {
+			continue
+		}
+		s := e.shard.shardOf[i]
+		e.errBuf = append(e.errBuf, e.shard.errs[s][cur[s]])
+		cur[s]++
 	}
 	return e.errBuf
-}
-
-func (e *Engine) errorsWorker(s int) {
-	defer e.shard.wg.Done()
-	e.shard.errs[s] = e.errorsRange(s, e.shard.errs[s][:0])
 }
 
 // errorsRange appends the worst relative error of every alive node in
 // shard s to out, using the shard's own estimate scratch.
 func (e *Engine) errorsRange(s int, out []float64) []float64 {
-	lo, hi := e.shard.bounds[s], e.shard.bounds[s+1]
-	for i := lo; i < hi; i++ {
+	for _, i32 := range e.shard.nodes[s] {
+		i := int(i32)
 		if !e.alive[i] {
 			continue
 		}

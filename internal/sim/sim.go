@@ -146,8 +146,9 @@ type Engine struct {
 	probeVal  gossip.Value      // massResidual scratch
 	probeSums []stats.Sum2      // massResidual scratch
 
-	shards int         // 0 = legacy sequential model; ≥ 1 = phase-split model
-	shard  *shardState // executor state of the phase-split model (shard.go)
+	shards    int                 // 0 = legacy sequential model; ≥ 1 = phase-split model
+	shard     *shardState         // executor state of the phase-split model (shard.go)
+	partition *topology.Partition // explicit shard layout (WithPartition); nil = contiguous
 
 	nodeCkpt []*gossip.State // per-node crash-restart checkpoints (snapshot.go); nil until CheckpointNode
 
@@ -366,6 +367,64 @@ func (e *Engine) Reset(seed int64) {
 		clear(e.nodeCkpt)
 	}
 	e.recomputeTargets()
+}
+
+// ResetWithInputs rewinds the engine like Reset while replacing every
+// node's initial value — the per-reduction reuse API for callers that
+// issue a sequence of reductions over one topology (dmGS issues 2m−1,
+// the eigensolver one per iteration): instead of constructing a fresh
+// engine per reduction, construct one and ResetWithInputs between
+// reductions, keeping the graph, protocol state arrays, inboxes and
+// message pools allocated. The value width may differ from the previous
+// reduction (batched callers vary k); a width change invalidates the
+// pooled message backing, which is rebuilt lazily. After the call the
+// engine behaves exactly like a freshly constructed engine with the
+// given seed and inputs (the Reset bit-identical-to-fresh contract).
+//
+// init must hold one value per base-graph node (like New; any nodes
+// joined mid-trial are dropped first, as with Reset), all of one width.
+func (e *Engine) ResetWithInputs(seed int64, init []gossip.Value) {
+	e.dropMembership() // joined nodes are per-trial state; shrink before the length check
+	if len(init) != len(e.protos) {
+		panic(fmt.Sprintf("sim: ResetWithInputs got %d initial values for %d nodes", len(init), len(e.protos)))
+	}
+	width := init[0].Width()
+	for i, v := range init {
+		if v.Width() != width {
+			panic(fmt.Sprintf("sim: initial value width mismatch at node %d", i))
+		}
+	}
+	if width != e.width {
+		// Pooled messages carry width-sized flow backing: a width change
+		// invalidates every free list and width-sized scratch buffer.
+		// Narrower pooled messages are dropped by the putMsg guards as the
+		// inboxes drain during Reset below.
+		e.width = width
+		e.msgPool = nil
+		e.estBuf = make([]float64, width)
+		e.sumBuf = make([]stats.Sum2, width)
+		e.targets = make([]float64, width)
+		if e.probeSums != nil {
+			e.probeSums = make([]stats.Sum2, width)
+			e.probeVal = gossip.NewValue(width)
+		}
+		if e.shard != nil {
+			for s := range e.shard.pool {
+				e.shard.pool[s] = nil
+			}
+			for s := range e.shard.est {
+				e.shard.est[s] = make([]float64, width)
+			}
+		}
+	}
+	for i, v := range init {
+		if e.init[i].Width() == width {
+			e.init[i].CopyFrom(v)
+		} else {
+			e.init[i] = v.Clone()
+		}
+	}
+	e.Reset(seed)
 }
 
 // Round returns the number of completed rounds.

@@ -281,7 +281,7 @@ func (e *Engine) appendNodeScaffold(id int) {
 	if e.shard != nil {
 		e.shard.nodeRNG = append(e.shard.nodeRNG, 0) // overwritten by the main stream
 		e.shard.shardOf = append(e.shard.shardOf, int32(e.shards-1))
-		e.shard.bounds[e.shards]++
+		e.shard.nodes[e.shards-1] = append(e.shard.nodes[e.shards-1], int32(id))
 	}
 }
 

@@ -85,6 +85,26 @@ var (
 	WattsStrogatz = topology.WattsStrogatz
 )
 
+// Partition is an explicit node→shard assignment for the sharded
+// executor (re-exported from the topology package).
+type Partition = topology.Partition
+
+// PartitionStats summarizes a partition: shard sizes and the number of
+// topology edges crossing shard boundaries (the cross-shard traffic the
+// cache-aware layout minimizes).
+type PartitionStats = topology.PartitionStats
+
+// Partition constructors.
+var (
+	// ContiguousPartition splits node ids into p contiguous blocks.
+	ContiguousPartition = topology.Contiguous
+	// CacheAwarePartition grows p balanced shards along topology edges
+	// (deterministic BFS), minimizing cut edges; it never cuts more
+	// edges than ContiguousPartition. Results of a reduction are
+	// byte-identical under any partition — only locality changes.
+	CacheAwarePartition = topology.CacheAware
+)
+
 // Aggregate selects the reduction target.
 type Aggregate = gossip.Aggregate
 
@@ -214,6 +234,12 @@ type ReduceOptions struct {
 	// sequential one, so Shards=0 and Shards=1 runs are distinct
 	// reproducible experiments.
 	Shards int
+	// CacheAware, with Shards > 1, lays the shards out with the
+	// cache-aware partitioner instead of contiguous id blocks: shards
+	// follow topology edges, so most gossip messages stay
+	// shard-local. Byte-identical results — only memory locality and
+	// cross-shard traffic change.
+	CacheAware bool
 	// Metrics, when non-nil, attaches the recorder for the run: invariant
 	// samples every Metrics.Interval rounds, counters, and the fault /
 	// detector event trace. Attaching a recorder never changes the
@@ -273,11 +299,7 @@ func Reduce(inputs []float64, algo Algorithm, opt ReduceOptions) (ReduceResult, 
 	for i := range protos {
 		protos[i] = algo.NewNode()
 	}
-	var simOpts []sim.EngineOption
-	if opt.Shards > 0 {
-		simOpts = append(simOpts, sim.WithShards(opt.Shards))
-	}
-	e := sim.NewScalar(opt.Topology, protos, inputs, opt.Aggregate, opt.Seed, simOpts...)
+	e := sim.NewScalar(opt.Topology, protos, inputs, opt.Aggregate, opt.Seed, opt.engineOptions()...)
 	if opt.LossRate > 0 {
 		e.SetInterceptor(fault.NewLoss(opt.LossRate, opt.Seed+1))
 	}
@@ -316,6 +338,17 @@ func Reduce(inputs []float64, algo Algorithm, opt ReduceOptions) (ReduceResult, 
 	return out, nil
 }
 
+// engineOptions translates the sharding fields into engine options.
+func (opt *ReduceOptions) engineOptions() []sim.EngineOption {
+	if opt.Shards <= 0 {
+		return nil
+	}
+	if opt.CacheAware {
+		return []sim.EngineOption{sim.WithPartition(topology.CacheAware(opt.Topology, opt.Shards))}
+	}
+	return []sim.EngineOption{sim.WithShards(opt.Shards)}
+}
+
 func applyReduceDefaults(opt *ReduceOptions, n int) {
 	if opt.Eps == 0 {
 		opt.Eps = 1e-12
@@ -330,6 +363,101 @@ func applyReduceDefaults(opt *ReduceOptions, n int) {
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
+}
+
+// BatchResult reports a completed batched reduction of k aggregates.
+type BatchResult struct {
+	// Estimates[i][c] is node i's estimate of aggregate c.
+	Estimates [][]float64
+	// Exact[c] is the true value of aggregate c (compensated oracle).
+	Exact []float64
+	// Rounds is the number of gossip rounds executed.
+	Rounds int
+	// Converged reports whether Eps was reached before MaxRounds.
+	Converged bool
+	// MaxError is the final maximal relative local error over all
+	// components.
+	MaxError float64
+}
+
+// ReduceBatch reduces k aggregates in ONE gossip run: node i contributes
+// inputs[i], a vector of k values, and every round's messages carry all
+// k components, so the whole batch converges in the rounds one scalar
+// reduction takes instead of k times that. All input vectors must share
+// one width k ≥ 1. With k = 1 the run is bit-identical to Reduce on the
+// corresponding scalars. Faults, sharding and metrics options apply
+// exactly as in Reduce.
+func ReduceBatch(inputs [][]float64, algo Algorithm, opt ReduceOptions) (BatchResult, error) {
+	if opt.Topology == nil {
+		return BatchResult{}, errors.New("pcfreduce: ReduceOptions.Topology is required")
+	}
+	n := opt.Topology.N()
+	if len(inputs) != n {
+		return BatchResult{}, fmt.Errorf("pcfreduce: %d inputs for %d nodes", len(inputs), n)
+	}
+	k := len(inputs[0])
+	if k < 1 {
+		return BatchResult{}, errors.New("pcfreduce: ReduceBatch needs width ≥ 1")
+	}
+	for i, v := range inputs {
+		if len(v) != k {
+			return BatchResult{}, fmt.Errorf("pcfreduce: input %d has width %d, want %d", i, len(v), k)
+		}
+	}
+	if !opt.Topology.IsConnected() {
+		return BatchResult{}, errors.New("pcfreduce: topology must be connected")
+	}
+	if opt.Shards < 0 {
+		return BatchResult{}, fmt.Errorf("pcfreduce: ReduceOptions.Shards is %d, want ≥ 0", opt.Shards)
+	}
+	applyReduceDefaults(&opt, n)
+	protos := make([]Protocol, n)
+	init := make([]Value, n)
+	for i := range protos {
+		protos[i] = algo.NewNode()
+		init[i] = Value{X: append([]float64(nil), inputs[i]...), W: opt.Aggregate.InitialWeight(i)}
+	}
+	e := sim.New(opt.Topology, protos, init, opt.Seed, opt.engineOptions()...)
+	if opt.LossRate > 0 {
+		e.SetInterceptor(fault.NewLoss(opt.LossRate, opt.Seed+1))
+	}
+	if opt.Metrics != nil {
+		e.SetMetrics(opt.Metrics)
+	}
+	var events []fault.Event
+	for _, lf := range opt.LinkFailures {
+		events = append(events, fault.LinkFailure(lf.Round, lf.A, lf.B))
+	}
+	for _, nc := range opt.NodeCrashes {
+		events = append(events, fault.NodeCrash(nc.Round, nc.Node))
+	}
+	plan := fault.NewPlan(events...)
+	res := e.Run(sim.RunConfig{
+		MaxRounds:  opt.MaxRounds,
+		Eps:        opt.Eps,
+		OnRound:    plan.OnRound,
+		AfterRound: opt.Trace,
+	})
+	out := BatchResult{
+		Exact:     append([]float64(nil), e.Targets()...),
+		Rounds:    res.Rounds,
+		Converged: res.Converged,
+		MaxError:  e.MaxError(),
+	}
+	for _, est := range e.Estimates() {
+		if est == nil {
+			// Crashed node: report NaNs in its slot so indices still
+			// line up with node ids.
+			nan := make([]float64, k)
+			for c := range nan {
+				nan[c] = math.NaN()
+			}
+			out.Estimates = append(out.Estimates, nan)
+			continue
+		}
+		out.Estimates = append(out.Estimates, append([]float64(nil), est...))
+	}
+	return out, nil
 }
 
 // ConcurrentOptions configures ReduceConcurrent.
@@ -427,6 +555,15 @@ type QROptions struct {
 	MaxRounds int
 	// Seed makes the factorization reproducible (default 1).
 	Seed int64
+	// Batched fuses each column's norm and inner-product reductions
+	// into one vector-valued reduction, issuing m gossip reductions
+	// instead of 2m−1 — roughly halving the total rounds at equal
+	// accuracy.
+	Batched bool
+	// Shards and CacheAware configure the sharded executor for every
+	// reduction, as in ReduceOptions.
+	Shards     int
+	CacheAware bool
 }
 
 // QRResult reports a distributed factorization V ≈ Q·R.
@@ -461,6 +598,10 @@ func QR(v *Matrix, algo Algorithm, opt QROptions) (QRResult, error) {
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
+	if opt.Shards < 0 {
+		return QRResult{}, fmt.Errorf("pcfreduce: QROptions.Shards is %d, want ≥ 0", opt.Shards)
+	}
+	ropt := ReduceOptions{Topology: opt.Topology, Shards: opt.Shards, CacheAware: opt.CacheAware}
 	res, err := dmgs.Factorize(v, dmgs.Config{
 		Topology:    opt.Topology,
 		NewProtocol: algo.NewNode,
@@ -468,6 +609,8 @@ func QR(v *Matrix, algo Algorithm, opt QROptions) (QRResult, error) {
 		MaxRounds:   opt.MaxRounds,
 		StallRounds: 60,
 		Seed:        opt.Seed,
+		Batched:     opt.Batched,
+		Engine:      ropt.engineOptions(),
 	})
 	if err != nil {
 		return QRResult{}, err

@@ -332,3 +332,202 @@ func TestReduceSharded(t *testing.T) {
 		t.Fatal("negative Shards accepted")
 	}
 }
+
+// ReduceBatch with k=1 must be bit-identical to Reduce: the batched path
+// is a strict generalization, not a parallel implementation with its own
+// numerics.
+func TestReduceBatchWidthOneBitwise(t *testing.T) {
+	g := pcfreduce.Hypercube(5)
+	in := inputsFor(g)
+	scalar, err := pcfreduce.Reduce(in, pcfreduce.PCF, pcfreduce.ReduceOptions{Topology: g, Eps: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := make([][]float64, len(in))
+	for i, x := range in {
+		vec[i] = []float64{x}
+	}
+	batch, err := pcfreduce.ReduceBatch(vec, pcfreduce.PCF, pcfreduce.ReduceOptions{Topology: g, Eps: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Rounds != scalar.Rounds || batch.Converged != scalar.Converged || batch.MaxError != scalar.MaxError {
+		t.Fatalf("k=1 batch diverges from scalar: %+v vs %+v", batch, scalar)
+	}
+	for i := range in {
+		if batch.Estimates[i][0] != scalar.Estimates[i] {
+			t.Fatalf("node %d: batch %.17g, scalar %.17g", i, batch.Estimates[i][0], scalar.Estimates[i])
+		}
+	}
+	if batch.Exact[0] != scalar.Exact {
+		t.Fatalf("exact: %.17g vs %.17g", batch.Exact[0], scalar.Exact)
+	}
+}
+
+// k aggregates in one run: every component converges to its own exact
+// value, in no more rounds than one scalar reduction of the hardest
+// component would take times a small constant — NOT k times.
+func TestReduceBatchManyAggregates(t *testing.T) {
+	g := pcfreduce.Hypercube(5)
+	n := g.N()
+	const k = 16
+	vec := make([][]float64, n)
+	for i := range vec {
+		vec[i] = make([]float64, k)
+		for c := 0; c < k; c++ {
+			vec[i][c] = float64((i*(c+1))%13) + 0.25*float64(c+1)
+		}
+	}
+	scalarRounds := 0
+	for c := 0; c < k; c++ {
+		comp := make([]float64, n)
+		for i := range comp {
+			comp[i] = vec[i][c]
+		}
+		res, err := pcfreduce.Reduce(comp, pcfreduce.PCF, pcfreduce.ReduceOptions{Topology: g, Eps: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalarRounds += res.Rounds
+	}
+	batch, err := pcfreduce.ReduceBatch(vec, pcfreduce.PCF, pcfreduce.ReduceOptions{Topology: g, Eps: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batch.Converged {
+		t.Fatalf("batch did not converge: %.3e", batch.MaxError)
+	}
+	for c := 0; c < k; c++ {
+		var want float64
+		for i := range vec {
+			want += vec[i][c]
+		}
+		want /= float64(n)
+		if math.Abs(batch.Exact[c]-want) > 1e-11*math.Abs(want) {
+			t.Fatalf("component %d: Exact=%.15g, want %.15g", c, batch.Exact[c], want)
+		}
+		for i := range vec {
+			if math.Abs(batch.Estimates[i][c]-want) > 1e-10*math.Abs(want) {
+				t.Fatalf("component %d node %d: %.15g, want %.15g", c, i, batch.Estimates[i][c], want)
+			}
+		}
+	}
+	// The batching claim: k aggregates cost ~1 reduction's rounds, so the
+	// k-run scalar total must dwarf the single batched run.
+	if 4*batch.Rounds >= scalarRounds {
+		t.Fatalf("batched %d rounds vs %d total scalar rounds — no batching win", batch.Rounds, scalarRounds)
+	}
+}
+
+// ReduceBatch under faults: a crashed node reports NaNs, and every
+// batch component is bitwise equal to a scalar Reduce of that component
+// under the identical fault plan — the schedule is width-independent
+// and the protocols act component-wise.
+func TestReduceBatchWithCrash(t *testing.T) {
+	g := pcfreduce.Hypercube(4)
+	n := g.N()
+	vec := make([][]float64, n)
+	for i := range vec {
+		vec[i] = []float64{float64(i) + 1, 2 * float64(i)}
+	}
+	opt := pcfreduce.ReduceOptions{
+		Topology:    g,
+		Eps:         1e-12,
+		NodeCrashes: []pcfreduce.NodeCrash{{Round: 5, Node: 3}},
+	}
+	batch, err := pcfreduce.ReduceBatch(vec, pcfreduce.PCF, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(batch.Estimates[3][0]) || !math.IsNaN(batch.Estimates[3][1]) {
+		t.Fatal("crashed node should report NaN estimates")
+	}
+	for c := 0; c < 2; c++ {
+		comp := make([]float64, n)
+		for i := range comp {
+			comp[i] = vec[i][c]
+		}
+		scalar, err := pcfreduce.Reduce(comp, pcfreduce.PCF, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.Exact[c] != scalar.Exact || batch.Rounds != scalar.Rounds {
+			t.Fatalf("component %d: exact/rounds diverge from scalar", c)
+		}
+		for i := range comp {
+			if i == 3 {
+				continue
+			}
+			if batch.Estimates[i][c] != scalar.Estimates[i] {
+				t.Fatalf("component %d node %d: batch %.17g, scalar %.17g", c, i, batch.Estimates[i][c], scalar.Estimates[i])
+			}
+		}
+	}
+}
+
+func TestReduceBatchValidation(t *testing.T) {
+	g := pcfreduce.Path(4)
+	ok := [][]float64{{1}, {2}, {3}, {4}}
+	if _, err := pcfreduce.ReduceBatch(ok, pcfreduce.PCF, pcfreduce.ReduceOptions{}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	if _, err := pcfreduce.ReduceBatch(ok[:2], pcfreduce.PCF, pcfreduce.ReduceOptions{Topology: g}); err == nil {
+		t.Fatal("wrong input length accepted")
+	}
+	if _, err := pcfreduce.ReduceBatch([][]float64{{1}, {2}, {3, 9}, {4}}, pcfreduce.PCF, pcfreduce.ReduceOptions{Topology: g}); err == nil {
+		t.Fatal("ragged widths accepted")
+	}
+	if _, err := pcfreduce.ReduceBatch([][]float64{{}, {}, {}, {}}, pcfreduce.PCF, pcfreduce.ReduceOptions{Topology: g}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+// The cache-aware layout changes nothing but locality: byte-identical
+// estimates, rounds and error to the contiguous sharded run.
+func TestReduceCacheAwareByteIdentical(t *testing.T) {
+	g := pcfreduce.Grid2D(8, 8)
+	in := inputsFor(g)
+	base := pcfreduce.ReduceOptions{Topology: g, Eps: 1e-13, Shards: 4}
+	contig, err := pcfreduce.Reduce(in, pcfreduce.PCF, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := base
+	ca.CacheAware = true
+	got, err := pcfreduce.Reduce(in, pcfreduce.PCF, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != contig.Rounds || got.MaxError != contig.MaxError {
+		t.Fatalf("cache-aware run diverges: %+v vs %+v", got, contig)
+	}
+	for i := range got.Estimates {
+		if got.Estimates[i] != contig.Estimates[i] {
+			t.Fatalf("node %d: %.17g vs %.17g", i, got.Estimates[i], contig.Estimates[i])
+		}
+	}
+}
+
+// Batched QR: m reductions instead of 2m−1, fewer total rounds, same
+// factorization quality.
+func TestQRBatched(t *testing.T) {
+	g := pcfreduce.Hypercube(4)
+	v := pcfreduce.RandomMatrix(16, 6, 3)
+	legacy, err := pcfreduce.QR(v, pcfreduce.PCF, pcfreduce.QROptions{Topology: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := pcfreduce.QR(v, pcfreduce.PCF, pcfreduce.QROptions{Topology: g, Batched: true, Shards: 2, CacheAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Reductions != 11 || batched.Reductions != 6 {
+		t.Fatalf("reductions: legacy %d (want 11), batched %d (want 6)", legacy.Reductions, batched.Reductions)
+	}
+	if batched.TotalRounds >= legacy.TotalRounds {
+		t.Fatalf("batched QR did not cut rounds: %d vs %d", batched.TotalRounds, legacy.TotalRounds)
+	}
+	if batched.FactorizationError > 1e-12 || batched.OrthogonalityError > 1e-12 {
+		t.Fatalf("batched QR quality: fe=%.3e oe=%.3e", batched.FactorizationError, batched.OrthogonalityError)
+	}
+}
