@@ -120,14 +120,38 @@ type dmgsBatchEntry struct {
 // on one topology family. Both partitioners are deterministic, so these
 // numbers are exactly reproducible and the gate re-derives them; the
 // contract under test is CacheAwareCut ≤ ContiguousCut on every graph.
+// The max-cross columns report Stats.MaxCrossTraffic — the heaviest
+// single (source → destination) outbox bucket, i.e. the worst per-bucket
+// load any one parallel phase-2 delivery task inherits.
 type partitionEntry struct {
-	Topology      string `json:"topology"`
-	N             int    `json:"n"`
-	Shards        int    `json:"shards"`
-	TotalEdges    int    `json:"total_edges"`
-	ContiguousCut int    `json:"contiguous_cut_edges"`
-	CacheAwareCut int    `json:"cache_aware_cut_edges"`
-	Strategy      string `json:"cache_aware_strategy"`
+	Topology           string `json:"topology"`
+	N                  int    `json:"n"`
+	Shards             int    `json:"shards"`
+	TotalEdges         int    `json:"total_edges"`
+	ContiguousCut      int    `json:"contiguous_cut_edges"`
+	CacheAwareCut      int    `json:"cache_aware_cut_edges"`
+	ContiguousMaxCross int    `json:"contiguous_max_cross_traffic"`
+	CacheAwareMaxCross int    `json:"cache_aware_max_cross_traffic"`
+	Strategy           string `json:"cache_aware_strategy"`
+}
+
+// phase2Entry is one row of the phase-2 delivery series: the same
+// sharded PCF round with delivery forced inline on the merging goroutine
+// (WithSerialDelivery — the pre-parallel behavior) against the default
+// parallel per-destination delivery tasks. delivery_speedup =
+// serial_ns / parallel_ns; both sides are measured on the SAME host, so
+// the ratio transfers across machines the way the k-batching one does,
+// and the gate holds it to a floor. On a single-core host the engine
+// runs delivery inline either way, so the ratio sits near 1.0 there.
+type phase2Entry struct {
+	Topology         string  `json:"topology"`
+	N                int     `json:"n"`
+	Shards           int     `json:"shards"`
+	GoMaxProcs       int     `json:"gomaxprocs"`
+	SerialNsPerOp    float64 `json:"serial_delivery_ns_per_op"`
+	ParallelNsPerOp  float64 `json:"parallel_delivery_ns_per_op"`
+	DeliverySpeedup  float64 `json:"delivery_speedup"`
+	ParallelAllocsOp int64   `json:"parallel_allocs_per_op"`
 }
 
 // snapshotCost records what a full-state checkpoint costs at
@@ -176,6 +200,11 @@ type benchReport struct {
 	DmgsBatching     *dmgsBatchEntry  `json:"dmgs_batching,omitempty"`
 	PartitionQuality []partitionEntry `json:"partition_quality,omitempty"`
 
+	// Phase2Delivery compares serial (inline) against parallel
+	// per-destination phase-2 delivery on the same sharded engine,
+	// recorded by -bench-phase2 and held to a ratio floor by -bench-gate.
+	Phase2Delivery []phase2Entry `json:"phase2_delivery,omitempty"`
+
 	// SnapshotCost is the checkpoint subsystem's price tag, recorded by
 	// -bench-snapshot and re-checked by -bench-gate.
 	SnapshotCost *snapshotCost `json:"snapshot_cost,omitempty"`
@@ -197,9 +226,13 @@ func bestOf3(fn func(b *testing.B)) testing.BenchmarkResult {
 
 // benchRound measures one Step+Errors round of a warmed-up engine (the
 // warmup lets inbox and free-list high-water marks settle, so the
-// steady-state numbers are not polluted by one-time growth).
+// steady-state numbers are not polluted by one-time growth). 96 rounds:
+// the P² delivery buckets of the parallel phase-2 executor settle their
+// high-water marks more slowly than the old P flat outboxes did, and an
+// unsettled warmup leaks amortized slice growth into allocs/op, which
+// the gate pins.
 func benchRound(e *sim.Engine) testing.BenchmarkResult {
-	for r := 0; r < 32; r++ {
+	for r := 0; r < 96; r++ {
 		e.Step()
 		e.Errors()
 	}
@@ -309,13 +342,15 @@ func partitionQualityRows(shards int) []partitionEntry {
 		contig := topology.Contiguous(g, shards)
 		ca := topology.CacheAware(g, shards)
 		rows = append(rows, partitionEntry{
-			Topology:      g.Name(),
-			N:             g.N(),
-			Shards:        shards,
-			TotalEdges:    contig.Stats.TotalEdges,
-			ContiguousCut: contig.Stats.CutEdges,
-			CacheAwareCut: ca.Stats.CutEdges,
-			Strategy:      ca.Stats.Strategy,
+			Topology:           g.Name(),
+			N:                  g.N(),
+			Shards:             shards,
+			TotalEdges:         contig.Stats.TotalEdges,
+			ContiguousCut:      contig.Stats.CutEdges,
+			CacheAwareCut:      ca.Stats.CutEdges,
+			ContiguousMaxCross: contig.Stats.MaxCrossTraffic,
+			CacheAwareMaxCross: ca.Stats.MaxCrossTraffic,
+			Strategy:           ca.Stats.Strategy,
 		})
 	}
 	return rows
@@ -333,12 +368,13 @@ func writeBenchJSON(path string, seed int64, shards int) {
 		HotPathTopology: g.Name(),
 		HotPathN:        g.N(),
 	}
-	// Re-recording the hot path must not silently drop the snapshot-cost
-	// baseline (recorded separately by -bench-snapshot).
+	// Re-recording the hot path must not silently drop the baselines
+	// recorded by the other subcommands (-bench-snapshot, -bench-phase2).
 	if raw, err := os.ReadFile(path); err == nil {
 		var old benchReport
 		if json.Unmarshal(raw, &old) == nil {
 			rep.SnapshotCost = old.SnapshotCost
+			rep.Phase2Delivery = old.Phase2Delivery
 		}
 	}
 	if rep.GoMaxProcs < shards {
@@ -553,6 +589,83 @@ func runBenchSnapshot(path string, seed int64, shards int) {
 	rep.SnapshotCost = sc
 	fmt.Fprintf(os.Stderr, "snapshot %s n=%d: Snapshot %.1f ms, Encode %.1f ms, %d bytes (%.1f B/node)\n",
 		sc.Topology, sc.N, sc.SnapshotNsPerOp/1e6, sc.EncodeNsPerOp/1e6, sc.EncodedBytes, sc.BytesPerNode)
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// measurePhase2Row measures one topology's sharded PCF round twice —
+// delivery forced serial, then the default parallel per-destination
+// tasks — and returns the row. The engines are built and torn down one
+// at a time (with a GC in between) so the 2^20 row's two ~GB working
+// sets never coexist.
+func measurePhase2Row(g *topology.Graph, seed int64, shards int) phase2Entry {
+	n := g.N()
+	measure := func(opts ...sim.EngineOption) testing.BenchmarkResult {
+		runtime.GC()
+		in := experiments.UniformInputs(n, seed)
+		e := sim.NewScalar(g, experiments.PCF.Protos(n), in, gossip.Average, seed,
+			append([]sim.EngineOption{sim.WithShards(shards)}, opts...)...)
+		defer e.Close()
+		return benchRound(e)
+	}
+	serial := measure(sim.WithSerialDelivery())
+	par := measure()
+	return phase2Entry{
+		Topology:         g.Name(),
+		N:                n,
+		Shards:           shards,
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		SerialNsPerOp:    float64(serial.NsPerOp()),
+		ParallelNsPerOp:  float64(par.NsPerOp()),
+		DeliverySpeedup:  float64(serial.NsPerOp()) / float64(par.NsPerOp()),
+		ParallelAllocsOp: par.AllocsPerOp(),
+	}
+}
+
+// phase2Families are the topologies of the phase-2 delivery series: a
+// 2^15 hypercube (small enough for the gate to re-measure) and a 2^20
+// torus (the cross-shard-heavy row where bucketed delivery pays off).
+func phase2Families() []*topology.Graph {
+	return []*topology.Graph{
+		topology.Hypercube(15),
+		topology.Torus2D(1024, 1024),
+	}
+}
+
+// runBenchPhase2 measures the serial-vs-parallel phase-2 delivery series
+// and merges it into the existing bench JSON. It also regenerates the
+// deterministic partition-quality table — the max-cross-traffic columns
+// belong to the same delivery work and the gate compares those rows
+// bitwise, so the two sections are recorded together.
+func runBenchPhase2(path string, seed int64, shards int) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", path, err))
+	}
+	rep.Phase2Delivery = nil
+	for _, g := range phase2Families() {
+		row := measurePhase2Row(g, seed, shards)
+		rep.Phase2Delivery = append(rep.Phase2Delivery, row)
+		fmt.Fprintf(os.Stderr, "phase2 %-16s n=%-8d serial %12.0f ns/op  parallel(%d) %12.0f ns/op  %.2fx\n",
+			row.Topology, row.N, row.SerialNsPerOp, shards, row.ParallelNsPerOp, row.DeliverySpeedup)
+	}
+	rep.PartitionQuality = partitionQualityRows(shards)
+	for _, p := range rep.PartitionQuality {
+		fmt.Fprintf(os.Stderr, "partition %-18s shards=%d cut %6d/%6d  max-cross %5d/%5d (%s)\n",
+			p.Topology, p.Shards, p.ContiguousCut, p.CacheAwareCut,
+			p.ContiguousMaxCross, p.CacheAwareMaxCross, p.Strategy)
+	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)

@@ -45,6 +45,23 @@ const kValueGateFloor = 1.5
 // loose because best-of-3 ratios still carry scheduling noise).
 const kValueDriftTolerance = 1.4
 
+// phase2GateFloor is the minimum delivery speedup (serial_ns /
+// parallel_ns, both sides measured on the gate host) the re-measured
+// phase-2 row must reach. Like the k-value floor it is a same-host
+// ratio and therefore machine-independent — but unlike batching, the
+// parallel win depends on cores: on a single-core host the engine runs
+// delivery inline either way and the honest ratio is ~1.0. The floor is
+// therefore set just below parity; its job is to catch the parallel
+// path growing overhead that makes it *slower* than the serial merge it
+// replaced, not to demand scaling the hardware can't give.
+const phase2GateFloor = 0.85
+
+// phase2DriftTolerance bounds how far the measured delivery speedup may
+// fall below the recorded one (same ratio-of-ratios role and looseness
+// as kValueDriftTolerance). On a multicore recorder this is what turns
+// the floor into a real scaling gate: a recorded 2.8x row gates at 2x.
+const phase2DriftTolerance = 1.4
+
 // runBenchGate is the CI regression gate: it re-measures the largest
 // n-scaling point of the recorded baseline (the sharded PCF round at
 // n = 2^17, metrics disabled — the default engine state) and exits
@@ -174,6 +191,48 @@ func runBenchGate(path string, seed int64) {
 		if speedup < floor {
 			fmt.Printf("FAIL: width-%d batched round is only %.2fx faster than %d scalar rounds (floor %.2fx)\n",
 				kv.K, speedup, kv.K, floor)
+			failed = true
+		}
+	}
+
+	// Phase-2 delivery gate: re-measure the smallest recorded row (the
+	// 2^15 hypercube — the 2^20 torus is too costly to re-run per CI
+	// push) and hold the serial/parallel delivery ratio to
+	// max(floor, recorded/drift), with multicore leniency: when the
+	// recording host had more shard slots than this one, only the
+	// absolute floor applies, because the recorded parallel speedup is
+	// not reproducible here by construction.
+	if len(rep.Phase2Delivery) > 0 {
+		p2 := &rep.Phase2Delivery[0]
+		for i := range rep.Phase2Delivery {
+			if rep.Phase2Delivery[i].N < p2.N {
+				p2 = &rep.Phase2Delivery[i]
+			}
+		}
+		pg := phase2Families()[0]
+		if p2.Topology != pg.Name() || p2.N != pg.N() {
+			fatal(fmt.Errorf("%s: smallest phase2_delivery row is %s/n=%d, gate measures %s/n=%d — re-record with -bench-phase2",
+				path, p2.Topology, p2.N, pg.Name(), pg.N()))
+		}
+		m := measurePhase2Row(pg, seed, p2.Shards)
+		floor := phase2GateFloor
+		recordedSlots := min(p2.GoMaxProcs, p2.Shards)
+		gateSlots := min(runtime.GOMAXPROCS(0), p2.Shards)
+		if gateSlots >= recordedSlots {
+			if rec := p2.DeliverySpeedup / phase2DriftTolerance; rec > floor {
+				floor = rec
+			}
+		}
+		fmt.Printf("  phase-2 delivery %s n=%d shards=%d: measured %.2fx (serial %.0f ns, parallel %.0f ns), floor %.2fx (recorded %.2fx)\n",
+			m.Topology, m.N, m.Shards, m.DeliverySpeedup, m.SerialNsPerOp, m.ParallelNsPerOp, floor, p2.DeliverySpeedup)
+		if m.DeliverySpeedup < floor {
+			fmt.Printf("FAIL: parallel phase-2 delivery is only %.2fx the serial merge (floor %.2fx)\n",
+				m.DeliverySpeedup, floor)
+			failed = true
+		}
+		if m.ParallelAllocsOp > p2.ParallelAllocsOp {
+			fmt.Printf("FAIL: parallel-delivery round allocates %d/op, baseline %d/op\n",
+				m.ParallelAllocsOp, p2.ParallelAllocsOp)
 			failed = true
 		}
 	}

@@ -41,6 +41,8 @@ func main() {
 		benchGate = flag.String("bench-gate", "", "re-measure the sharded PCF round (metrics disabled) against the recorded baseline in this JSON file and exit non-zero on a >5% ns/op or any allocs/op regression")
 		benchSnap = flag.String("bench-snapshot", "", "measure the million-node snapshot/encode cost and merge it into this JSON file, preserving the other recorded baselines")
 
+		benchPhase2 = flag.String("bench-phase2", "", "measure the serial-vs-parallel phase-2 delivery series, regenerate the partition-quality table and merge both into this JSON file")
+
 		benchSmoke = flag.Bool("bench-smoke", false, "fast machine-independent CI check: cross-layout bitwise identity, k-value batching speedup floor and the cache-aware partition contract")
 
 		shards     = flag.Int("shards", 8, "shard count for the sharded-executor series of -bench-json")
@@ -146,6 +148,10 @@ func main() {
 	}
 	if *benchSnap != "" {
 		runBenchSnapshot(*benchSnap, *seed, *shards)
+		ran = true
+	}
+	if *benchPhase2 != "" {
+		runBenchPhase2(*benchPhase2, *seed, *shards)
 		ran = true
 	}
 	if *benchGate != "" {

@@ -22,6 +22,11 @@ import (
 //  3. Partition contract: on every bench family the cache-aware layout
 //     validates against the cursor-merge invariants and never cuts more
 //     edges than the contiguous baseline.
+//  4. Delivery-path identity: the same run with phase-2 delivery forced
+//     serial (WithSerialDelivery) and with the default parallel
+//     per-destination tasks — under per-link loss and a cache-aware
+//     layout — must agree bitwise on every node, so the parallel path
+//     is provably a pure scheduling change on this very machine.
 func runBenchSmoke(seed int64) {
 	failed := false
 	fmt.Printf("bench-smoke (GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
@@ -105,6 +110,57 @@ func runBenchSmoke(seed int64) {
 	}
 	if !failed {
 		fmt.Println("  partition contract: validated, cache-aware cut ≤ contiguous on every family")
+	}
+
+	// 4. Serial-vs-parallel delivery differential under per-link loss on
+	// a cache-aware layout — the configuration where the parallel path's
+	// per-destination tasks, k-way bucket merges and per-link loss
+	// streams are all load-bearing. Loss rates go on a band of grid
+	// links that crosses shard boundaries so dropped messages exercise
+	// the per-destination recycling too.
+	var dref [][]float64
+	for _, mode := range []struct {
+		name string
+		opts []sim.EngineOption
+	}{
+		{"serial delivery", []sim.EngineOption{sim.WithPartition(topology.CacheAware(g, 4)), sim.WithSerialDelivery()}},
+		{"parallel delivery", []sim.EngineOption{sim.WithPartition(topology.CacheAware(g, 4))}},
+	} {
+		e := sim.New(g, experiments.PCF.Protos(n), vecInputs(n, width, seed), seed, mode.opts...)
+		for i := 40; i < 72; i++ {
+			if i%32 == 31 {
+				continue // row boundary: (i, i+1) is not a grid edge
+			}
+			e.SetLinkLoss(i, i+1, 0.3)
+		}
+		for r := 0; r < rounds; r++ {
+			e.Step()
+		}
+		est := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			est[i] = e.Protocol(i).Estimate()
+		}
+		e.Close()
+		if dref == nil {
+			dref = est
+			continue
+		}
+		mismatch := false
+		for i := 0; i < n && !mismatch; i++ {
+			for c := 0; c < width; c++ {
+				if est[i][c] != dref[i][c] {
+					fmt.Printf("FAIL: parallel delivery deviates from serial at node %d component %d: %.17g vs %.17g\n",
+						i, c, est[i][c], dref[i][c])
+					failed = true
+					mismatch = true
+					break
+				}
+			}
+		}
+	}
+	if dref != nil && !failed {
+		fmt.Printf("  delivery identity: serial and parallel phase-2 bitwise equal over %d lossy width-%d rounds on %s\n",
+			rounds, width, g.Name())
 	}
 
 	if failed {

@@ -52,6 +52,11 @@ import (
 	"pcfreduce/internal/topology"
 )
 
+// phaseLabels is set in main when -cpuprofile is given: sharded engines
+// built by the run paths then attach runtime/pprof phase/shard labels to
+// their pooled tasks.
+var phaseLabels bool
+
 func main() {
 	var (
 		algoName   = flag.String("algo", "pcf", "algorithm: pcf|pcf-robust|pf|pushsum|fu")
@@ -114,6 +119,11 @@ func main() {
 		fatal(err)
 	}
 	defer stopProfiles()
+	// When a CPU profile is being taken, tag the sharded engine's pooled
+	// tasks with runtime/pprof phase/shard labels so the profile breaks
+	// down by activate/deliver phase (see EXPERIMENTS.md). Opt-in via the
+	// profile flag because the labels cost an allocation per task.
+	phaseLabels = *cpuProfile != ""
 
 	// A shard count past the scheduler budget would only oversubscribe
 	// the machine (and, combined with -sweep workers, used to surface as
@@ -478,6 +488,9 @@ func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggre
 	}
 	if shards > 0 {
 		opts = append(opts, sim.WithShards(shards))
+	}
+	if phaseLabels && shards > 0 {
+		opts = append(opts, sim.WithPhaseLabels())
 	}
 	e := sim.New(g, protos, init, seed, opts...)
 	var resume *sim.RunState

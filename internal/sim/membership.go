@@ -14,11 +14,13 @@ package sim
 // always the current maximum, and under the default layout the
 // concatenation stays contiguous), the
 // joined node's RNG stream is derived from (seed, id) exactly like
-// every construction-time stream, and per-link loss draws happen in the
-// serial merge phase from a dedicated splitmix64 stream — so a churned
-// run remains byte-identical across shard counts, and a churn-free run
-// remains byte-identical to one on an engine built before this layer
-// existed (no stream is consumed unless a loss rate is actually set).
+// every construction-time stream, and per-link loss draws come from
+// per-DIRECTED-link splitmix64 streams seeded from (seed, from, to)
+// alone — each link's drop sequence depends only on its own traffic, so
+// the parallel delivery phase can draw from P concurrent destination
+// tasks — and a churned run remains byte-identical across shard counts,
+// layouts and delivery paths, while a loss-free run consumes no stream
+// at all (byte-identical to an engine built before this layer existed).
 //
 // Mass accounting: a joining node enters with its own initial value and
 // peers admit it with zero-flow edges (gossip.OpenMembership), so the
@@ -212,7 +214,7 @@ func (e *Engine) LeaveNode(i int) {
 		}
 		delete(e.dead, key)
 		delete(e.silenced, key)
-		delete(e.lossRates, key)
+		e.dropLossLink(i, j)
 		o.RemoveEdge(i, j)
 	}
 	var lv gossip.Value
@@ -265,7 +267,7 @@ func (e *Engine) RewireEdge(a, b, c int) {
 	}
 	delete(e.dead, key)
 	delete(e.silenced, key)
-	delete(e.lossRates, key)
+	e.dropLossLink(a, b)
 	o.RemoveEdge(a, b)
 	o.AddEdge(a, c)
 	if e.alive[a] {
@@ -285,11 +287,17 @@ func (e *Engine) RewireEdge(a, b, c int) {
 
 // SetLinkLoss sets the heterogeneous loss rate of the undirected link
 // (a, b): every message on the link, in either direction, is henceforth
-// dropped independently with probability p, drawn from a dedicated
-// deterministic stream in the serial merge phase (so the draw sequence
-// — and hence the whole run — is identical for every shard count).
-// p = 0 removes the entry and restores a loss-free link. This is the
-// per-link replacement for the single global fault.Loss interceptor.
+// dropped independently with probability p. Each DIRECTION of the link
+// draws from its own dedicated splitmix64 stream, seeded from
+// (engine seed, from, to) alone — so a link's drop sequence is a pure
+// function of how many messages have crossed it, independent of when
+// any other link's messages are routed. That order-independence across
+// links is what lets the parallel delivery phase draw loss from P
+// concurrent destination tasks and still produce byte-identical runs
+// for every shard count and layout. p = 0 removes the rate (the
+// streams keep their position, so re-enabling loss later continues the
+// same sequence deterministically). This is the per-link replacement
+// for the single global fault.Loss interceptor.
 func (e *Engine) SetLinkLoss(a, b int, p float64) {
 	if math.IsNaN(p) || p < 0 || p > 1 {
 		panic("sim: link loss probability out of [0,1]")
@@ -305,6 +313,11 @@ func (e *Engine) SetLinkLoss(a, b int, p float64) {
 			e.lossRates = make(map[[2]int]float64)
 		}
 		e.lossRates[key] = p
+		// Both directed streams are created HERE, serially, between
+		// rounds: delivery tasks only read the map and advance the
+		// pointed-to state, so parallel delivery never writes the map.
+		e.ensureLossStream(a, b)
+		e.ensureLossStream(b, a)
 	}
 	e.noteEvent(metrics.Event{Kind: metrics.EvSetLinkLoss, Round: e.round, A: a, B: b, Value: p})
 }
@@ -313,23 +326,57 @@ func (e *Engine) SetLinkLoss(a, b int, p float64) {
 // none is set).
 func (e *Engine) LinkLossRate(i, j int) float64 { return e.lossRates[linkKey(i, j)] }
 
-// lossDrop reports whether the per-link loss table claims this message.
-// The stream advances only for links that actually carry a rate, so
-// loss-free runs consume nothing and stay byte-identical to runs on
-// engines that predate the table.
-func (e *Engine) lossDrop(key [2]int) bool {
-	p, ok := e.lossRates[key]
+// lossDrop reports whether the per-link loss table claims the message
+// crossing the directed link from → to. Streams exist only for links
+// that have carried a rate, so loss-free runs consume nothing and stay
+// byte-identical to runs on engines that predate the table. A directed
+// link's stream is advanced only by the destination shard's delivery
+// task (or the single merge/legacy thread), never concurrently.
+func (e *Engine) lossDrop(from, to int) bool {
+	p, ok := e.lossRates[linkKey(from, to)]
 	if !ok {
 		return false
 	}
-	e.lossRNG += smixGamma
-	u := float64(mix64(e.lossRNG)>>11) * 0x1p-53
+	st := e.lossStreams[[2]int{from, to}]
+	*st += smixGamma
+	u := float64(mix64(*st)>>11) * 0x1p-53
 	return u < p
 }
 
-// seedLossRNG (re)initializes the loss stream from the engine seed.
+// ensureLossStream creates the directed stream from → to if absent,
+// seeded from (lossBase, from, to) alone — never from shard layout or
+// call order, so the stream contents are layout-independent.
+func (e *Engine) ensureLossStream(from, to int) {
+	k := [2]int{from, to}
+	if _, ok := e.lossStreams[k]; ok {
+		return
+	}
+	if e.lossStreams == nil {
+		e.lossStreams = make(map[[2]int]*uint64)
+	}
+	st := mix64(mix64(e.lossBase^(uint64(from)+1)*0x632BE59BD9B4E019) ^ (uint64(to)+1)*smixGamma)
+	e.lossStreams[k] = &st
+}
+
+// dropLossLink removes the loss rate and both directed streams of a
+// link that is going away (leave, rewire) — unlike SetLinkLoss(·,·,0),
+// which keeps the streams because the link itself survives.
+func (e *Engine) dropLossLink(a, b int) {
+	delete(e.lossRates, linkKey(a, b))
+	delete(e.lossStreams, [2]int{a, b})
+	delete(e.lossStreams, [2]int{b, a})
+}
+
+// lossBaseOf derives the per-link loss-stream seed material from an
+// engine seed (shared with the snapshot loader, which must adopt the
+// capture seed's base).
+func lossBaseOf(seed int64) uint64 { return mix64(uint64(seed) ^ 0xA24BAED4963EE407) }
+
+// seedLossRNG (re)initializes the loss-stream seed material from the
+// engine seed and discards any existing per-link streams.
 func (e *Engine) seedLossRNG(seed int64) {
-	e.lossRNG = mix64(uint64(seed) ^ 0xA24BAED4963EE407)
+	e.lossBase = lossBaseOf(seed)
+	e.lossStreams = nil
 }
 
 // Phase-split teardown conservation. In the legacy sequential model,
@@ -458,7 +505,7 @@ func (e *Engine) layoutRow(i int) []int32 {
 // the overlay and the per-link loss table are discarded. Called by
 // Reset — membership, like fault injection, is per-trial state.
 func (e *Engine) dropMembership() {
-	if e.overlay == nil && e.lossRates == nil {
+	if e.overlay == nil && e.lossRates == nil && e.lossStreams == nil {
 		return
 	}
 	n := e.graph.N()
@@ -491,5 +538,6 @@ func (e *Engine) dropMembership() {
 	}
 	e.overlay = nil
 	e.lossRates = nil
+	e.lossStreams = nil
 	e.layout = nil
 }

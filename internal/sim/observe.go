@@ -17,11 +17,14 @@ import (
 
 // SetMetrics attaches a metrics recorder to the engine (nil detaches).
 // Counters are banked per shard and merged only when a sample is taken,
-// so observation never introduces cross-shard write sharing; trace
-// events emitted during the parallel phase are staged per shard and
-// flushed in shard order, keeping the recorded stream byte-identical
-// for every shard count. Reset clears the attachment — recorders are
-// per-trial state, exactly like interceptors.
+// so observation never introduces cross-shard write sharing — phase-1
+// tasks write their own shard's bank and phase-2 delivery tasks write
+// their destination shard's; trace events emitted during the parallel
+// activation phase are staged per shard and flushed at the round
+// barrier in ascending emitting-node order (flushShardEvents), keeping
+// the recorded stream byte-identical for every shard count and layout.
+// Reset clears the attachment — recorders are per-trial state, exactly
+// like interceptors.
 func (e *Engine) SetMetrics(rec *metrics.Recorder) {
 	e.rec = rec
 	if rec == nil {
@@ -55,10 +58,11 @@ func (e *Engine) metricsBank(i int) *metrics.Bank {
 }
 
 // noteEvent records a trace event. During sharded phase 1 the event is
-// staged in the emitting node's shard buffer (flushed at merge time in
-// shard order — see mergeOutboxes); everywhere else — the legacy round
-// loop and the fault-injection methods, which run between rounds — it
-// goes straight into the recorder's ring. No-op without a recorder.
+// staged in the emitting node's shard buffer (flushed at the round
+// barrier in ascending node order — see flushShardEvents); everywhere
+// else — the legacy round loop and the fault-injection methods, which
+// run between rounds — it goes straight into the recorder's ring.
+// No-op without a recorder.
 func (e *Engine) noteEvent(ev metrics.Event) {
 	if e.rec == nil {
 		return

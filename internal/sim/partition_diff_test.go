@@ -185,6 +185,166 @@ func TestPartitionSnapshotRoundTrip(t *testing.T) {
 	sameFingerprint(t, "restore into contiguous P=3 from bfs P=8", want, got)
 }
 
+// lossyTreeLinks installs per-link loss on a band of parent→child edges
+// of a heap-ordered binary tree. The band spans shard boundaries under
+// every layout in the grid, so dropped messages exercise each delivery
+// task's own recycling path, and the per-directed-link loss streams are
+// drawn from more than one task.
+func lossyTreeLinks(e *sim.Engine) {
+	for i := 0; i < 6; i++ {
+		e.SetLinkLoss(i, 2*i+1, 0.25)
+		e.SetLinkLoss(i, 2*i+2, 0.4)
+	}
+}
+
+// TestDeliveryPathFaultsAndLoss: serial (WithSerialDelivery) and
+// parallel phase-2 delivery must be byte-identical to the sequential
+// reference for every layout in the grid, with a fault plan observed
+// through the detector AND per-link loss active — the configuration
+// where the per-destination tasks draw from loss streams and fold
+// keepalives concurrently.
+func TestDeliveryPathFaultsAndLoss(t *testing.T) {
+	withParallelWorkers(t, 4)
+	g := topology.BinaryTree(63)
+	n := g.N()
+	const crash = 9
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = float64(5*i%13) + 0.5
+	}
+	mk := allProtocols[0].mk // PCF
+	events := append(fault.LinkOutage(10, 120, 0, 1), fault.SilentNodeCrash(40, crash))
+
+	build := func(opts ...sim.EngineOption) shardFingerprint {
+		plan := fault.NewPlan(events...)
+		eng := sim.NewScalar(g, fuzzProtos(n, mk), inputs, gossip.Average, 11,
+			append(opts, sim.WithDetector(sim.DetectorConfig{Detect: detect.Config{Timeout: 30}}))...)
+		defer eng.Close()
+		lossyTreeLinks(eng)
+		return fingerprintEngine(eng, 300, plan.OnRound)
+	}
+
+	want := build(sim.WithShards(1))
+	if want.stats.Suspicions == 0 {
+		t.Fatal("reference run registered no suspicions — fault plan inert")
+	}
+	for _, v := range layoutVariants(g) {
+		sameFingerprint(t, v.label+"/parallel vs sequential", want, build(v.opt))
+		sameFingerprint(t, v.label+"/serial vs sequential", want,
+			build(v.opt, sim.WithSerialDelivery()))
+	}
+}
+
+// TestDeliveryPathBatched: the same serial-vs-parallel delivery
+// differential at value width k ∈ {1, 16} under per-link loss — wide
+// messages make the per-destination recycling and inbox appends carry
+// real payloads, and a k=16 run amplifies any divergence to 16
+// components per node.
+func TestDeliveryPathBatched(t *testing.T) {
+	withParallelWorkers(t, 4)
+	g := topology.BinaryTree(63)
+	n := g.N()
+	mk := allProtocols[0].mk
+	for _, k := range []int{1, 16} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			build := func(opts ...sim.EngineOption) shardFingerprint {
+				eng := sim.New(g, fuzzProtos(n, mk), batchInputs(n, k), 13, opts...)
+				defer eng.Close()
+				lossyTreeLinks(eng)
+				return fingerprintEngine(eng, 150, nil)
+			}
+			want := build(sim.WithShards(1))
+			for _, v := range layoutVariants(g) {
+				sameFingerprint(t, v.label+"/parallel vs sequential", want, build(v.opt))
+				sameFingerprint(t, v.label+"/serial vs sequential", want,
+					build(v.opt, sim.WithSerialDelivery()))
+			}
+		})
+	}
+}
+
+// TestDeliveryPathChurn: open-world churn (joins, leaves, rewires,
+// per-link loss on a changing overlay) across the layout grid, each
+// layout run with both delivery paths — teardown resyncs and roster
+// changes land between rounds, so the per-destination tasks must see
+// exactly the membership the serial merge saw.
+func TestDeliveryPathChurn(t *testing.T) {
+	withParallelWorkers(t, 4)
+	g := topology.BinaryTree(31)
+	inputs := churnInputs(g.N())
+	mk := allProtocols[0].mk
+	plan0 := func() *fault.Plan {
+		return fault.ChurnSchedule(g, fault.ChurnOptions{Rounds: 60, Every: 6, Losses: 2}, 17)
+	}
+	build := func(opts ...sim.EngineOption) *sim.Engine {
+		e := sim.NewScalar(g, fuzzProtos(g.N(), mk), inputs, gossip.Average, 17,
+			append(opts, sim.WithJoinFactory(mk))...)
+		e.Run(sim.RunConfig{MaxRounds: 80, OnRound: plan0().OnRound})
+		e.Drain()
+		return e
+	}
+	want := churnFingerprintOf(build(sim.WithShards(1)))
+	for _, v := range layoutVariants(g) {
+		e := build(v.opt)
+		sameChurnFingerprint(t, v.label+"/parallel vs sequential", want, churnFingerprintOf(e))
+		e.Close()
+		e = build(v.opt, sim.WithSerialDelivery())
+		sameChurnFingerprint(t, v.label+"/serial vs sequential", want, churnFingerprintOf(e))
+		e.Close()
+	}
+}
+
+// TestDeliverySnapshotRoundTrip crosses the second barrier with a
+// snapshot: a run with per-link loss active is snapshotted mid-run on a
+// cache-aware engine using parallel delivery, restored into a
+// contiguous engine forced onto the serial delivery path (different
+// shard count, different seed at construction), and must continue
+// byte-identically to the uninterrupted run — the directed loss-stream
+// table in the snapshot is what makes the reordered draws land
+// identically on both sides.
+func TestDeliverySnapshotRoundTrip(t *testing.T) {
+	withParallelWorkers(t, 4)
+	g := topology.BinaryTree(63)
+	n := g.N()
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = float64(7*i%19) + 0.375
+	}
+	mk := allProtocols[0].mk
+	pt := topology.CacheAware(g, 8)
+	if pt.Stats.Strategy != "bfs" {
+		t.Fatal("expected a genuinely non-contiguous layout on the tree")
+	}
+
+	full := sim.NewScalar(g, fuzzProtos(n, mk), inputs, gossip.Average, 29, sim.WithPartition(pt))
+	half := sim.NewScalar(g, fuzzProtos(n, mk), inputs, gossip.Average, 29, sim.WithPartition(pt))
+	defer full.Close()
+	defer half.Close()
+	lossyTreeLinks(full)
+	lossyTreeLinks(half)
+	for r := 0; r < 60; r++ {
+		full.Step()
+		half.Step()
+	}
+	snap, err := half.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 60; r++ {
+		full.Step()
+	}
+	want := fingerprintEngine(full, 0, nil)
+
+	restored := sim.NewScalar(g, fuzzProtos(n, mk), inputs, gossip.Average, 99,
+		sim.WithShards(3), sim.WithSerialDelivery())
+	defer restored.Close()
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	got := fingerprintEngine(restored, 60, nil)
+	sameFingerprint(t, "restore into serial-delivery contiguous P=3 from parallel bfs P=8", want, got)
+}
+
 // TestEngineCloseAndReuse: Close is idempotent and a closed engine
 // transparently restarts its worker pool on the next parallel round.
 func TestEngineCloseAndReuse(t *testing.T) {

@@ -14,32 +14,50 @@ package sim
 //	node's own splitmix64 stream. Outgoing messages are appended to the
 //	shard's ordered outbox; nothing is delivered yet.
 //
-//	Phase 2 (serial): the shard outboxes are merged in ascending GLOBAL
-//	source id order — a cursor walks every shard's outbox and the merge
-//	visits node ids 0..n−1, taking each node's sends from its owning
-//	shard's cursor — and each message is routed through the usual
-//	dead/silenced/alive checks and the interceptor into its destination
-//	inbox, to be processed next round.
+//	Phase 2 (parallel): delivery. During phase 1 every send was routed
+//	into the per-(source shard → destination shard) outbox bucket
+//	bucket[s][d]; phase 2 dispatches one delivery task per DESTINATION
+//	shard onto the same worker pool (a second WaitGroup barrier per
+//	round). Task d walks its P source buckets in ascending global
+//	source id order — trivially on contiguous layouts, via a k-way
+//	head merge on arbitrary partitions — and routes each message
+//	through the usual dead/silenced/alive checks and the per-link loss
+//	streams into its destination inbox, to be processed next round.
 //
 // Why this is invariant under both P and the shard layout: during phase
 // 1 a node reads and writes only its own state (protocol, detector, RNG
 // stream, frozen inbox), so the activation interleaving across shards is
-// unobservable; and because the merge runs in ascending source id order
-// — which is independent of how the ids were grouped into shards — inbox
-// contents, interceptor call sequences, loss draws and message pooling
-// are identical no matter how phase 1 was scheduled. The per-node RNG
-// streams are derived from (seed, node id) alone, so the communication
-// schedule itself is layout-independent. Contiguous layouts additionally
-// satisfy "ascending shard order = ascending id order", which the merge
-// exploits as a cursor-free fast path.
+// unobservable; and during phase 2 a delivery task touches only state
+// owned by its destination shard — the inboxes of its own nodes, its own
+// free list and counter bank, and the loss streams of directed links
+// INTO its shard — so tasks are pairwise disjoint and running them in
+// any order (or inline, in sequence: WithSerialDelivery) produces the
+// same bytes. The only cross-task question is per-inbox message order,
+// and that is fixed by construction: a node sends at most one message
+// per neighbor per round (the data send marks the link via noteSent, so
+// the keepalive interval check skips it, and probes target suspects,
+// which are disjoint from live neighbors), hence every inbox receives
+// messages from DISTINCT sources, delivered in ascending global source
+// id order — the only order any consumer can observe. Per-link loss
+// draws come from per-directed-link splitmix64 streams (membership.go),
+// so reordering draws across links cannot change any link's own
+// sequence. The per-node RNG streams are derived from (seed, node id)
+// alone, so the communication schedule itself is layout-independent.
+//
+// Stateful interceptors (fault.Loss, fault.BitFlip advance private RNGs
+// per Intercept call) require the global total order of PR-era serial
+// merging, so rounds with an interceptor installed route phase 1 into
+// the flat per-source-shard outbox and run the serial cursor merge
+// instead — bit-identical to the pre-parallel-delivery executor.
 //
 // Parallelism uses a persistent worker pool: the first parallel round
 // starts P−1 worker goroutines that block on a task channel; each round
-// the caller dispatches one phase-1 task per shard (running shard 0
-// itself), and the WaitGroup barrier before the merge is the round
-// barrier. Workers live until Engine.Close — or, for abandoned engines,
-// until a GC cleanup reclaims them — so steady-state rounds pay two
-// channel operations per shard instead of a goroutine spawn.
+// the caller dispatches one task per shard (running shard 0 itself) —
+// once for phase 1, once for delivery — and the WaitGroup barrier joins
+// each phase. Workers live until Engine.Close — or, for abandoned
+// engines, until a GC cleanup reclaims them — so steady-state rounds pay
+// two channel operations per shard per phase instead of a goroutine
+// spawn.
 //
 // The phase-split model is deliberately NOT schedule-compatible with the
 // legacy engine: sequential activation delivers a message sent earlier
@@ -53,9 +71,12 @@ package sim
 // just spans a round boundary). See DESIGN.md for the full argument.
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"pcfreduce/internal/gossip"
@@ -93,13 +114,34 @@ func WithPartition(pt *topology.Partition) EngineOption {
 	return func(e *Engine) { e.shards = len(pt.Shards); e.partition = pt }
 }
 
+// WithSerialDelivery makes phase 2 run its per-destination delivery
+// tasks inline, in ascending shard order, instead of dispatching them to
+// the worker pool. The tasks are pairwise disjoint, so this is
+// bit-identical to the parallel dispatch by construction — the option
+// exists precisely so differential tests and the bench smoke can verify
+// that claim, and as a perf baseline for the phase-2 bench rows.
+func WithSerialDelivery() EngineOption {
+	return func(e *Engine) { e.serialDeliver = true }
+}
+
+// WithPhaseLabels wraps every pooled-worker task in runtime/pprof labels
+// (phase=activate|deliver|errors, shard=<s>), so a -cpuprofile taken of
+// a sharded run attributes samples to phases and shards. Opt-in because
+// pprof.Do allocates per task — the default hot path stays
+// allocation-free (the bench gate pins allocs/op).
+func WithPhaseLabels() EngineOption {
+	return func(e *Engine) { e.phaseLabels = true }
+}
+
 // Shards returns the configured shard count (0 when the engine runs the
 // legacy sequential-activation model).
 func (e *Engine) Shards() int { return e.shards }
 
 // shardState holds the executor state of the phase-split model. All
-// slices indexed by shard are touched only by the owning worker during
-// phase 1 and only by the merge loop (single-threaded) during phase 2.
+// slices indexed by source shard are touched only by the owning worker
+// during phase 1; bucket COLUMNS (fixed destination index) and the
+// per-destination structures are touched only by the owning delivery
+// task during phase 2.
 type shardState struct {
 	nodes    [][]int32 // per-shard ascending node-id lists
 	shardOf  []int32   // node id → shard index
@@ -107,10 +149,17 @@ type shardState struct {
 	contig   bool      // concatenated shard lists == 0..n−1 (merge fast path)
 	baseLast int       // len(nodes[last]) before any joins (dropMembership rewind)
 
-	outbox [][]*gossip.Message // per-shard ordered sends of the current round
+	// bucket[s][d] holds shard s's sends to destinations owned by shard
+	// d, in emission (ascending source id) order — the routed form that
+	// lets delivery run one task per destination shard. outbox[s] is the
+	// flat per-source-shard form used by interceptor rounds, which need
+	// the serial global-order merge.
+	bucket [][][]*gossip.Message
+	outbox [][]*gossip.Message // flat per-shard sends (interceptor rounds)
 	pool   [][]*gossip.Message // per-shard message free lists
-	keep   []int               // per-shard keepalive counters, folded in at merge
+	keep   []int               // per-shard keepalive counters, folded at the barrier
 	cursor []int               // per-shard merge cursors (non-contiguous layouts)
+	dcur   [][]int             // per-destination k-way merge cursors (parallel delivery)
 
 	errs [][]float64 // per-shard Errors scratch
 	est  [][]float64 // per-shard estimate scratch
@@ -123,6 +172,14 @@ type shardState struct {
 	events [][]metrics.Event
 
 	surplus []*gossip.Message // rebalancePools scratch
+
+	// phase1Task and deliverTask are the bound method values handed to
+	// runShards every round. Bound once at init: creating a method value
+	// at the call site would heap-allocate per round (the func escapes
+	// through labeled and the pool's task channel), and the bench gate
+	// pins the sharded round's allocs/op.
+	phase1Task  func(int)
+	deliverTask func(int)
 
 	workers *workerPool // persistent phase-1 workers; nil until first parallel round
 }
@@ -178,13 +235,29 @@ func (e *Engine) Close() {
 	}
 }
 
-// runShards executes f(s) for every shard. With one shard, one
-// available CPU, or within a nested call it runs inline (identical
-// results — phase 1 is order-independent across shards); otherwise
-// shards 1..p−1 are dispatched to the persistent pool while the caller
-// runs shard 0, and the WaitGroup barrier joins the round.
-func (e *Engine) runShards(f func(int)) {
+// labeled wraps a per-shard task in runtime/pprof labels when the
+// engine was built WithPhaseLabels; otherwise it returns f unchanged
+// (zero cost on the default path).
+func (e *Engine) labeled(phase string, f func(int)) func(int) {
+	if !e.phaseLabels {
+		return f
+	}
+	return func(s int) {
+		pprof.Do(context.Background(),
+			pprof.Labels("phase", phase, "shard", strconv.Itoa(s)),
+			func(context.Context) { f(s) })
+	}
+}
+
+// runShards executes f(s) for every shard, tagged with the given pprof
+// phase label when enabled. With one shard, one available CPU, or
+// within a nested call it runs inline (identical results — both phases
+// are order-independent across shards); otherwise shards 1..p−1 are
+// dispatched to the persistent pool while the caller runs shard 0, and
+// the WaitGroup barrier joins the phase.
+func (e *Engine) runShards(phase string, f func(int)) {
 	p := e.shards
+	f = e.labeled(phase, f)
 	if p == 1 || runtime.GOMAXPROCS(0) == 1 {
 		for s := 0; s < p; s++ {
 			f(s)
@@ -225,12 +298,18 @@ func (e *Engine) initShards(seed int64) {
 		nodes:   make([][]int32, p),
 		shardOf: make([]int32, n),
 		nodeRNG: make([]uint64, n),
+		bucket:  make([][][]*gossip.Message, p),
 		outbox:  make([][]*gossip.Message, p),
 		pool:    make([][]*gossip.Message, p),
 		keep:    make([]int, p),
 		cursor:  make([]int, p),
+		dcur:    make([][]int, p),
 		errs:    make([][]float64, p),
 		est:     make([][]float64, p),
+	}
+	for s := 0; s < p; s++ {
+		ss.bucket[s] = make([][]*gossip.Message, p)
+		ss.dcur[s] = make([]int, p)
 	}
 	if e.partition != nil {
 		for s, list := range e.partition.Shards {
@@ -275,6 +354,8 @@ func (e *Engine) initShards(seed int64) {
 			e.inbox[i] = make([]*gossip.Message, 0, want)
 		}
 	}
+	ss.phase1Task = e.shardPhase1
+	ss.deliverTask = e.deliverShard
 	e.shard = ss
 	e.seedNodeRNG(seed)
 }
@@ -341,13 +422,46 @@ func (e *Engine) putMsgShard(s int, m *gossip.Message) {
 
 // stepSharded executes one phase-split round: phase 1 on the worker
 // pool (inline when it cannot actually run in parallel — exact same
-// results without the dispatch cost), then the serial merge.
+// results without the dispatch cost), then delivery — parallel, one
+// task per destination shard, on the same pool; or the serial
+// global-order merge when a stateful interceptor demands it.
 func (e *Engine) stepSharded() {
 	e.inPhase1 = true
-	e.runShards(e.shardPhase1)
+	e.runShards("activate", e.shard.phase1Task)
 	e.inPhase1 = false
-	e.mergeOutboxes()
+	e.foldKeepalives()
+	if e.interceptor != nil {
+		e.mergeOutboxes()
+	} else {
+		e.deliverRound()
+	}
+	e.flushShardEvents()
+	e.rebalancePools()
 	e.round++
+}
+
+// foldKeepalives folds the per-shard phase-1 keepalive counters into the
+// engine total at the round barrier.
+func (e *Engine) foldKeepalives() {
+	for s := 0; s < e.shards; s++ {
+		e.keepalives += e.shard.keep[s]
+		e.shard.keep[s] = 0
+	}
+}
+
+// enqueueShard routes one of shard s's outgoing messages: into the
+// (s → destination shard) bucket normally, or into the flat per-shard
+// outbox when an interceptor is installed — stateful interceptors must
+// observe the global total order only the serial merge provides, and
+// the flat outbox preserves each node's intra-round send order (data
+// before keepalives), which bucketing by destination would lose.
+func (e *Engine) enqueueShard(s int, m *gossip.Message) {
+	if e.interceptor != nil {
+		e.shard.outbox[s] = append(e.shard.outbox[s], m)
+		return
+	}
+	d := e.shard.shardOf[m.To]
+	e.shard.bucket[s][d] = append(e.shard.bucket[s][d], m)
 }
 
 // shardPhase1 runs the local half-round of every node in shard s, in
@@ -386,7 +500,7 @@ func (e *Engine) shardPhase1(s int) {
 			} else {
 				*m = p.MakeMessage(target)
 			}
-			e.shard.outbox[s] = append(e.shard.outbox[s], m)
+			e.enqueueShard(s, m)
 		}
 		if e.det != nil {
 			e.shardKeepalives(i, s)
@@ -416,7 +530,7 @@ func (e *Engine) shardKeepalives(i, s int) {
 			e.noteSent(i, j)
 			e.shard.keep[s]++
 			e.rec.Bank(s).Inc(metrics.Keepalives)
-			e.shard.outbox[s] = append(e.shard.outbox[s], e.makeControlShard(i, j, gossip.KindKeepalive, s))
+			e.enqueueShard(s, e.makeControlShard(i, j, gossip.KindKeepalive, s))
 		}
 	}
 	for _, j := range e.det[i].Suspects() {
@@ -424,7 +538,7 @@ func (e *Engine) shardKeepalives(i, s int) {
 			e.noteSent(i, j)
 			e.shard.keep[s]++
 			e.rec.Bank(s).Inc(metrics.Keepalives)
-			e.shard.outbox[s] = append(e.shard.outbox[s], e.makeControlShard(i, j, gossip.KindKeepalive, s))
+			e.enqueueShard(s, e.makeControlShard(i, j, gossip.KindKeepalive, s))
 		}
 	}
 }
@@ -441,22 +555,111 @@ func (e *Engine) makeControlShard(from, to int, kind gossip.Kind, s int) *gossip
 	return m
 }
 
-// mergeOutboxes is phase 2: route every queued message into its
-// destination inbox in ascending GLOBAL source id order. On contiguous
-// layouts that order is exactly "shard 0's outbox, then shard 1's, …",
-// so the merge walks the outboxes directly; on an arbitrary partition a
-// cursor per shard walks the outboxes while the loop visits node ids in
-// ascending order (each shard's outbox is already id-sorted — phase 1
-// activates ascending — so each node's sends sit at its shard's
-// cursor). Either way the order is a pure function of the round's
-// sends, so inbox contents, loss draws and stateful-interceptor call
-// sequences are identical for every shard count and layout.
+// deliverRound is the parallel phase 2: one delivery task per
+// destination shard, dispatched onto the worker pool (or run inline in
+// ascending shard order under WithSerialDelivery — bit-identical, since
+// the tasks touch pairwise-disjoint state).
+func (e *Engine) deliverRound() {
+	if e.serialDeliver {
+		f := e.labeled("deliver", e.shard.deliverTask)
+		for d := 0; d < e.shards; d++ {
+			f(d)
+		}
+		return
+	}
+	e.runShards("deliver", e.shard.deliverTask)
+}
+
+// deliverShard routes every message destined for shard d's nodes into
+// their inboxes, in ascending global source id order. On contiguous
+// layouts that order is "bucket[0][d], then bucket[1][d], …"; on an
+// arbitrary partition the task k-way-merges its P source buckets by
+// smallest head source id (no ties — each source lives in exactly one
+// shard), draining each node's run of sends in emission order. Touches
+// only destination-shard-owned state: inboxes of d's nodes, pool d,
+// counter bank d, and the streams of directed links into d.
+func (e *Engine) deliverShard(d int) {
+	p := e.shards
+	if e.shard.contig {
+		for s := 0; s < p; s++ {
+			col := e.shard.bucket[s][d]
+			for _, m := range col {
+				e.routeDeliver(m, d)
+			}
+			e.shard.bucket[s][d] = col[:0]
+		}
+		return
+	}
+	cur := e.shard.dcur[d]
+	for s := 0; s < p; s++ {
+		cur[s] = 0
+	}
+	last := -1
+	for {
+		best, bestFrom := -1, 0
+		for s := 0; s < p; s++ {
+			col := e.shard.bucket[s][d]
+			if cur[s] < len(col) && (best < 0 || col[cur[s]].From < bestFrom) {
+				best, bestFrom = s, col[cur[s]].From
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if bestFrom < last {
+			panic(fmt.Sprintf("sim: bucket (%d→%d) out of source id order (%d after %d)", best, d, bestFrom, last))
+		}
+		last = bestFrom
+		col := e.shard.bucket[best][d]
+		for cur[best] < len(col) && col[cur[best]].From == bestFrom {
+			e.routeDeliver(col[cur[best]], d)
+			cur[best]++
+		}
+	}
+	for s := 0; s < p; s++ {
+		e.shard.bucket[s][d] = e.shard.bucket[s][d][:0]
+	}
+}
+
+// routeDeliver applies the send-path semantics (link-failure table,
+// silencing, crash check, per-link loss) to one message of delivery
+// task d. Dropped messages recycle into the task's own free list — the
+// pool the message would have been drained into had it been delivered —
+// so pool occupancy stays P-independent with no cross-task traffic.
+// Interceptors never reach this path (stepSharded routes interceptor
+// rounds through the serial merge).
+func (e *Engine) routeDeliver(msg *gossip.Message, d int) {
+	key := linkKey(msg.From, msg.To)
+	if e.dead[key] || e.silenced[key] || !e.alive[msg.To] {
+		e.rec.Bank(d).Inc(metrics.MsgsLost)
+		e.putMsgShard(d, msg)
+		return
+	}
+	// Per-link heterogeneous loss: each directed link draws from its own
+	// splitmix64 stream, touched only by the destination shard's task, so
+	// the draw sequence per link — the only sequence that matters — is
+	// identical for every shard count, layout and delivery order.
+	if e.lossRates != nil && e.lossDrop(msg.From, msg.To) {
+		e.rec.Bank(d).Inc(metrics.MsgsLost)
+		e.putMsgShard(d, msg)
+		return
+	}
+	e.rec.Bank(d).Inc(metrics.MsgsDelivered)
+	e.inbox[msg.To] = append(e.inbox[msg.To], msg)
+}
+
+// mergeOutboxes is the serial phase 2 used for interceptor rounds:
+// route every queued message into its destination inbox in ascending
+// GLOBAL source id order, so stateful-interceptor call sequences are
+// identical for every shard count and layout. On contiguous layouts
+// that order is exactly "shard 0's outbox, then shard 1's, …", so the
+// merge walks the outboxes directly; on an arbitrary partition the
+// outboxes are k-way-merged by smallest head source id (each shard's
+// outbox is id-sorted — phase 1 activates ascending — and a node's
+// sends are consecutive in its shard's outbox, so draining the head run
+// reproduces the global order without scanning every node id).
 func (e *Engine) mergeOutboxes() {
 	p := e.shards
-	for s := 0; s < p; s++ {
-		e.keepalives += e.shard.keep[s]
-		e.shard.keep[s] = 0
-	}
 	if e.shard.contig {
 		for s := 0; s < p; s++ {
 			for _, m := range e.shard.outbox[s] {
@@ -464,30 +667,37 @@ func (e *Engine) mergeOutboxes() {
 			}
 			e.shard.outbox[s] = e.shard.outbox[s][:0]
 		}
-	} else {
-		cur := e.shard.cursor
+		return
+	}
+	cur := e.shard.cursor
+	for s := 0; s < p; s++ {
+		cur[s] = 0
+	}
+	last := -1
+	for {
+		best, bestFrom := -1, 0
 		for s := 0; s < p; s++ {
-			cur[s] = 0
-		}
-		for i := 0; i < len(e.protos); i++ {
-			s := e.shard.shardOf[i]
 			out := e.shard.outbox[s]
-			c := cur[s]
-			for c < len(out) && out[c].From == i {
-				e.routeMerged(out[c])
-				c++
+			if cur[s] < len(out) && (best < 0 || out[cur[s]].From < bestFrom) {
+				best, bestFrom = s, out[cur[s]].From
 			}
-			cur[s] = c
 		}
-		for s := 0; s < p; s++ {
-			if cur[s] != len(e.shard.outbox[s]) {
-				panic(fmt.Sprintf("sim: shard %d outbox not fully merged (%d of %d) — outbox out of id order", s, cur[s], len(e.shard.outbox[s])))
-			}
-			e.shard.outbox[s] = e.shard.outbox[s][:0]
+		if best < 0 {
+			break
+		}
+		if bestFrom < last {
+			panic(fmt.Sprintf("sim: shard %d outbox out of source id order (%d after %d)", best, bestFrom, last))
+		}
+		last = bestFrom
+		out := e.shard.outbox[best]
+		for cur[best] < len(out) && out[cur[best]].From == bestFrom {
+			e.routeMerged(out[cur[best]])
+			cur[best]++
 		}
 	}
-	e.flushShardEvents()
-	e.rebalancePools()
+	for s := 0; s < p; s++ {
+		e.shard.outbox[s] = e.shard.outbox[s][:0]
+	}
 }
 
 // flushShardEvents moves phase-1-staged trace events into the
@@ -513,17 +723,29 @@ func (e *Engine) flushShardEvents() {
 			}
 		}
 	} else {
+		// K-way merge by smallest head emitting-node id: a node's events
+		// are consecutive in its shard's buffer (phase 1 activates
+		// ascending), so draining each head run walks the events once
+		// instead of scanning every node id per round.
 		cur := e.shard.cursor
 		for s := 0; s < p; s++ {
 			cur[s] = 0
 		}
-		for i := 0; i < len(e.protos) && total > 0; i++ {
-			s := e.shard.shardOf[i]
-			evs := e.shard.events[s]
-			for cur[s] < len(evs) && evs[cur[s]].A == i {
-				e.rec.RecordEvent(evs[cur[s]])
-				cur[s]++
-				total--
+		for {
+			best, bestA := -1, 0
+			for s := 0; s < p; s++ {
+				evs := e.shard.events[s]
+				if cur[s] < len(evs) && (best < 0 || evs[cur[s]].A < bestA) {
+					best, bestA = s, evs[cur[s]].A
+				}
+			}
+			if best < 0 {
+				break
+			}
+			evs := e.shard.events[best]
+			for cur[best] < len(evs) && evs[cur[best]].A == bestA {
+				e.rec.RecordEvent(evs[cur[best]])
+				cur[best]++
 			}
 		}
 	}
@@ -584,10 +806,10 @@ func (e *Engine) routeMerged(msg *gossip.Message) {
 		e.putMsgShard(dst, msg)
 		return
 	}
-	// Per-link heterogeneous loss: drawn here, in the serial merge whose
-	// order is a pure function of the round's sends, so the draw sequence
-	// is identical for every shard count.
-	if e.lossRates != nil && e.lossDrop(key) {
+	// Per-link heterogeneous loss: each directed link draws from its own
+	// stream, so the sequence per link is the same here as on the
+	// parallel delivery path.
+	if e.lossRates != nil && e.lossDrop(msg.From, msg.To) {
 		e.rec.Bank(0).Inc(metrics.MsgsLost)
 		e.putMsgShard(dst, msg)
 		return
@@ -647,7 +869,7 @@ func (e *Engine) cloneMsgShard(m *gossip.Message, s int) *gossip.Message {
 // scan, for every shard layout.
 func (e *Engine) errorsSharded() []float64 {
 	p := e.shards
-	e.runShards(func(s int) {
+	e.runShards("errors", func(s int) {
 		e.shard.errs[s] = e.errorsRange(s, e.shard.errs[s][:0])
 	})
 	e.errBuf = e.errBuf[:0]

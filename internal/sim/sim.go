@@ -119,8 +119,13 @@ type Engine struct {
 	overlay     *topology.Overlay
 	joinFactory func() gossip.Protocol
 	lossRates   map[[2]int]float64 // per-link loss rates, ordered pairs i<j
-	lossRNG     uint64             // dedicated splitmix64 stream for loss draws
-	layout      map[int][]int32    // protocol storage rows that diverged from the overlay (membership.go)
+	lossBase    uint64             // seed material for per-directed-link loss streams
+	lossStreams map[[2]int]*uint64 // per-DIRECTED-link splitmix64 loss streams, keyed {from,to};
+	// entries are created serially (SetLinkLoss, snapshot load) and only
+	// the pointed-to state advances during delivery, so parallel delivery
+	// tasks never write the map — each directed link is drawn only by its
+	// destination shard's task (membership.go).
+	layout map[int][]int32 // protocol storage rows that diverged from the overlay (membership.go)
 
 	inbox    [][]*gossip.Message // pooled; recycled after dispatch
 	alive    []bool
@@ -147,8 +152,10 @@ type Engine struct {
 	probeSums []stats.Sum2      // massResidual scratch
 
 	shards    int                 // 0 = legacy sequential model; ≥ 1 = phase-split model
-	shard     *shardState         // executor state of the phase-split model (shard.go)
-	partition *topology.Partition // explicit shard layout (WithPartition); nil = contiguous
+	shard         *shardState         // executor state of the phase-split model (shard.go)
+	partition     *topology.Partition // explicit shard layout (WithPartition); nil = contiguous
+	serialDeliver bool                // run phase-2 delivery tasks inline (WithSerialDelivery)
+	phaseLabels   bool                // pprof-label pooled tasks (WithPhaseLabels)
 
 	nodeCkpt []*gossip.State // per-node crash-restart checkpoints (snapshot.go); nil until CheckpointNode
 
@@ -351,6 +358,12 @@ func (e *Engine) Reset(seed int64) {
 				e.putMsgShard(s, m)
 			}
 			e.shard.outbox[s] = e.shard.outbox[s][:0]
+			for d := 0; d < e.shards; d++ {
+				for _, m := range e.shard.bucket[s][d] {
+					e.putMsgShard(s, m)
+				}
+				e.shard.bucket[s][d] = e.shard.bucket[s][d][:0]
+			}
 			e.shard.keep[s] = 0
 			if e.shard.events != nil {
 				// Staged-but-unflushed trace events are per-trial state:
@@ -674,7 +687,7 @@ func (e *Engine) send(msg *gossip.Message) {
 		e.putMsg(msg)
 		return // sent into a broken, silenced or dead destination: lost
 	}
-	if e.lossRates != nil && e.lossDrop(key) {
+	if e.lossRates != nil && e.lossDrop(msg.From, msg.To) {
 		e.rec.Bank(0).Inc(metrics.MsgsLost)
 		e.putMsg(msg)
 		return // heterogeneous per-link loss (SetLinkLoss)

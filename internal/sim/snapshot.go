@@ -114,7 +114,7 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 		}
 	}
 	snap := &Snapshot{N: n, Width: e.width, Round: e.round, State: w.State}
-	if e.overlay != nil || e.lossRates != nil {
+	if e.overlay != nil || e.lossRates != nil || e.lossStreams != nil {
 		ow := &gossip.StateWriter{}
 		e.saveMembership(ow)
 		snap.Overlay = ow.State
@@ -125,8 +125,9 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 
 // saveMembership serializes the overlay section: base/total node
 // counts, the overlay's dirty rows (sorted by id — deterministic), the
-// loss table (sorted by link), the loss stream state and the pinned
-// protocol storage rows (sorted by id).
+// loss table (sorted by link), the per-directed-link loss stream states
+// (sorted by directed link) and the pinned protocol storage rows
+// (sorted by id).
 func (e *Engine) saveMembership(w *gossip.StateWriter) {
 	w.PutU64(uint64(e.graph.N()))
 	if e.overlay != nil {
@@ -157,7 +158,26 @@ func (e *Engine) saveMembership(w *gossip.StateWriter) {
 		w.PutI32(int32(k[1]))
 		w.PutF64(e.lossRates[k])
 	}
-	w.PutU64(e.lossRNG)
+	// Per-directed-link loss stream states, sorted by (from, to) so the
+	// section never depends on map iteration order. Streams for links
+	// whose rate was later cleared are kept: SetLinkLoss promises the
+	// sequence continues where it left off.
+	skeys := make([][2]int, 0, len(e.lossStreams))
+	for k := range e.lossStreams {
+		skeys = append(skeys, k)
+	}
+	sort.Slice(skeys, func(a, b int) bool {
+		if skeys[a][0] != skeys[b][0] {
+			return skeys[a][0] < skeys[b][0]
+		}
+		return skeys[a][1] < skeys[b][1]
+	})
+	w.PutU64(uint64(len(skeys)))
+	for _, k := range skeys {
+		w.PutI32(int32(k[0]))
+		w.PutI32(int32(k[1]))
+		w.PutU64(*e.lossStreams[k])
+	}
 	// The trial seed: node-join RNG streams derive from it, so a restored
 	// engine must adopt the capture seed for post-restore joins to replay
 	// identically.
@@ -228,8 +248,24 @@ func (e *Engine) loadMembership(r *gossip.StateReader) error {
 		}
 		e.lossRates[[2]int{a, b}] = p
 	}
-	e.lossRNG = r.U64()
+	streamCount := int(r.U64())
+	for c := 0; c < streamCount; c++ {
+		a := int(r.I32())
+		b := int(r.I32())
+		st := r.U64()
+		if r.Err() != nil {
+			break
+		}
+		if e.lossStreams == nil {
+			e.lossStreams = make(map[[2]int]*uint64, streamCount)
+		}
+		stc := st
+		e.lossStreams[[2]int{a, b}] = &stc
+	}
 	e.seed = int64(r.U64())
+	// Post-restore SetLinkLoss calls must derive fresh streams from the
+	// capture seed, not the construction seed, to replay identically.
+	e.lossBase = lossBaseOf(e.seed)
 	layoutCount := int(r.U64())
 	for c := 0; c < layoutCount; c++ {
 		id := int(r.I32())
@@ -393,6 +429,12 @@ func (e *Engine) Restore(s *Snapshot) error {
 			e.putMsgShard(s, m)
 		}
 		e.shard.outbox[s] = e.shard.outbox[s][:0]
+		for d := 0; d < e.shards; d++ {
+			for _, m := range e.shard.bucket[s][d] {
+				e.putMsgShard(s, m)
+			}
+			e.shard.bucket[s][d] = e.shard.bucket[s][d][:0]
+		}
 		e.shard.keep[s] = 0
 		if e.shard.events != nil {
 			e.shard.events[s] = e.shard.events[s][:0]

@@ -47,6 +47,12 @@ type PartitionStats struct {
 	// both constructors guarantee MaxSize−MinSize ≤ 1.
 	MinSize int `json:"min_size"`
 	MaxSize int `json:"max_size"`
+	// MaxCrossTraffic is the largest off-diagonal entry of the
+	// cross-bucket traffic matrix (see TrafficMatrix): the directed edge
+	// count of the heaviest single (source shard → destination shard)
+	// outbox bucket, i.e. the worst per-bucket load any one phase-2
+	// delivery task inherits from any one source shard.
+	MaxCrossTraffic int `json:"max_cross_traffic"`
 	// Strategy names the layout that won: "contiguous" or "bfs".
 	Strategy string `json:"strategy"`
 }
@@ -179,7 +185,47 @@ func partitionStats(g *Graph, shards [][]int32, strategy string) PartitionStats 
 			}
 		}
 	}
+	for s, row := range trafficMatrix(g, shards, assign) {
+		for d, c := range row {
+			if s != d && c > st.MaxCrossTraffic {
+				st.MaxCrossTraffic = c
+			}
+		}
+	}
 	return st
+}
+
+// TrafficMatrix returns the P×P directed cross-bucket traffic matrix of
+// the partition on g: entry [s][d] counts the directed edges (i → j)
+// with i in shard s and j in shard d — exactly the number of slots the
+// (s → d) outbox bucket of the sharded engine's parallel delivery phase
+// would carry if every node messaged every neighbor. The diagonal holds
+// intra-shard traffic; for an undirected graph the matrix is symmetric
+// and its off-diagonal total is 2·CutEdges.
+func (pt *Partition) TrafficMatrix(g *Graph) [][]int {
+	n := g.N()
+	assign := make([]int32, n)
+	for s, list := range pt.Shards {
+		for _, v := range list {
+			assign[v] = int32(s)
+		}
+	}
+	return trafficMatrix(g, pt.Shards, assign)
+}
+
+func trafficMatrix(g *Graph, shards [][]int32, assign []int32) [][]int {
+	p := len(shards)
+	m := make([][]int, p)
+	for s := range m {
+		m[s] = make([]int, p)
+	}
+	for i := 0; i < g.N(); i++ {
+		si := assign[i]
+		for _, j := range g.Neighbors(i) {
+			m[si][assign[j]]++
+		}
+	}
+	return m
 }
 
 // Validate checks that the partition is a disjoint exact cover of g's

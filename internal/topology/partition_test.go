@@ -138,6 +138,54 @@ func TestCacheAwareDeterministic(t *testing.T) {
 	}
 }
 
+// TestTrafficMatrix pins the cross-bucket traffic matrix contract on
+// every family and both constructors: the matrix is symmetric (the
+// graphs are undirected), the diagonal plus off-diagonal halves account
+// for every directed edge, the off-diagonal total is exactly 2·CutEdges,
+// and Stats.MaxCrossTraffic equals the largest off-diagonal entry.
+func TestTrafficMatrix(t *testing.T) {
+	for _, g := range partitionFamilies() {
+		for _, p := range []int{1, 2, 3, 8} {
+			for _, build := range []func(*topology.Graph, int) *topology.Partition{topology.Contiguous, topology.CacheAware} {
+				pt := build(g, p)
+				m := pt.TrafficMatrix(g)
+				if len(m) != len(pt.Shards) {
+					t.Fatalf("%s p=%d: matrix has %d rows for %d shards", g.Name(), p, len(m), len(pt.Shards))
+				}
+				total, cross, maxCross := 0, 0, 0
+				for s := range m {
+					if len(m[s]) != len(pt.Shards) {
+						t.Fatalf("%s p=%d: row %d has %d columns", g.Name(), p, s, len(m[s]))
+					}
+					for d, c := range m[s] {
+						if c != m[d][s] {
+							t.Fatalf("%s p=%d: asymmetric entry [%d][%d]=%d vs [%d][%d]=%d",
+								g.Name(), p, s, d, c, d, s, m[d][s])
+						}
+						total += c
+						if s != d {
+							cross += c
+							if c > maxCross {
+								maxCross = c
+							}
+						}
+					}
+				}
+				if total != 2*g.NumEdges() {
+					t.Fatalf("%s p=%d: matrix total %d, want 2·edges=%d", g.Name(), p, total, 2*g.NumEdges())
+				}
+				if cross != 2*pt.Stats.CutEdges {
+					t.Fatalf("%s p=%d: off-diagonal total %d, want 2·cut=%d", g.Name(), p, cross, 2*pt.Stats.CutEdges)
+				}
+				if maxCross != pt.Stats.MaxCrossTraffic {
+					t.Fatalf("%s p=%d: Stats.MaxCrossTraffic=%d, matrix max %d",
+						g.Name(), p, pt.Stats.MaxCrossTraffic, maxCross)
+				}
+			}
+		}
+	}
+}
+
 func TestPartitionClamp(t *testing.T) {
 	g := topology.Path(3)
 	for _, build := range []func(*topology.Graph, int) *topology.Partition{topology.Contiguous, topology.CacheAware} {
