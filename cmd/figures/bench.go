@@ -16,6 +16,7 @@ import (
 	"pcfreduce/internal/experiments"
 	"pcfreduce/internal/gossip"
 	"pcfreduce/internal/linalg"
+	"pcfreduce/internal/metrics"
 	"pcfreduce/internal/sim"
 	"pcfreduce/internal/topology"
 )
@@ -152,6 +153,16 @@ type phase2Entry struct {
 	ParallelNsPerOp  float64 `json:"parallel_delivery_ns_per_op"`
 	DeliverySpeedup  float64 `json:"delivery_speedup"`
 	ParallelAllocsOp int64   `json:"parallel_allocs_per_op"`
+
+	// Phase-time breakdown from a short flight-recorder run on the same
+	// engine configuration: summed per-shard task time per round for the
+	// two parallel fan-outs, plus the caller's summed barrier wait.
+	// Wall-clock measurements, so informational (the gate does not pin
+	// them) — they attribute the ns/op above to phases, which is what
+	// turns a delivery_speedup regression into a diagnosis.
+	ActivateNsPerRound float64 `json:"activate_ns_per_round,omitempty"`
+	DeliverNsPerRound  float64 `json:"deliver_ns_per_round,omitempty"`
+	BarrierNsPerRound  float64 `json:"barrier_wait_ns_per_round,omitempty"`
 }
 
 // snapshotCost records what a full-state checkpoint costs at
@@ -617,7 +628,7 @@ func measurePhase2Row(g *topology.Graph, seed int64, shards int) phase2Entry {
 	}
 	serial := measure(sim.WithSerialDelivery())
 	par := measure()
-	return phase2Entry{
+	row := phase2Entry{
 		Topology:         g.Name(),
 		N:                n,
 		Shards:           shards,
@@ -627,6 +638,25 @@ func measurePhase2Row(g *topology.Graph, seed int64, shards int) phase2Entry {
 		DeliverySpeedup:  float64(serial.NsPerOp()) / float64(par.NsPerOp()),
 		ParallelAllocsOp: par.AllocsPerOp(),
 	}
+	// Short flight-recorder run for the phase breakdown. Separate from
+	// the benchmark engines above so timing never contaminates the
+	// gated ns/op numbers.
+	const breakdownRounds = 32
+	runtime.GC()
+	rec := metrics.New(metrics.Config{Shards: shards, Interval: 1 << 30, Timing: true})
+	e := sim.NewScalar(g, experiments.PCF.Protos(n), experiments.UniformInputs(n, seed),
+		gossip.Average, seed, sim.WithShards(shards))
+	e.SetMetrics(rec)
+	for r := 0; r < breakdownRounds; r++ {
+		e.Step()
+	}
+	e.Close()
+	merged := rec.MergedTiming()
+	row.ActivateNsPerRound = float64(merged.Hist(metrics.PhaseActivate).SumNs) / breakdownRounds
+	row.DeliverNsPerRound = float64(merged.Hist(metrics.PhaseDeliver).SumNs) / breakdownRounds
+	row.BarrierNsPerRound = float64(merged.Hist(metrics.PhaseBarrierActivate).SumNs+
+		merged.Hist(metrics.PhaseBarrierDeliver).SumNs) / breakdownRounds
+	return row
 }
 
 // phase2Families are the topologies of the phase-2 delivery series: a

@@ -9,6 +9,7 @@ import (
 
 	"pcfreduce/internal/experiments"
 	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/metrics"
 	"pcfreduce/internal/sim"
 	"pcfreduce/internal/topology"
 )
@@ -61,6 +62,15 @@ const phase2GateFloor = 0.85
 // as kValueDriftTolerance). On a multicore recorder this is what turns
 // the floor into a real scaling gate: a recorded 2.8x row gates at 2x.
 const phase2DriftTolerance = 1.4
+
+// timingOffTolerance bounds the sharded round with a timing-off
+// recorder attached against the nil-recorder round from the same gate
+// run. The flight recorder's contract is that its single e.flight nil
+// check costs nothing when timing is off, so the only remaining cost is
+// the counter banks — a few percent; the budget is a loose same-host
+// ratio because both sides are single measurements. Allocations are the
+// hard edge: the timing-off round must stay at the recorded allocs/op.
+const timingOffTolerance = 1.4
 
 // runBenchGate is the CI regression gate: it re-measures the largest
 // n-scaling point of the recorded baseline (the sharded PCF round at
@@ -138,6 +148,31 @@ func runBenchGate(path string, seed int64) {
 	if shd.AllocsPerOp() > base.ShardedAllocsOp {
 		fmt.Printf("FAIL: sharded PCF round allocates %d/op, baseline %d/op\n",
 			shd.AllocsPerOp(), base.ShardedAllocsOp)
+		failed = true
+	}
+	// Flight-recorder zero-overhead gate: the same sharded round with a
+	// recorder attached but timing OFF (the default observation state)
+	// must match the nil-recorder round just measured — same allocs/op,
+	// ns/op within a loose same-host ratio. This is the hot path every
+	// -metrics run takes, so a regression here is a regression for every
+	// observed experiment.
+	offRec := metrics.New(metrics.Config{Shards: base.Shards, Interval: 1 << 30})
+	offEng := sim.NewScalar(g, experiments.PCF.Protos(n), in, gossip.Average, seed,
+		sim.WithShards(base.Shards))
+	offEng.SetMetrics(offRec)
+	off := benchRound(offEng)
+	offAllowed := measured * timingOffTolerance
+	maxOffAllocs := max(base.ShardedAllocsOp, 1)
+	fmt.Printf("  timing-off recorder: measured %.0f ns/op (nil-recorder %.0f, budget ×%.2f), %d allocs/op (max %d)\n",
+		float64(off.NsPerOp()), measured, timingOffTolerance, off.AllocsPerOp(), maxOffAllocs)
+	if float64(off.NsPerOp()) > offAllowed {
+		fmt.Printf("FAIL: sharded round with a timing-off recorder costs %.0f ns/op, nil-recorder round %.0f (budget ×%.2f)\n",
+			float64(off.NsPerOp()), measured, timingOffTolerance)
+		failed = true
+	}
+	if off.AllocsPerOp() > maxOffAllocs {
+		fmt.Printf("FAIL: sharded round with a timing-off recorder allocates %d/op, max %d\n",
+			off.AllocsPerOp(), maxOffAllocs)
 		failed = true
 	}
 	if sc := rep.SnapshotCost; sc != nil {

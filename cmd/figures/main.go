@@ -45,6 +45,9 @@ func main() {
 
 		benchSmoke = flag.Bool("bench-smoke", false, "fast machine-independent CI check: cross-layout bitwise identity, k-value batching speedup floor and the cache-aware partition contract")
 
+		phaseReport   = flag.Bool("phase-report", false, "run short timing-enabled sharded reductions and print the per-shard phase breakdown: partition-predicted vs measured delivery share, barrier waits and pool utilization")
+		checkTimeline = flag.String("check-timeline", "", "structurally validate a gossipsim -timeline JSON export (named tracks, phase slices, fault/churn instants) and exit non-zero on problems")
+
 		shards     = flag.Int("shards", 8, "shard count for the sharded-executor series of -bench-json")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -160,6 +163,14 @@ func main() {
 	}
 	if *benchSmoke {
 		runBenchSmoke(*seed)
+		ran = true
+	}
+	if *phaseReport {
+		runPhaseReport(emit, *seed, *shards)
+		ran = true
+	}
+	if *checkTimeline != "" {
+		runCheckTimeline(*checkTimeline)
 		ran = true
 	}
 	if !ran {

@@ -30,10 +30,13 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
@@ -50,6 +53,7 @@ import (
 	"pcfreduce/internal/profiling"
 	"pcfreduce/internal/sim"
 	"pcfreduce/internal/topology"
+	"pcfreduce/internal/trace"
 )
 
 // phaseLabels is set in main when -cpuprofile is given: sharded engines
@@ -110,7 +114,10 @@ func main() {
 
 		metricsEvery = flag.Int("metrics", 0, "sample the invariant probes (mass residual, in-flight weight, error quantiles, flow anti-symmetry) every K rounds and print the sample table at the end (0 = off)")
 		eventsOut    = flag.String("events", "", `write the trace-event ring (faults, evictions, reintegrations, convergence epochs) as JSONL to this file ("-" = stdout)`)
-		metricsAddr  = flag.String("metrics-addr", "", "with -concurrent: serve Prometheus text at /metrics, expvar at /debug/vars and pprof at /debug/pprof/ on this address for the duration of the run")
+		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus text at /metrics, expvar at /debug/vars and pprof at /debug/pprof/ on this address for the duration of the run (concurrent runtime and round-simulator runs)")
+		timingFlag   = flag.Bool("timing", false, "record the flight recorder's per-phase/per-shard duration histograms (sharded executor; timing never changes results) and print the phase table at the end")
+		timelineOut  = flag.String("timeline", "", "write a Chrome-trace / Perfetto JSON timeline of the sharded round — one track per worker, phase/shard slices, fault/churn/snapshot instant events — to this file (implies -timing and the simulator fault path; open at https://ui.perfetto.dev)")
+		churnPlan    = flag.Bool("churn-plan", false, "merge a generated open-world churn schedule (cadence -churn-every, lossy links -churn-losses) into the simulator fault path's plan; requires -agg avg")
 	)
 	flag.Parse()
 
@@ -209,7 +216,8 @@ func main() {
 		return
 	}
 
-	if *detectMode || *silentCrash != "" || *outage != "" || *replayFrom != "" || *snapshotEvery > 0 {
+	if *detectMode || *silentCrash != "" || *outage != "" || *replayFrom != "" || *snapshotEvery > 0 ||
+		*timelineOut != "" || *churnPlan {
 		pol, err := parsePolicy(*detectPolicy)
 		if err != nil {
 			fatal(err)
@@ -228,10 +236,18 @@ func main() {
 		} else if *silentCrash != "" || *outage != "" {
 			fmt.Println("note: silent faults without -detect — nobody will ever evict the failed components")
 		}
-		rec := newRecorder(*metricsEvery, *traceEvery, max(1, *shards), *eventsOut)
+		rec := newRecorder(*metricsEvery, *traceEvery, max(1, *shards), *eventsOut,
+			*timingFlag || *timelineOut != "")
+		if rec == nil && *metricsAddr != "" {
+			rec = metrics.New(metrics.Config{Shards: max(1, *shards), Interval: 10})
+		}
+		stopServe := serveSimMetrics(*metricsAddr, rec)
 		runDetect(g, algo, agg, inputs, *eps, *seed, *rounds, *shards, plan, dc, *traceEvery, rec,
-			ckptOpts{replayFrom: *replayFrom, every: *snapshotEvery, out: *snapshotOut})
+			ckptOpts{replayFrom: *replayFrom, every: *snapshotEvery, out: *snapshotOut},
+			obsOpts{timelineOut: *timelineOut, churn: *churnPlan, churnEvery: *churnEvery,
+				churnLosses: *churnLosses, algoName: *algoName})
 		reportMetrics(rec, *metricsEvery > 0, *eventsOut)
+		stopServe()
 		return
 	}
 
@@ -245,7 +261,7 @@ func main() {
 	}
 
 	if *concurrent {
-		rec := newRecorder(*metricsEvery, *traceEvery, 1, *eventsOut)
+		rec := newRecorder(*metricsEvery, *traceEvery, 1, *eventsOut, false)
 		if rec == nil && *metricsAddr != "" {
 			rec = metrics.New(metrics.Config{Concurrent: true})
 		}
@@ -267,7 +283,15 @@ func main() {
 		return
 	}
 
-	rec := newRecorder(*metricsEvery, *traceEvery, *shards, *eventsOut)
+	if *timingFlag && *shards == 0 {
+		fmt.Println("note: -timing times the sharded executor's phases — pass -shards ≥ 1 to record any")
+	}
+	rec := newRecorder(*metricsEvery, *traceEvery, *shards, *eventsOut, *timingFlag && *shards > 0)
+	if rec == nil && *metricsAddr != "" {
+		rec = metrics.New(metrics.Config{Shards: max(1, *shards), Interval: 10})
+	}
+	stopServe := serveSimMetrics(*metricsAddr, rec)
+	defer stopServe()
 	opt := pcfreduce.ReduceOptions{
 		Topology:  g,
 		Aggregate: agg,
@@ -311,22 +335,54 @@ func main() {
 	reportMetrics(rec, *metricsEvery > 0, *eventsOut)
 }
 
-// newRecorder builds the run's metrics recorder. All three observation
-// flags (-metrics, -events, -trace) share it, so there is exactly one
-// probing code path: -trace alone samples at the trace cadence (that is
-// where its mass-residual column comes from), -metrics sets its own
-// cadence and additionally prints the sample table, and -events only
-// needs the ring. Returns nil — the recorder that costs nothing — when
-// no observation was requested.
-func newRecorder(metricsEvery, traceEvery, shards int, eventsPath string) *metrics.Recorder {
-	if metricsEvery <= 0 && traceEvery <= 0 && eventsPath == "" {
+// newRecorder builds the run's metrics recorder. All four observation
+// flags (-metrics, -events, -trace, -timing) share it, so there is
+// exactly one probing code path: -trace alone samples at the trace
+// cadence (that is where its mass-residual column comes from), -metrics
+// sets its own cadence and additionally prints the sample table,
+// -events only needs the ring, and -timing only needs the per-shard
+// timing banks — when timing is the sole request the sampling interval
+// falls back to effectively-never so the invariant probes stay off.
+// Returns nil — the recorder that costs nothing — when no observation
+// was requested.
+func newRecorder(metricsEvery, traceEvery, shards int, eventsPath string, timing bool) *metrics.Recorder {
+	if metricsEvery <= 0 && traceEvery <= 0 && eventsPath == "" && !timing {
 		return nil
 	}
 	interval := metricsEvery
 	if interval <= 0 {
 		interval = traceEvery
 	}
-	return metrics.New(metrics.Config{Shards: max(1, shards), Interval: interval})
+	if interval <= 0 {
+		interval = 1 << 30
+	}
+	return metrics.New(metrics.Config{Shards: max(1, shards), Interval: interval, Timing: timing})
+}
+
+// serveSimMetrics binds -metrics-addr for simulator runs and serves the
+// same observability endpoint the concurrent runtime exposes through
+// ConcurrentOptions.MetricsAddr: /metrics (Prometheus text, including
+// the flight recorder's phase summaries when -timing is on),
+// /debug/vars (expvar under "pcfreduce") and /debug/pprof. Returns a
+// stop function; a no-op when the address is empty or no recorder
+// exists.
+func serveSimMetrics(addr string, rec *metrics.Recorder) func() {
+	if addr == "" || rec == nil {
+		return func() {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(fmt.Errorf("-metrics-addr: %w", err))
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", rec.Handler())
+	metrics.PublishExpvar(rec)
+	mux.Handle("/debug/vars", expvar.Handler())
+	profiling.AttachPprof(mux)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // closed by the stop function
+	fmt.Printf("metrics endpoint: http://%s/metrics\n", ln.Addr())
+	return func() { srv.Close() }
 }
 
 // traceFunc returns the per-round trace printer. With a recorder
@@ -351,11 +407,24 @@ func traceFunc(every int, rec *metrics.Recorder) func(round int, maxErr float64)
 	}
 }
 
-// reportMetrics prints the sample table (under -metrics) and writes the
+// reportMetrics prints the sample table (under -metrics), the flight
+// recorder's phase table (under -timing / -timeline) and writes the
 // event trace (under -events) once the run is over.
 func reportMetrics(rec *metrics.Recorder, table bool, eventsPath string) {
 	if rec == nil {
 		return
+	}
+	if ps := rec.PhaseStats(); len(ps) > 0 {
+		t := trace.NewTable("flight recorder: phase timing (merged over shards and rounds)",
+			"phase", "count", "total ms", "mean us", "p50 us", "p90 us", "p99 us", "max us")
+		for _, s := range ps {
+			t.AddRow(s.Phase, s.Count,
+				float64(s.SumNs)/1e6,
+				float64(s.SumNs)/float64(s.Count)/1e3,
+				s.P50Ns/1e3, s.P90Ns/1e3, s.P99Ns/1e3,
+				float64(s.MaxNs)/1e3)
+		}
+		fmt.Print(t.String())
 	}
 	if table {
 		fmt.Print(rec.Table().String())
@@ -467,10 +536,23 @@ type ckptOpts struct {
 	out        string
 }
 
+// obsOpts routes the flight-recorder features through runDetect: a
+// Perfetto timeline export destination (-timeline) and the generated
+// churn schedule merged into the fault plan (-churn-plan), whose
+// membership events then show up as instants on the timeline's events
+// track.
+type obsOpts struct {
+	timelineOut string
+	churn       bool
+	churnEvery  int
+	churnLosses int
+	algoName    string
+}
+
 // runDetect drives the round simulator directly (below the public
 // facade, like runEvent) with a failure plan of silent faults and,
 // optionally, the oracle-free detector.
-func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggregate, inputs []float64, eps float64, seed int64, rounds, shards int, plan *fault.Plan, dc *sim.DetectorConfig, traceEvery int, rec *metrics.Recorder, ck ckptOpts) {
+func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggregate, inputs []float64, eps float64, seed int64, rounds, shards int, plan *fault.Plan, dc *sim.DetectorConfig, traceEvery int, rec *metrics.Recorder, ck ckptOpts, obs obsOpts) {
 	protos := make([]pcfreduce.Protocol, g.N())
 	for i := range protos {
 		protos[i] = algo.NewNode()
@@ -482,6 +564,15 @@ func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggre
 	if (ck.replayFrom != "" || ck.every > 0) && shards == 0 {
 		shards = 1
 	}
+	// Phase timing and the timeline are features of the sharded
+	// executor's phase-split round; recording them on one shard is the
+	// degenerate-but-valid case.
+	if (obs.timelineOut != "" || rec.TimingEnabled()) && shards == 0 {
+		shards = 1
+	}
+	if rounds == 0 {
+		rounds = 20000
+	}
 	var opts []sim.EngineOption
 	if dc != nil {
 		opts = append(opts, sim.WithDetector(*dc))
@@ -491,6 +582,22 @@ func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggre
 	}
 	if phaseLabels && shards > 0 {
 		opts = append(opts, sim.WithPhaseLabels())
+	}
+	if obs.churn {
+		if agg != pcfreduce.Average {
+			fatal(fmt.Errorf("-churn-plan requires -agg avg (nodes join with weight 1, the average's share)"))
+		}
+		expAlgo, err := experiments.AlgorithmByName(obs.algoName)
+		if err != nil {
+			fatal(err)
+		}
+		churn := fault.ChurnSchedule(g, fault.ChurnOptions{
+			Rounds: rounds,
+			Every:  obs.churnEvery,
+			Losses: obs.churnLosses,
+		}, seed)
+		plan.Add(churn.Events()...)
+		opts = append(opts, sim.WithJoinFactory(expAlgo.New))
 	}
 	e := sim.New(g, protos, init, seed, opts...)
 	var resume *sim.RunState
@@ -519,8 +626,10 @@ func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggre
 			rec.RecordEvent(metrics.Event{Kind: metrics.EvReplay, Round: e.Round(), A: -1, B: -1})
 		}
 	}
-	if rounds == 0 {
-		rounds = 20000
+	var tl *metrics.Timeline
+	if obs.timelineOut != "" {
+		tl = metrics.NewTimeline(shards)
+		e.SetTimeline(tl) // after Restore, like the recorder
 	}
 	cfg := sim.RunConfig{MaxRounds: rounds, Eps: eps, OnRound: plan.OnRound, AfterRound: traceFunc(traceEvery, rec), Resume: resume}
 	if ck.every > 0 {
@@ -563,6 +672,26 @@ func runDetect(g *pcfreduce.Graph, algo pcfreduce.Algorithm, agg pcfreduce.Aggre
 		}
 	}
 	fmt.Printf("exact aggregate over survivors %.9g\n", e.Targets()[0])
+	if obs.timelineOut != "" {
+		f, err := os.Create(obs.timelineOut)
+		if err != nil {
+			fatal(err)
+		}
+		tw := metrics.TimelineWriter{Timeline: tl, Recorder: rec}
+		if _, err := tw.WriteTo(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		spans := 0
+		for _, track := range tl.Spans() {
+			spans += len(track)
+		}
+		fmt.Printf("timeline: %d spans on %d worker tracks -> %s (open at https://ui.perfetto.dev)\n",
+			spans, tl.Workers(), obs.timelineOut)
+	}
 }
 
 // runDetectExp runs EXP-L and prints the latency/false-positive table.

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"pcfreduce/internal/fault"
@@ -61,6 +63,81 @@ func TestSweepMetricsTransparent(t *testing.T) {
 		if a, b := off.JSON(), on.JSON(); !bytes.Equal(a, b) {
 			t.Errorf("shards=%d: sweep JSON differs with metrics on (after stripping metrics fields)\noff: %d bytes\non:  %d bytes",
 				shards, len(a), len(b))
+		}
+	}
+}
+
+// TestSweepTimingTransparent extends the differential to the flight
+// recorder: enabling per-phase timing histograms must not change the
+// sweep's result JSON by a single byte (after stripping the inherently
+// wall-clock PhaseStats along with the metrics fields), across shard
+// counts and explicit worker-pool sizes. Worker settings whose
+// Workers×Shards product exceeds GOMAXPROCS are rejected by Validate
+// and skipped; GOMAXPROCS is raised so the pool genuinely fans out.
+func TestSweepTimingTransparent(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	base := SweepConfig{
+		Topologies: []SweepTopology{
+			{Name: "hypercube5", Graph: topology.Hypercube(5)},
+			{Name: "ring24", Graph: topology.Ring(24)},
+		},
+		Algorithms: []Algorithm{PCF, FlowUpdating},
+		Plans: []SweepPlan{
+			{Name: "none"},
+			{Name: "linkfail@15", Events: []fault.Event{fault.LinkFailure(15, 0, 1)}},
+		},
+		Trials:       2,
+		RootSeed:     7,
+		MaxRounds:    40,
+		Record:       true,
+		Metrics:      true,
+		MetricsEvery: 10,
+	}
+	for _, shards := range []int{1, 8} {
+		// The workers=0 auto-budget baseline, then explicit pool sizes
+		// where the nested-parallelism budget allows them. Worker count
+		// never affects results, so every valid combination must match
+		// the same timing-off reference.
+		off := base
+		off.Shards = shards
+		want, err := Sweep(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Trials {
+			want.Trials[i].Metrics = nil
+			want.Trials[i].Events = nil
+		}
+		wantJSON := want.JSON()
+
+		for _, workers := range []int{0, 1, 4} {
+			cfg := base
+			cfg.Shards = shards
+			cfg.Workers = workers
+			cfg.Timing = true
+			if err := cfg.Validate(); err != nil {
+				t.Logf("shards=%d workers=%d skipped: %v", shards, workers, err)
+				continue
+			}
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				on, err := Sweep(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range on.Trials {
+					if len(on.Trials[i].PhaseStats) == 0 {
+						t.Errorf("trial %d: timing on but no phase stats harvested", i)
+					}
+					on.Trials[i].Metrics = nil
+					on.Trials[i].Events = nil
+					on.Trials[i].PhaseStats = nil
+				}
+				if b := on.JSON(); !bytes.Equal(wantJSON, b) {
+					t.Errorf("sweep JSON differs with timing on (after stripping wall-clock fields)\noff: %d bytes\non:  %d bytes",
+						len(wantJSON), len(b))
+				}
+			})
 		}
 	}
 }

@@ -85,6 +85,13 @@ type SweepConfig struct {
 	Metrics bool
 	// MetricsEvery is the sampling cadence in rounds (default 10).
 	MetricsEvery int
+	// Timing additionally enables the flight recorder on each trial's
+	// recorder (requires Metrics): per-phase duration summaries land in
+	// TrialResult.PhaseStats. Timings are wall-clock and therefore not
+	// deterministic — differential comparisons must strip PhaseStats
+	// alongside Metrics/Events — but like Metrics the recording itself
+	// never perturbs the schedule (TestSweepTimingTransparent).
+	Timing bool
 	// CheckpointDir, when non-empty, makes the sweep durable: every
 	// finished trial is written atomically to trial_NNNNN.json in the
 	// directory (created if missing), and — when CheckpointEvery > 0
@@ -141,6 +148,9 @@ func (c SweepConfig) Validate() error {
 	if c.Resume && c.Metrics {
 		return fmt.Errorf("experiments: SweepConfig.Resume is not supported together with Metrics (recorder history is not checkpointable)")
 	}
+	if c.Timing && !c.Metrics {
+		return fmt.Errorf("experiments: SweepConfig.Timing requires Metrics (phase stats are harvested from the trial recorder)")
+	}
 	return nil
 }
 
@@ -191,6 +201,11 @@ type TrialResult struct {
 	// trace.
 	Metrics []metrics.Sample `json:"metrics,omitempty"`
 	Events  []metrics.Event  `json:"events,omitempty"`
+
+	// PhaseStats is present only under SweepConfig.Timing: the trial's
+	// merged per-phase duration summaries. Wall-clock, so inherently
+	// nondeterministic — strip before byte comparisons.
+	PhaseStats []metrics.PhaseStat `json:"phase_stats,omitempty"`
 }
 
 // SweepResult is the full grid outcome, in flattened grid order
@@ -327,6 +342,7 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 					rec = metrics.New(metrics.Config{
 						Shards:   max(1, cfg.Shards),
 						Interval: cfg.MetricsEvery,
+						Timing:   cfg.Timing,
 					})
 					e.SetMetrics(rec)
 				}
@@ -368,6 +384,7 @@ func Sweep(cfg SweepConfig) (SweepResult, error) {
 				if rec != nil {
 					tr.Metrics = rec.History()
 					tr.Events = rec.Events()
+					tr.PhaseStats = rec.PhaseStats()
 				}
 				results[jb.idx] = tr
 				if donePath != "" {

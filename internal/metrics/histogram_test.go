@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDurHistMergeOrderIndependent is the property that makes the
+// per-shard timing banks sound: a fixed multiset of observations
+// scattered across any number of banks, in any order, merged in any
+// order, must equal one histogram that recorded everything directly —
+// including the exact Min/Max/Sum and every bucket.
+func TestDurHistMergeOrderIndependent(t *testing.T) {
+	const ops = 5000
+	rng := rand.New(rand.NewSource(42))
+	durs := make([]int64, ops)
+	for i := range durs {
+		// Spread across many buckets: ns from 0 to ~1s, heavy-tailed.
+		durs[i] = rng.Int63n(1 << uint(rng.Intn(31)))
+	}
+
+	var want DurHist
+	for _, d := range durs {
+		want.Record(d)
+	}
+
+	for _, banks := range []int{1, 2, 8, 16} {
+		for trial := 0; trial < 4; trial++ {
+			hs := make([]DurHist, banks)
+			for _, idx := range rng.Perm(ops) {
+				hs[idx%banks].Record(durs[idx])
+			}
+			var got DurHist
+			for _, i := range rng.Perm(banks) {
+				got.Merge(&hs[i])
+			}
+			if got != want {
+				t.Fatalf("banks=%d trial=%d: merged histogram differs:\n got %+v\nwant %+v",
+					banks, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestDurHistQuantile pins the estimator's hard guarantees: exact
+// endpoints at q≤0 / q≥1, results clamped into the observed [Min, Max]
+// range (a single observation answers itself for every q), and
+// monotonicity in q.
+func TestDurHistQuantile(t *testing.T) {
+	var empty DurHist
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram q50 = %g, want 0", got)
+	}
+
+	var one DurHist
+	one.Record(12345)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 12345 {
+			t.Errorf("single-observation q%.2f = %g, want 12345", q, got)
+		}
+	}
+
+	var h DurHist
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		h.Record(rng.Int63n(1_000_000))
+	}
+	if got := h.Quantile(0); got != float64(h.MinNs) {
+		t.Errorf("q0 = %g, want min %d", got, h.MinNs)
+	}
+	if got := h.Quantile(1); got != float64(h.MaxNs) {
+		t.Errorf("q1 = %g, want max %d", got, h.MaxNs)
+	}
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < float64(h.MinNs) || v > float64(h.MaxNs) {
+			t.Fatalf("q%.2f = %g outside observed [%d, %d]", q, v, h.MinNs, h.MaxNs)
+		}
+		if v < prev {
+			t.Fatalf("quantile not monotone: q%.2f = %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+	// The uniform distribution's median must land in the right decade —
+	// a sanity bound loose enough for log2 bucket resolution.
+	if p50 := h.Quantile(0.5); p50 < 250_000 || p50 > 750_000 {
+		t.Errorf("uniform[0,1e6) p50 = %g, want within [2.5e5, 7.5e5]", p50)
+	}
+}
+
+// TestDurHistRecordClamps: negative durations (clock steps backward)
+// clamp to 0 instead of corrupting the unsigned accumulators.
+func TestDurHistRecordClamps(t *testing.T) {
+	var h DurHist
+	h.Record(-5)
+	h.Record(3)
+	if h.Count != 2 || h.SumNs != 3 || h.MinNs != 0 || h.MaxNs != 3 {
+		t.Errorf("after Record(-5), Record(3): %+v", h)
+	}
+}
+
+// TestTimingBankNilSafe: nil banks and out-of-range phases are no-ops,
+// the contract that lets engine code call Observe unconditionally.
+func TestTimingBankNilSafe(t *testing.T) {
+	var tb *TimingBank
+	tb.Observe(PhaseActivate, 100)
+	tb.Merge(&TimingBank{})
+	if tb.Hist(PhaseActivate) != nil {
+		t.Error("nil bank returned a histogram")
+	}
+	var h *DurHist
+	h.Record(1)
+	h.Merge(&DurHist{})
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram returned data")
+	}
+
+	var real TimingBank
+	real.Observe(Phase(-1), 100)
+	real.Observe(Phase(NumPhases), 100)
+	for p := 0; p < NumPhases; p++ {
+		if c := real.Hist(Phase(p)).Count; c != 0 {
+			t.Errorf("out-of-range Observe leaked into phase %d (count %d)", p, c)
+		}
+	}
+	if real.Hist(Phase(-1)) != nil || real.Hist(Phase(NumPhases)) != nil {
+		t.Error("out-of-range Hist returned a histogram")
+	}
+}
+
+// TestPhaseNamesStable pins the phase → string mapping: these names are
+// wire format (sweep JSON, Prometheus labels, timeline slice names),
+// so renaming one is a breaking change this test makes explicit.
+func TestPhaseNamesStable(t *testing.T) {
+	want := map[Phase]string{
+		PhaseActivate:        "activate",
+		PhaseDeliver:         "deliver",
+		PhaseErrors:          "errors",
+		PhaseMerge:           "merge",
+		PhaseFlush:           "flush",
+		PhaseBarrierActivate: "barrier-activate",
+		PhaseBarrierDeliver:  "barrier-deliver",
+		PhaseBarrierErrors:   "barrier-errors",
+		PhaseWallActivate:    "wall-activate",
+		PhaseWallDeliver:     "wall-deliver",
+		PhaseWallErrors:      "wall-errors",
+		PhaseRound:           "round",
+		PhaseSample:          "sample",
+	}
+	if len(want) != NumPhases {
+		t.Fatalf("test covers %d phases, enum has %d", len(want), NumPhases)
+	}
+	for p, name := range want {
+		if got := p.String(); got != name {
+			t.Errorf("phase %d = %q, want %q", int(p), got, name)
+		}
+	}
+	if got := Phase(NumPhases).String(); got != "unknown" {
+		t.Errorf("out-of-range phase name = %q, want \"unknown\"", got)
+	}
+}
+
+// TestRecorderTimingLifecycle covers the recorder-level plumbing:
+// timing off by default, EnableTiming/EnsureTiming sizing, per-shard
+// banks merging into PhaseStats in phase order with only recorded
+// phases present.
+func TestRecorderTimingLifecycle(t *testing.T) {
+	var nilRec *Recorder
+	if nilRec.TimingEnabled() {
+		t.Error("nil recorder reports timing enabled")
+	}
+	nilRec.EnableTiming()
+	nilRec.EnsureTiming(4)
+	nilRec.Timing(0).Observe(PhaseActivate, 1)
+	if got := nilRec.MergedTiming(); got != (TimingBank{}) {
+		t.Error("nil recorder returned timing data")
+	}
+	if nilRec.PhaseStats() != nil {
+		t.Error("nil recorder returned phase stats")
+	}
+
+	r := New(Config{Shards: 2})
+	if r.TimingEnabled() {
+		t.Error("timing on without Config.Timing")
+	}
+	if r.PhaseStats() != nil {
+		t.Error("phase stats without timing")
+	}
+	r.Timing(0).Observe(PhaseActivate, 1) // no-op: Timing returns nil
+	r.EnableTiming()
+	if !r.TimingEnabled() {
+		t.Error("EnableTiming did not enable")
+	}
+	r.EnsureTiming(4)
+	r.Timing(0).Observe(PhaseDeliver, 100)
+	r.Timing(3).Observe(PhaseDeliver, 300)
+	r.Timing(1).Observe(PhaseActivate, 50)
+
+	stats := r.PhaseStats()
+	if len(stats) != 2 {
+		t.Fatalf("%d phase stats, want 2 (activate, deliver): %+v", len(stats), stats)
+	}
+	if stats[0].Phase != "activate" || stats[0].Count != 1 || stats[0].SumNs != 50 {
+		t.Errorf("stats[0] = %+v, want activate count=1 sum=50", stats[0])
+	}
+	if stats[1].Phase != "deliver" || stats[1].Count != 2 || stats[1].SumNs != 400 ||
+		stats[1].MinNs != 100 || stats[1].MaxNs != 300 {
+		t.Errorf("stats[1] = %+v, want deliver count=2 sum=400 min=100 max=300", stats[1])
+	}
+}

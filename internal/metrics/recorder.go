@@ -97,6 +97,10 @@ type Config struct {
 	// the recorder is attached to the concurrent runtime. The runtime
 	// ensures this itself on attach.
 	Concurrent bool
+	// Timing enables the flight recorder: per-shard TimingBank
+	// histograms recording phase durations. Off by default — engines
+	// must not issue a single time.Now() when it is off.
+	Timing bool
 }
 
 // Recorder accumulates counters, invariant samples and trace events for
@@ -113,6 +117,10 @@ type Recorder struct {
 	banks    []Bank
 	atomic   *AtomicBank
 	ring     ring
+	// timing is nil unless Config.Timing (or EnableTiming) turned the
+	// flight recorder on; per-shard banks follow the same single-writer
+	// + barrier-merge discipline as banks.
+	timing []TimingBank
 
 	mu        sync.Mutex
 	history   []Sample
@@ -141,6 +149,9 @@ func New(cfg Config) *Recorder {
 	r.ring.buf = make([]Event, cfg.EventCapacity)
 	if cfg.Concurrent {
 		r.atomic = &AtomicBank{}
+	}
+	if cfg.Timing {
+		r.timing = make([]TimingBank, cfg.Shards)
 	}
 	return r
 }
@@ -309,4 +320,73 @@ func (r *Recorder) LastRound() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.lastRound
+}
+
+// TimingEnabled reports whether the flight recorder is on. Engines use
+// it to decide once, at attach time, whether to build their timing
+// state — never per round.
+func (r *Recorder) TimingEnabled() bool {
+	return r != nil && r.timing != nil
+}
+
+// EnableTiming turns the flight recorder on (at least one bank). Call
+// before attaching the recorder to an engine, never mid-round.
+func (r *Recorder) EnableTiming() {
+	if r != nil && r.timing == nil {
+		r.timing = make([]TimingBank, max(1, len(r.banks)))
+	}
+}
+
+// EnsureTiming grows the timing bank slice to at least n banks, when
+// timing is enabled at all. Engines call it on attach, like
+// EnsureBanks.
+func (r *Recorder) EnsureTiming(n int) {
+	if r == nil || r.timing == nil || n <= len(r.timing) {
+		return
+	}
+	grown := make([]TimingBank, n)
+	copy(grown, r.timing)
+	r.timing = grown
+}
+
+// Timing returns shard s's single-writer timing bank, or nil when the
+// recorder is nil or timing is off — making every downstream Observe a
+// no-op.
+func (r *Recorder) Timing(s int) *TimingBank {
+	if r == nil || s >= len(r.timing) {
+		return nil
+	}
+	return &r.timing[s]
+}
+
+// MergedTiming folds every shard's timing bank into one. Call only at
+// a round barrier, like Counters.
+func (r *Recorder) MergedTiming() TimingBank {
+	var out TimingBank
+	if r == nil {
+		return out
+	}
+	for i := range r.timing {
+		out.Merge(&r.timing[i])
+	}
+	return out
+}
+
+// PhaseStats summarizes the merged timing banks: one PhaseStat per
+// phase that recorded at least one observation, in Phase order. Nil
+// when timing is off or nothing was recorded.
+func (r *Recorder) PhaseStats() []PhaseStat {
+	if r == nil || r.timing == nil {
+		return nil
+	}
+	merged := r.MergedTiming()
+	var out []PhaseStat
+	for p := 0; p < NumPhases; p++ {
+		h := merged.Hist(Phase(p))
+		if h.Count == 0 {
+			continue
+		}
+		out = append(out, statOf(Phase(p).String(), h))
+	}
+	return out
 }

@@ -45,6 +45,30 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 		r.EventsDropped()); err != nil {
 		return err
 	}
+	// Phase timing histograms (flight recorder) as Prometheus summaries:
+	// one quantile series per phase plus _sum/_count, in seconds.
+	if stats := r.PhaseStats(); len(stats) > 0 {
+		const name = "pcfreduce_phase_duration_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			return err
+		}
+		for _, ps := range stats {
+			qs := []struct {
+				q string
+				v float64
+			}{{"0.5", ps.P50Ns}, {"0.9", ps.P90Ns}, {"0.99", ps.P99Ns}}
+			for _, q := range qs {
+				if _, err := fmt.Fprintf(w, "%s{phase=%q,quantile=%q} %g\n",
+					name, ps.Phase, q.q, q.v/1e9); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{phase=%q} %g\n%s_count{phase=%q} %d\n",
+				name, ps.Phase, float64(ps.SumNs)/1e9, name, ps.Phase, ps.Count); err != nil {
+				return err
+			}
+		}
+	}
 	if s, ok := r.Last(); ok {
 		gauges := []struct {
 			name string
@@ -100,6 +124,9 @@ func PublishExpvar(r *Recorder) {
 			}
 			if s, ok := rec.Last(); ok {
 				out["last_sample"] = s
+			}
+			if ps := rec.PhaseStats(); len(ps) > 0 {
+				out["phase_stats"] = ps
 			}
 			return out
 		}))

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTimelineNilSafe: a nil timeline swallows every call — the
+// timeline-only branch of the engine's flight recorder relies on it.
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	tl.EnsureWorkers(4)
+	tl.Span(0, PhaseActivate, 0, 0, time.Now(), time.Millisecond)
+	tl.MarkRound(0, time.Now())
+	if tl.Workers() != 0 || tl.Spans() != nil {
+		t.Error("nil timeline returned data")
+	}
+	if _, ok := tl.RoundTime(0); ok {
+		t.Error("nil timeline resolved a round time")
+	}
+	if !tl.Epoch().IsZero() {
+		t.Error("nil timeline has an epoch")
+	}
+}
+
+// TestTimelineRoundTime pins the round → wall-clock mapping used to
+// place ring events on the time axis: marked rounds resolve exactly,
+// gaps resolve to the nearest earlier mark, out-of-range rounds clamp.
+func TestTimelineRoundTime(t *testing.T) {
+	tl := NewTimeline(1)
+	epoch := tl.Epoch()
+	tl.MarkRound(10, epoch.Add(100*time.Nanosecond))
+	tl.MarkRound(11, epoch.Add(200*time.Nanosecond))
+	tl.MarkRound(14, epoch.Add(500*time.Nanosecond)) // rounds 12–13 skipped
+
+	for _, tc := range []struct {
+		round int
+		ns    int64
+	}{
+		{10, 100},
+		{11, 200},
+		{12, 200}, // gap → nearest earlier mark
+		{13, 200},
+		{14, 500},
+		{5, 100},   // predates recording → first mark
+		{999, 500}, // beyond → last mark
+	} {
+		ns, ok := tl.RoundTime(tc.round)
+		if !ok || ns != tc.ns {
+			t.Errorf("RoundTime(%d) = (%d, %v), want (%d, true)", tc.round, ns, ok, tc.ns)
+		}
+	}
+}
+
+// TestTimelineEnsureWorkersPreserves: growing the track table keeps
+// recorded spans, and spans to out-of-range workers are dropped, not
+// misfiled.
+func TestTimelineEnsureWorkersPreserves(t *testing.T) {
+	tl := NewTimeline(1)
+	tl.Span(0, PhaseActivate, 0, 0, tl.Epoch(), time.Microsecond)
+	tl.Span(5, PhaseActivate, 0, 0, tl.Epoch(), time.Microsecond) // no track 5 yet
+	tl.EnsureWorkers(3)
+	if got := tl.Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+	tl.Span(2, PhaseDeliver, 1, 0, tl.Epoch(), time.Microsecond)
+	spans := tl.Spans()
+	if len(spans[0]) != 1 || len(spans[1]) != 0 || len(spans[2]) != 1 {
+		t.Errorf("track sizes = [%d %d %d], want [1 0 1]", len(spans[0]), len(spans[1]), len(spans[2]))
+	}
+}
+
+// TestTimelineWriterJSON renders a small timeline plus an event ring
+// and checks the trace structurally through encoding/json: named
+// metadata rows for every track plus the events track, complete ("X")
+// slices carrying phase/shard/round, and global instant ("i") events
+// placed at their round's marked time.
+func TestTimelineWriterJSON(t *testing.T) {
+	tl := NewTimeline(2)
+	epoch := tl.Epoch()
+	tl.MarkRound(0, epoch)
+	tl.MarkRound(1, epoch.Add(2*time.Microsecond))
+	tl.Span(0, PhaseActivate, 0, 0, epoch, time.Microsecond)
+	tl.Span(1, PhaseActivate, 1, 0, epoch, time.Microsecond)
+	tl.Span(0, PhaseRound, -1, 1, epoch.Add(2*time.Microsecond), time.Microsecond)
+
+	rec := New(Config{})
+	rec.RecordEvent(Event{Kind: EvNodeCrashSilent, Round: 1, A: 3, B: -1})
+
+	var buf bytes.Buffer
+	n, err := TimelineWriter{Timeline: tl, Recorder: rec}.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, wrote %d bytes", n, buf.Len())
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	tracks := map[int]string{}
+	var slices, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			tracks[ev.Tid] = ev.Args["name"].(string)
+		case "X":
+			slices++
+			if _, ok := ev.Args["shard"]; !ok {
+				t.Errorf("slice %q lacks shard arg", ev.Name)
+			}
+			if _, ok := ev.Args["round"]; !ok {
+				t.Errorf("slice %q lacks round arg", ev.Name)
+			}
+		case "i":
+			instants++
+			if ev.S != "g" {
+				t.Errorf("instant %q scope = %q, want \"g\"", ev.Name, ev.S)
+			}
+			if ev.Name != "node-crash-silent" {
+				t.Errorf("instant name = %q, want node-crash-silent", ev.Name)
+			}
+			// Placed at round 1's marked time (2 µs).
+			if ev.Ts != 2 {
+				t.Errorf("instant ts = %g µs, want 2 (round 1's mark)", ev.Ts)
+			}
+		default:
+			t.Errorf("unknown ph %q", ev.Ph)
+		}
+	}
+	if tracks[0] != "caller" || tracks[1] != "worker 1" || tracks[2] != "events" {
+		t.Errorf("track names = %v, want caller/worker 1/events", tracks)
+	}
+	if slices != 3 || instants != 1 {
+		t.Errorf("%d slices, %d instants, want 3 and 1", slices, instants)
+	}
+	if !strings.Contains(buf.String(), `"name":"activate"`) {
+		t.Error("no activate slice in export")
+	}
+}
+
+// TestTimelineWriterEmpty: a nil timeline still writes a well-formed
+// empty trace, and a timeline without a recorder omits the events
+// track.
+func TestTimelineWriterEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := (TimelineWriter{}).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+
+	buf.Reset()
+	if _, err := (TimelineWriter{Timeline: NewTimeline(1)}).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"events"`) {
+		t.Error("recorder-less export has an events track")
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("recorder-less export invalid: %v", err)
+	}
+}

@@ -986,8 +986,20 @@ func (net *Network) MetricsAddr() string {
 // that churn (mass moves x and w together), but runtime samples are a
 // trend signal, not an exact invariant. AntiSym is -1: mirror flow
 // pairs cannot be read atomically across two goroutines.
+//
+// With timing enabled on the recorder, the probe's own wall-clock is
+// recorded as PhaseSample (bank 0 — the monitor goroutine is the sole
+// writer), so observation cost shows up in the flight recorder like
+// any other phase. Timing off issues no clock reads at all.
 func (net *Network) recordSample(tick int) {
 	rec := net.cfg.Metrics
+	var probeStart time.Time
+	if rec.TimingEnabled() {
+		probeStart = time.Now()
+		defer func() {
+			rec.Timing(0).Observe(metrics.PhaseSample, time.Since(probeStart).Nanoseconds())
+		}()
+	}
 	errs := net.nodeErrors()
 	worst := 0.0
 	for _, e := range errs {

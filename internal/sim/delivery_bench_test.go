@@ -20,6 +20,7 @@ import (
 
 	"pcfreduce/internal/core"
 	"pcfreduce/internal/gossip"
+	"pcfreduce/internal/metrics"
 	"pcfreduce/internal/topology"
 )
 
@@ -58,7 +59,7 @@ func BenchmarkPhase2Delivery(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
 					e.inPhase1 = true
-					e.runShards("activate", e.shard.phase1Task)
+					e.runShards("activate", metrics.PhaseActivate, e.shard.phase1Task)
 					e.inPhase1 = false
 					e.foldKeepalives()
 					b.StartTimer()

@@ -28,6 +28,7 @@ import (
 func (e *Engine) SetMetrics(rec *metrics.Recorder) {
 	e.rec = rec
 	if rec == nil {
+		e.updateFlight()
 		return
 	}
 	banks := 1
@@ -42,10 +43,48 @@ func (e *Engine) SetMetrics(rec *metrics.Recorder) {
 		e.probeSums = make([]stats.Sum2, e.width)
 		e.probeVal = gossip.NewValue(e.width)
 	}
+	e.updateFlight()
 }
 
 // Metrics returns the attached recorder (nil when metrics are disabled).
 func (e *Engine) Metrics() *metrics.Recorder { return e.rec }
+
+// SetTimeline attaches a span timeline (nil detaches): every phase task
+// of the sharded round records a slice on its worker's track, for
+// metrics.TimelineWriter's Perfetto export. Like recorders, timelines
+// are per-trial state cleared by Reset. Span recording allocates
+// (append), so attach one only for explicitly requested trace runs —
+// this is the one observability feature that is NOT free when on,
+// though like all the others it never perturbs results.
+func (e *Engine) SetTimeline(tl *metrics.Timeline) {
+	e.timeline = tl
+	e.updateFlight()
+}
+
+// Timeline returns the attached timeline (nil when span tracing is off).
+func (e *Engine) Timeline() *metrics.Timeline { return e.timeline }
+
+// updateFlight derives the flight-recorder attachment from the current
+// (recorder, timeline) pair: non-nil only under the phase-split model
+// when the recorder has timing enabled or a timeline is attached. Both
+// SetMetrics and SetTimeline funnel through here, so the hot path's
+// e.flight nil check stays the single source of truth for "is any
+// phase timing on".
+func (e *Engine) updateFlight() {
+	e.flight = nil
+	if e.shards == 0 {
+		return
+	}
+	timing := e.rec.TimingEnabled()
+	if !timing && e.timeline == nil {
+		return
+	}
+	if timing {
+		e.rec.EnsureTiming(e.shards)
+	}
+	e.timeline.EnsureWorkers(e.shards)
+	e.flight = &flight{rec: e.rec, tl: e.timeline}
+}
 
 // metricsBank returns the counter bank node i's activation may write:
 // its shard's bank under the phase-split model, bank 0 otherwise.

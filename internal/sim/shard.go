@@ -78,6 +78,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"sync"
+	"time"
 
 	"pcfreduce/internal/gossip"
 	"pcfreduce/internal/metrics"
@@ -196,24 +197,40 @@ type workerPool struct {
 	once  sync.Once
 }
 
+// shardTask is one fan-out work item. fl is nil unless the flight
+// recorder is on; when set, the worker times t.f and records the span
+// under (ph, round). The extra fields cost one struct copy through the
+// buffered channel either way — the timing-off path never branches
+// past the nil check.
 type shardTask struct {
-	f func(int)
-	s int
+	f     func(int)
+	s     int
+	fl    *flight
+	ph    metrics.Phase
+	round int
 }
 
 func newWorkerPool(workers int) *workerPool {
 	w := &workerPool{tasks: make(chan shardTask, workers), stop: make(chan struct{})}
 	for k := 0; k < workers; k++ {
-		go w.run()
+		// Worker ids 1..workers: the caller goroutine is track 0 of the
+		// flight recorder's timeline.
+		go w.run(k + 1)
 	}
 	return w
 }
 
-func (w *workerPool) run() {
+func (w *workerPool) run(id int) {
 	for {
 		select {
 		case t := <-w.tasks:
-			t.f(t.s)
+			if t.fl == nil {
+				t.f(t.s)
+			} else {
+				start := time.Now()
+				t.f(t.s)
+				t.fl.task(id, t.ph, t.s, t.round, start)
+			}
 			w.wg.Done()
 		case <-w.stop:
 			return
@@ -255,13 +272,29 @@ func (e *Engine) labeled(phase string, f func(int)) func(int) {
 // are order-independent across shards); otherwise shards 1..p−1 are
 // dispatched to the persistent pool while the caller runs shard 0, and
 // the WaitGroup barrier joins the phase.
-func (e *Engine) runShards(phase string, f func(int)) {
+//
+// With the flight recorder attached (e.flight != nil) every task is
+// timed by its runner, and the caller additionally records its barrier
+// wait and the fan-out's wall-clock; timing changes no dispatch or
+// merge order, so results stay byte-identical with it on.
+func (e *Engine) runShards(phase string, ph metrics.Phase, f func(int)) {
 	p := e.shards
 	f = e.labeled(phase, f)
+	fl := e.flight
 	if p == 1 || runtime.GOMAXPROCS(0) == 1 {
-		for s := 0; s < p; s++ {
-			f(s)
+		if fl == nil {
+			for s := 0; s < p; s++ {
+				f(s)
+			}
+			return
 		}
+		wall := time.Now()
+		for s := 0; s < p; s++ {
+			start := time.Now()
+			f(s)
+			fl.task(0, ph, s, e.round, start)
+		}
+		fl.wall(ph, e.round, wall)
 		return
 	}
 	w := e.shard.workers
@@ -274,11 +307,25 @@ func (e *Engine) runShards(phase string, f func(int)) {
 		runtime.AddCleanup(e, func(pw *workerPool) { pw.close() }, w)
 	}
 	w.wg.Add(p - 1)
-	for s := 1; s < p; s++ {
-		w.tasks <- shardTask{f, s}
+	if fl == nil {
+		for s := 1; s < p; s++ {
+			w.tasks <- shardTask{f: f, s: s}
+		}
+		f(0)
+		w.wg.Wait()
+		return
 	}
+	wall := time.Now()
+	for s := 1; s < p; s++ {
+		w.tasks <- shardTask{f: f, s: s, fl: fl, ph: ph, round: e.round}
+	}
+	start := time.Now()
 	f(0)
+	fl.task(0, ph, 0, e.round, start)
+	start = time.Now()
 	w.wg.Wait()
+	fl.barrier(ph, e.round, start)
+	fl.wall(ph, e.round, wall)
 }
 
 // initShards builds the shard structures; called from New and only when
@@ -426,17 +473,41 @@ func (e *Engine) putMsgShard(s int, m *gossip.Message) {
 // task per destination shard, on the same pool; or the serial
 // global-order merge when a stateful interceptor demands it.
 func (e *Engine) stepSharded() {
+	fl := e.flight
+	var roundStart time.Time
+	if fl != nil {
+		roundStart = time.Now()
+		// The round mark is what places the event ring's round-stamped
+		// instant events (faults, churn, snapshots, evictions) on the
+		// timeline's time axis.
+		fl.tl.MarkRound(e.round, roundStart)
+	}
 	e.inPhase1 = true
-	e.runShards("activate", e.shard.phase1Task)
+	e.runShards("activate", metrics.PhaseActivate, e.shard.phase1Task)
 	e.inPhase1 = false
 	e.foldKeepalives()
 	if e.interceptor != nil {
-		e.mergeOutboxes()
+		if fl == nil {
+			e.mergeOutboxes()
+		} else {
+			start := time.Now()
+			e.mergeOutboxes()
+			fl.serial(metrics.PhaseMerge, e.round, start)
+		}
 	} else {
 		e.deliverRound()
 	}
-	e.flushShardEvents()
+	if fl == nil {
+		e.flushShardEvents()
+	} else {
+		start := time.Now()
+		e.flushShardEvents()
+		fl.serial(metrics.PhaseFlush, e.round, start)
+	}
 	e.rebalancePools()
+	if fl != nil {
+		fl.serial(metrics.PhaseRound, e.round, roundStart)
+	}
 	e.round++
 }
 
@@ -562,12 +633,23 @@ func (e *Engine) makeControlShard(from, to int, kind gossip.Kind, s int) *gossip
 func (e *Engine) deliverRound() {
 	if e.serialDeliver {
 		f := e.labeled("deliver", e.shard.deliverTask)
-		for d := 0; d < e.shards; d++ {
-			f(d)
+		fl := e.flight
+		if fl == nil {
+			for d := 0; d < e.shards; d++ {
+				f(d)
+			}
+			return
 		}
+		wall := time.Now()
+		for d := 0; d < e.shards; d++ {
+			start := time.Now()
+			f(d)
+			fl.task(0, metrics.PhaseDeliver, d, e.round, start)
+		}
+		fl.wall(metrics.PhaseDeliver, e.round, wall)
 		return
 	}
-	e.runShards("deliver", e.shard.deliverTask)
+	e.runShards("deliver", metrics.PhaseDeliver, e.shard.deliverTask)
 }
 
 // deliverShard routes every message destined for shard d's nodes into
@@ -869,7 +951,7 @@ func (e *Engine) cloneMsgShard(m *gossip.Message, s int) *gossip.Message {
 // scan, for every shard layout.
 func (e *Engine) errorsSharded() []float64 {
 	p := e.shards
-	e.runShards("errors", func(s int) {
+	e.runShards("errors", metrics.PhaseErrors, func(s int) {
 		e.shard.errs[s] = e.errorsRange(s, e.shard.errs[s][:0])
 	})
 	e.errBuf = e.errBuf[:0]

@@ -147,6 +147,8 @@ type Engine struct {
 	interceptor Interceptor
 
 	rec       *metrics.Recorder // nil ⇒ every metrics touch is a no-op (observe.go)
+	timeline  *metrics.Timeline // nil ⇒ no span tracing (SetTimeline, observe.go)
+	flight    *flight           // nil ⇒ phase timing off entirely (updateFlight, flight.go)
 	inPhase1  bool              // inside sharded phase 1: events must be staged per shard
 	probeVal  gossip.Value      // massResidual scratch
 	probeSums []stats.Sum2      // massResidual scratch
@@ -326,6 +328,8 @@ func (e *Engine) Reset(seed int64) {
 	e.keepalives = 0
 	e.interceptor = nil
 	e.rec = nil
+	e.timeline = nil
+	e.flight = nil
 	for i := range e.inbox {
 		e.clearInbox(i)
 		e.alive[i] = true
